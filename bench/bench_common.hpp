@@ -1,0 +1,99 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation
+// (Section 6). Output convention: a header describing the experiment, then
+// one whitespace-aligned row per series point with mean and stddev over
+// DVMC_BENCH_SEEDS perturbation runs (paper: ten runs; default here: 3).
+// Environment knobs: DVMC_BENCH_SEEDS, DVMC_BENCH_TXNS.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "system/runner.hpp"
+#include "system/system.hpp"
+
+namespace dvmc::bench {
+
+inline std::uint64_t targetFor(WorkloadKind wl) {
+  // Barnes runs to completion: the target counts per-thread phases.
+  if (wl == WorkloadKind::kBarnes) return 4;
+  return benchTransactionTarget();
+}
+
+inline const std::vector<WorkloadKind>& paperWorkloads() {
+  static const std::vector<WorkloadKind> kAll = {
+      WorkloadKind::kApache, WorkloadKind::kOltp, WorkloadKind::kJbb,
+      WorkloadKind::kSlash, WorkloadKind::kBarnes};
+  return kAll;
+}
+
+inline const std::vector<ConsistencyModel>& allModels() {
+  static const std::vector<ConsistencyModel> kAll = {
+      ConsistencyModel::kSC, ConsistencyModel::kTSO, ConsistencyModel::kPSO,
+      ConsistencyModel::kRMO};
+  return kAll;
+}
+
+inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
+                                WorkloadKind wl, bool dvmcOn, bool berOn) {
+  SystemConfig cfg = dvmcOn ? SystemConfig::withDvmc(p, m)
+                            : SystemConfig::unprotected(p, m);
+  cfg.berEnabled = berOn;
+  cfg.numNodes = 8;
+  cfg.workload = wl;
+  cfg.targetTransactions = targetFor(wl);
+  cfg.maxCycles = 200'000'000;
+  return cfg;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("  nodes=8, seeds=%d, transactions=%llu (barnes: 4 phases)\n",
+              benchSeedCount(),
+              static_cast<unsigned long long>(benchTransactionTarget()));
+  std::printf("==========================================================\n");
+}
+
+/// Prints one normalized-runtime cell: mean (+/- std), both normalized.
+inline std::string normCell(const RunningStat& s, double baseMean) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.2f +-%4.2f", s.mean() / baseMean,
+                s.stddev() / baseMean);
+  return buf;
+}
+
+/// Per-seed runtimes for paired comparisons: runtime noise between seeds is
+/// much larger than between configurations, so ratios are taken seed by
+/// seed (the paper's perturbation pairs) before aggregating.
+inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
+                                            std::uint64_t* detections = nullptr) {
+  std::vector<double> out;
+  out.reserve(seeds);
+  for (int s = 0; s < seeds; ++s) {
+    cfg.seed = 1 + s;
+    RunResult r = runOnce(cfg);
+    out.push_back(static_cast<double>(r.cycles));
+    if (detections != nullptr) *detections += r.detections;
+  }
+  return out;
+}
+
+inline RunningStat pairedRatio(const std::vector<double>& variant,
+                               const std::vector<double>& base) {
+  RunningStat s;
+  for (std::size_t i = 0; i < variant.size() && i < base.size(); ++i) {
+    if (base[i] > 0) s.addTracked(variant[i] / base[i]);
+  }
+  return s;
+}
+
+inline std::string ratioCell(const RunningStat& s) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%5.2f +-%4.2f", s.mean(), s.stddev());
+  return buf;
+}
+
+}  // namespace dvmc::bench

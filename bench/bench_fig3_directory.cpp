@@ -1,0 +1,58 @@
+// Figure 3: runtime of the directory system, normalized to the unprotected
+// SC baseline, for SC/TSO/PSO/RMO — unprotected ("Base") and with full
+// DVMC + SafetyNet ("DVMC") — across the five workloads.
+//
+// Expected shape (paper): TSO Base beats SC Base on most workloads thanks
+// to the write buffer; PSO/RMO are close to TSO (sometimes worse, membar
+// costs); DVMC slows each model by a few percent, worst under SC; no
+// slowdown exceeds ~11%; slash is noisy.
+#include "bench_common.hpp"
+
+namespace dvmc {
+namespace {
+
+int run(Protocol protocol, const char* id, const char* title) {
+  bench::header(id, title);
+  const int seeds = benchSeedCount();
+
+  std::printf("%-8s | %-6s", "workload", "cfg");
+  for (ConsistencyModel m : bench::allModels()) {
+    std::printf(" | %-12s", modelName(m));
+  }
+  std::printf("\n");
+
+  for (WorkloadKind wl : bench::paperWorkloads()) {
+    // Normalization base: unprotected SC, same workload, paired per seed.
+    const std::vector<double> base = bench::runCyclesPerSeed(
+        bench::benchConfig(protocol, ConsistencyModel::kSC, wl,
+                           /*dvmcOn=*/false, /*berOn=*/false),
+        seeds);
+
+    for (bool dvmcOn : {false, true}) {
+      std::printf("%-8s | %-6s", workloadName(wl), dvmcOn ? "DVMC" : "Base");
+      for (ConsistencyModel m : bench::allModels()) {
+        std::uint64_t detections = 0;
+        const std::vector<double> v =
+            (!dvmcOn && m == ConsistencyModel::kSC)
+                ? base
+                : bench::runCyclesPerSeed(
+                      bench::benchConfig(protocol, m, wl, dvmcOn,
+                                         /*berOn=*/dvmcOn),
+                      seeds, &detections);
+        std::printf(" | %s", bench::ratioCell(bench::pairedRatio(v, base)).c_str());
+        if (detections != 0) std::printf("!");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("('!' = unexpected checker detection)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvmc
+
+int main() {
+  return dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
+                   "normalized runtime, directory protocol, Base vs DVMC");
+}

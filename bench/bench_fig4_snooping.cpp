@@ -1,0 +1,50 @@
+// Figure 4: runtime of the snooping system, normalized to the unprotected
+// SC baseline — same layout and expectations as Figure 3 (the paper found
+// snooping overheads slightly lower than directory).
+#include "bench_common.hpp"
+
+namespace dvmc {
+namespace {
+
+int run() {
+  bench::header("Figure 4",
+                "normalized runtime, snooping protocol, Base vs DVMC");
+  const int seeds = benchSeedCount();
+
+  std::printf("%-8s | %-6s", "workload", "cfg");
+  for (ConsistencyModel m : bench::allModels()) {
+    std::printf(" | %-12s", modelName(m));
+  }
+  std::printf("\n");
+
+  for (WorkloadKind wl : bench::paperWorkloads()) {
+    const std::vector<double> base = bench::runCyclesPerSeed(
+        bench::benchConfig(Protocol::kSnooping, ConsistencyModel::kSC, wl,
+                           false, false),
+        seeds);
+    for (bool dvmcOn : {false, true}) {
+      std::printf("%-8s | %-6s", workloadName(wl), dvmcOn ? "DVMC" : "Base");
+      for (ConsistencyModel m : bench::allModels()) {
+        std::uint64_t detections = 0;
+        const std::vector<double> v =
+            (!dvmcOn && m == ConsistencyModel::kSC)
+                ? base
+                : bench::runCyclesPerSeed(
+                      bench::benchConfig(Protocol::kSnooping, m, wl, dvmcOn,
+                                         dvmcOn),
+                      seeds, &detections);
+        std::printf(" | %s",
+                    bench::ratioCell(bench::pairedRatio(v, base)).c_str());
+        if (detections != 0) std::printf("!");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("('!' = unexpected checker detection)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvmc
+
+int main() { return dvmc::run(); }

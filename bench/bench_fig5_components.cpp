@@ -1,0 +1,59 @@
+// Figure 5: DVMC component breakdown on the directory system with TSO.
+// Configurations: Base (unprotected), SN (SafetyNet only), SN+DVCC
+// (+coherence checker), SN+DVUO (+uniprocessor-ordering checker), and
+// DVTSO (everything, including the AR checker).
+//
+// Expected shape (paper): Uniprocessor Ordering verification is the
+// dominant slowdown; each mechanism adds a small overhead; full DVTSO is
+// no slower than SN+DVUO; slash occasionally speeds up under SN.
+#include "bench_common.hpp"
+
+namespace dvmc {
+namespace {
+
+struct ComponentCfg {
+  const char* name;
+  bool ber, dvcc, dvuo, dvar;
+};
+
+int run() {
+  bench::header("Figure 5", "component breakdown, directory, TSO");
+  const int seeds = benchSeedCount();
+  const ComponentCfg configs[] = {
+      {"Base", false, false, false, false},
+      {"SN", true, false, false, false},
+      {"SN+DVCC", true, true, false, false},
+      {"SN+DVUO", true, false, true, false},
+      {"DVTSO", true, true, true, true},
+  };
+
+  std::printf("%-8s", "workload");
+  for (const auto& c : configs) std::printf(" | %-12s", c.name);
+  std::printf("\n");
+
+  for (WorkloadKind wl : bench::paperWorkloads()) {
+    std::printf("%-8s", workloadName(wl));
+    std::vector<double> base;
+    for (const auto& c : configs) {
+      SystemConfig cfg = bench::benchConfig(
+          Protocol::kDirectory, ConsistencyModel::kTSO, wl, false, c.ber);
+      cfg.dvmcCoherence = c.dvcc;
+      cfg.dvmcUniproc = c.dvuo;
+      cfg.dvmcReorder = c.dvar;
+      std::uint64_t detections = 0;
+      const std::vector<double> v =
+          bench::runCyclesPerSeed(cfg, seeds, &detections);
+      if (base.empty()) base = v;
+      std::printf(" | %s",
+                  bench::ratioCell(bench::pairedRatio(v, base)).c_str());
+      if (detections != 0) std::printf("!");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvmc
+
+int main() { return dvmc::run(); }

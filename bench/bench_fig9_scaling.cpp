@@ -1,0 +1,45 @@
+// Figure 9: sensitivity of the DVMC overhead to system size (1 to 8
+// processors), TSO, both protocols, 2.5 GB/s links.
+//
+// Expected shape (paper): no strong correlation — DVMC traffic is all
+// unicast and scales linearly with overall traffic.
+#include "bench_common.hpp"
+
+namespace dvmc {
+namespace {
+
+int run() {
+  bench::header("Figure 9", "DVTSO/Base runtime vs processor count, TSO");
+  const int seeds = benchSeedCount();
+  const std::size_t sizes[] = {1, 2, 4, 8};
+
+  std::printf("%-6s | %-22s | %-22s\n", "nodes", "directory", "snooping");
+  for (std::size_t n : sizes) {
+    std::printf("%-6zu", n);
+    for (Protocol p : {Protocol::kDirectory, Protocol::kSnooping}) {
+      RunningStat ratio;
+      for (WorkloadKind wl : bench::paperWorkloads()) {
+        SystemConfig base = bench::benchConfig(p, ConsistencyModel::kTSO, wl,
+                                               false, false);
+        base.numNodes = n;
+        SystemConfig dvmc = bench::benchConfig(p, ConsistencyModel::kTSO, wl,
+                                               true, true);
+        dvmc.numNodes = n;
+        const std::vector<double> rb = bench::runCyclesPerSeed(base, seeds);
+        const std::vector<double> rd = bench::runCyclesPerSeed(dvmc, seeds);
+        for (std::size_t i = 0; i < rb.size(); ++i) {
+          if (rb[i] > 0) ratio.addTracked(rd[i] / rb[i]);
+        }
+      }
+      std::printf(" |    %5.3f +-%5.3f    ", ratio.mean(), ratio.stddev());
+    }
+    std::printf("\n");
+  }
+  std::printf("(mean over workloads of per-workload DVTSO/Base ratios)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvmc
+
+int main() { return dvmc::run(); }

@@ -1,0 +1,50 @@
+// Table 8: workload characteristics — measured fraction of 32-bit (SPARC
+// v8, TSO-forced) memory operations per workload, compared with the
+// paper's reported values.
+#include "bench_common.hpp"
+
+namespace dvmc {
+namespace {
+
+int run() {
+  bench::header("Table 8", "workloads and 32-bit operation fractions");
+  const int seeds = benchSeedCount();
+
+  struct PaperRef {
+    WorkloadKind wl;
+    double frac;
+  };
+  const PaperRef refs[] = {
+      {WorkloadKind::kApache, 0.27}, {WorkloadKind::kOltp, 0.26},
+      {WorkloadKind::kJbb, 0.15},    {WorkloadKind::kSlash, 0.27},
+      {WorkloadKind::kBarnes, 0.02},
+  };
+
+  std::printf("%-8s | %-10s | %-16s | %-10s\n", "workload", "paper",
+              "measured", "txns/run");
+  for (const PaperRef& ref : refs) {
+    SystemConfig cfg = bench::benchConfig(Protocol::kDirectory,
+                                          ConsistencyModel::kPSO, ref.wl,
+                                          true, true);
+    RunningStat frac;
+    std::uint64_t txns = 0;
+    for (int s = 0; s < seeds; ++s) {
+      cfg.seed = 1 + s;
+      RunResult r = runOnce(cfg);
+      txns = r.transactions;
+      if (r.memOps > 0) {
+        frac.addTracked(static_cast<double>(r.memOps32) /
+                        static_cast<double>(r.memOps));
+      }
+    }
+    std::printf("%-8s |   %4.2f     |  %5.3f +-%5.3f  | %llu\n",
+                workloadName(ref.wl), ref.frac, frac.mean(), frac.stddev(),
+                static_cast<unsigned long long>(txns));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvmc
+
+int main() { return dvmc::run(); }

@@ -1,0 +1,121 @@
+// Consistency explorer: makes the memory models tangible.
+//
+//   * prints the four ordering tables (paper Tables 1-4);
+//   * runs the classic store-buffering (Dekker) litmus test on the real
+//     simulated machine under each model, many trials, and tallies the
+//     outcomes — the "both loads read 0" outcome is architecturally
+//     impossible under SC and routinely visible under TSO/PSO/RMO;
+//   * shows that the Allowable Reordering checker agrees: the reorderings
+//     the hardware performed were legal under the active table (zero
+//     detections in every trial).
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "system/system.hpp"
+#include "workload/scripted.hpp"
+
+using namespace dvmc;
+
+namespace {
+
+// X is homed at node 1 and Y at node 0: each thread's STORE is remote
+// (slow to perform out of the write buffer) while its LOAD is local
+// (fast) — the adversarial placement for store buffering.
+constexpr Addr kX = 0x400040;  // home: node 1
+constexpr Addr kY = 0x480000;  // home: node 0
+
+struct Outcome {
+  std::uint64_t r0;
+  std::uint64_t r1;
+  bool operator<(const Outcome& o) const {
+    return r0 != o.r0 ? r0 < o.r0 : r1 < o.r1;
+  }
+};
+
+Outcome runDekker(ConsistencyModel model, int jitter) {
+  SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory, model);
+  cfg.numNodes = 2;
+  cfg.berEnabled = false;
+  cfg.maxCycles = 2'000'000;
+  // Thread 0: X = 1; r0 = Y.   Thread 1: Y = 1; r1 = X.
+  // Both variables are pre-warmed into both caches, then the threads sit
+  // out a settling delay so the litmus itself runs out of local caches:
+  // the load hits in ~10 cycles while the store's global perform needs a
+  // remote invalidation round trip — the store-buffering window.
+  cfg.programFactory = [jitter](NodeId n) -> std::unique_ptr<ThreadProgram> {
+    std::vector<Instr> p;
+    p.push_back(Instr::load(kX));
+    p.push_back(Instr::load(kY));
+    p.push_back(Instr::compute(800));
+    p.push_back(Instr::compute(static_cast<std::uint16_t>(
+        1 + (jitter * (n + 3)) % 37)));
+    if (n == 0) {
+      p.push_back(Instr::store(kX, 1));
+      p.push_back(Instr::load(kY, 1));
+    } else {
+      p.push_back(Instr::store(kY, 1));
+      p.push_back(Instr::load(kX, 1));
+    }
+    return std::make_unique<ScriptedProgram>(p);
+  };
+  System sys(cfg);
+  RunResult r = sys.run();
+  if (!r.completed || r.detections != 0) {
+    std::fprintf(stderr, "litmus run failed (completed=%d detections=%llu)\n",
+                 r.completed, static_cast<unsigned long long>(r.detections));
+  }
+  auto& p0 = static_cast<ScriptedProgram&>(sys.core(0).program());
+  auto& p1 = static_cast<ScriptedProgram&>(sys.core(1).program());
+  // Pre-initialize to the memory fill pattern means "0" is encoded as the
+  // pattern; treat "saw the other thread's 1" vs "saw the initial value".
+  const std::uint64_t initY = MemoryStorage::initialPattern(kY).read(0, 8);
+  const std::uint64_t initX = MemoryStorage::initialPattern(kX).read(0, 8);
+  const std::uint64_t r0 = p0.results()[0].second == initY ? 0 : 1;
+  const std::uint64_t r1 = p1.results()[0].second == initX ? 0 : 1;
+  return {r0, r1};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ordering tables (paper Tables 1-4) ===\n\n");
+  for (ConsistencyModel m :
+       {ConsistencyModel::kSC, ConsistencyModel::kTSO, ConsistencyModel::kPSO,
+        ConsistencyModel::kRMO}) {
+    std::printf("%s\n", OrderingTable::forModel(m).toString().c_str());
+  }
+
+  std::printf("=== Store-buffering litmus (Dekker) on the live machine ===\n");
+  std::printf("thread 0: X=1; r0=Y        thread 1: Y=1; r1=X\n");
+  std::printf("SC forbids (r0,r1)=(0,0); TSO/PSO/RMO allow it "
+              "(store buffers!)\n\n");
+
+  const int kTrials = 60;
+  for (ConsistencyModel m :
+       {ConsistencyModel::kSC, ConsistencyModel::kTSO,
+        ConsistencyModel::kRMO}) {
+    std::map<Outcome, int> tally;
+    for (int t = 0; t < kTrials; ++t) {
+      tally[runDekker(m, t)]++;
+    }
+    std::printf("%-4s:", modelName(m));
+    for (const auto& [o, count] : tally) {
+      std::printf("  (r0=%llu,r1=%llu) x%-3d",
+                  static_cast<unsigned long long>(o.r0),
+                  static_cast<unsigned long long>(o.r1), count);
+    }
+    const bool sawForbidden = tally.count(Outcome{0, 0}) != 0;
+    std::printf("   %s\n",
+                m == ConsistencyModel::kSC
+                    ? (sawForbidden ? "<-- SC VIOLATION (bug!)" : "(0,0) never")
+                    : (sawForbidden ? "(0,0) observed: store buffering"
+                                    : "(0,0) not seen this time"));
+    if (m == ConsistencyModel::kSC && sawForbidden) return 1;
+  }
+  std::printf(
+      "\nEvery trial above ran with the Allowable Reordering checker armed:\n"
+      "the hardware reorderings were all legal under the active table.\n");
+  return 0;
+}

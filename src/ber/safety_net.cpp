@@ -1,0 +1,56 @@
+#include "ber/safety_net.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+SafetyNet::SafetyNet(Simulator& sim, BerConfig cfg, CaptureFn capture,
+                     RestoreFn restore, TrafficFn traffic)
+    : sim_(sim),
+      cfg_(cfg),
+      capture_(std::move(capture)),
+      restore_(std::move(restore)),
+      traffic_(std::move(traffic)) {}
+
+void SafetyNet::start() {
+  if (running_) return;
+  running_ = true;
+  checkpointTick();
+}
+
+void SafetyNet::checkpointTick() {
+  if (!running_) return;
+  checkpoints_.push_back(capture_());
+  stats_.inc("ber.checkpoints");
+  while (checkpoints_.size() > cfg_.maxCheckpoints) {
+    checkpoints_.pop_front();  // oldest checkpoint validated & discarded
+  }
+  if (cfg_.modelTraffic && traffic_) traffic_();
+  sim_.schedule(cfg_.interval, [this] { checkpointTick(); });
+}
+
+bool SafetyNet::recoverBefore(Cycle errorCycle) {
+  // Newest checkpoint strictly older than the error: anything taken at or
+  // after the error may have captured corrupted state.
+  const Snapshot* target = nullptr;
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->cycle < errorCycle) {
+      target = &*it;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    stats_.inc("ber.windowExpired");
+    return false;
+  }
+  restore_(*target);
+  ++recoveries_;
+  stats_.inc("ber.recoveries");
+  // Checkpoints taken after the restored point describe a squashed future.
+  while (!checkpoints_.empty() && checkpoints_.back().cycle > target->cycle) {
+    checkpoints_.pop_back();
+  }
+  return true;
+}
+
+}  // namespace dvmc

@@ -1,0 +1,375 @@
+#include "coherence/directory_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+DirectoryCacheController::DirectoryCacheController(
+    Simulator& sim, TorusNetwork& net, NodeId node, MemoryMap map,
+    CacheGeometry l2Geom, CoherenceTimings timings, ErrorSink* sink,
+    std::unique_ptr<LogicalClock> clock)
+    : sim_(sim),
+      net_(net),
+      node_(node),
+      map_(map),
+      timings_(timings),
+      sink_(sink),
+      clock_(std::move(clock)),
+      array_(l2Geom, /*eccProtected=*/true) {}
+
+const DataBlock* DirectoryCacheController::peekReadable(Addr blk) {
+  CacheLine* line = array_.find(blk);
+  if (line != nullptr && mosiCanRead(line->state)) return &line->data;
+  return nullptr;
+}
+
+bool DirectoryCacheController::peekWritable(Addr blk) {
+  CacheLine* line = array_.find(blk);
+  return line != nullptr && mosiCanWrite(line->state);
+}
+
+void DirectoryCacheController::request(const CacheOp& op, CacheOpCallback cb) {
+  // Loads pay the full L2 array access; stores and atomics drain through
+  // the dedicated write port (writes to an already-owned line are cheap —
+  // they would hit an L1-class writeback structure in a real hierarchy).
+  const bool writePath = op.kind == CacheOp::Kind::kStore ||
+                         op.kind == CacheOp::Kind::kAtomicSwap ||
+                         op.kind == CacheOp::Kind::kAtomicCas;
+  const Cycle lat = writePath ? timings_.storeLatency : timings_.l2Latency;
+  sim_.schedule(lat, [this, op, cb = std::move(cb), g = gen_] {
+    if (g != gen_) return;  // squashed by BER recovery
+    processOp(op, cb);
+  });
+}
+
+void DirectoryCacheController::processOp(const CacheOp& op,
+                                         CacheOpCallback cb) {
+  const Addr blk = blockAddr(op.addr);
+
+  // A transaction is already in flight: queue behind it.
+  auto mit = mshrs_.find(blk);
+  if (mit != mshrs_.end()) {
+    mit->second.ops.push_back(PendingOp{op, std::move(cb)});
+    return;
+  }
+
+  CacheLine* line = array_.find(blk);
+  const bool needsWrite = op.kind == CacheOp::Kind::kStore ||
+                          op.kind == CacheOp::Kind::kAtomicSwap ||
+                          op.kind == CacheOp::Kind::kAtomicCas ||
+                          op.kind == CacheOp::Kind::kPrefetchM;
+
+  if (line != nullptr && mosiCanRead(line->state) &&
+      (!needsWrite || mosiCanWrite(line->state))) {
+    array_.touch(*line, sink_, node_, sim_.now());
+    stats_.inc("l2.hit");
+    const std::size_t off = blockOffset(op.addr);
+    switch (op.kind) {
+      case CacheOp::Kind::kLoad:
+      case CacheOp::Kind::kReplayLoad:
+        completeOp(op, cb, line->data.read(off, op.size), op.countsAsPerform);
+        return;
+      case CacheOp::Kind::kStore:
+        line->data.write(off, op.size, op.value);
+        if (storeHook_) storeHook_(op.addr, op.size, op.value);
+        completeOp(op, cb, 0, true);
+        return;
+      case CacheOp::Kind::kAtomicSwap: {
+        const std::uint64_t old = line->data.read(off, op.size);
+        line->data.write(off, op.size, op.value);
+        if (storeHook_) storeHook_(op.addr, op.size, op.value);
+        completeOp(op, cb, old, true);
+        return;
+      }
+      case CacheOp::Kind::kAtomicCas: {
+        const std::uint64_t old = line->data.read(off, op.size);
+        if (old == op.compare) {
+          line->data.write(off, op.size, op.value);
+          if (storeHook_) storeHook_(op.addr, op.size, op.value);
+        }
+        completeOp(op, cb, old, true);
+        return;
+      }
+      case CacheOp::Kind::kPrefetchS:
+      case CacheOp::Kind::kPrefetchM:
+        completeOp(op, cb, 0, false);
+        return;
+    }
+  }
+
+  stats_.inc("l2.miss");
+  startTransaction(blk, needsWrite, PendingOp{op, std::move(cb)});
+}
+
+void DirectoryCacheController::completeOp(const CacheOp& op,
+                                          const CacheOpCallback& cb,
+                                          std::uint64_t value,
+                                          bool performed) {
+  if (performed && epochs_ != nullptr) {
+    const bool isWrite = op.kind == CacheOp::Kind::kStore ||
+                         op.kind == CacheOp::Kind::kAtomicSwap ||
+                         op.kind == CacheOp::Kind::kAtomicCas;
+    epochs_->onPerformAccess(blockAddr(op.addr), isWrite);
+  }
+  CacheOpResult r;
+  r.tag = op.tag;
+  r.value = value;
+  r.performLogical = clock_->now();
+  r.completedAt = sim_.now();
+  if (cb) cb(r);
+}
+
+void DirectoryCacheController::startTransaction(Addr blk, bool wantM,
+                                                PendingOp pending) {
+  Mshr& m = mshrs_[blk];
+  m.wantM = wantM;
+  m.ops.push_back(std::move(pending));
+  if (wbBuffer_.count(blk) != 0) {
+    // Our own writeback for this block is still in flight; wait for the
+    // PutAck/Nack before re-requesting, so the home never sees the current
+    // owner re-request its own block.
+    m.requestSent = false;
+    stats_.inc("l2.wbStall");
+    return;
+  }
+  sendRequest(blk, m);
+  mshrs_[blk].requestSent = true;
+}
+
+void DirectoryCacheController::sendRequest(Addr blk, const Mshr& mshr) {
+  Message req;
+  req.type = mshr.wantM ? MsgType::kGetM : MsgType::kGetS;
+  req.src = node_;
+  req.dest = map_.homeOf(blk);
+  req.addr = blk;
+  send(req);
+  stats_.inc(mshr.wantM ? "l2.getM" : "l2.getS");
+}
+
+void DirectoryCacheController::onMessage(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  switch (msg.type) {
+    case MsgType::kData: {
+      auto it = mshrs_.find(blk);
+      if (it == mshrs_.end()) {
+        // Possible only under injected faults (duplicated or misrouted
+        // message); drop it and let the checkers flag any consequence.
+        stats_.inc("l2.strayData");
+        return;
+      }
+      Mshr& m = it->second;
+      m.dataReceived = true;
+      m.acksExpected = msg.ackCount;
+      if (msg.hasData) {
+        m.dataCarried = true;
+        m.data = msg.data;
+      }
+      maybeFinalize(blk);
+      return;
+    }
+    case MsgType::kInvAck: {
+      auto it = mshrs_.find(blk);
+      if (it == mshrs_.end()) {
+        // Possible only under injected faults (e.g., duplicated message).
+        stats_.inc("l2.strayInvAck");
+        return;
+      }
+      ++it->second.acksReceived;
+      maybeFinalize(blk);
+      return;
+    }
+    case MsgType::kFwdGetS:
+      handleFwdGetS(msg);
+      return;
+    case MsgType::kFwdGetM:
+      handleFwdGetM(msg);
+      return;
+    case MsgType::kInv:
+      handleInv(msg);
+      return;
+    case MsgType::kPutAck:
+    case MsgType::kNackPutM: {
+      wbBuffer_.erase(blk);
+      auto it = mshrs_.find(blk);
+      if (it != mshrs_.end() && !it->second.requestSent) {
+        sendRequest(blk, it->second);
+        it->second.requestSent = true;
+      }
+      return;
+    }
+    default:
+      DVMC_FATAL("unexpected message type at cache controller");
+  }
+}
+
+void DirectoryCacheController::maybeFinalize(Addr blk) {
+  auto it = mshrs_.find(blk);
+  DVMC_ASSERT(it != mshrs_.end(), "finalize without MSHR");
+  Mshr& m = it->second;
+  if (!m.dataReceived) return;
+  if (m.acksExpected >= 0 && m.acksReceived < m.acksExpected) return;
+  finalizeTransaction(blk);
+}
+
+void DirectoryCacheController::finalizeTransaction(Addr blk) {
+  Mshr m = std::move(mshrs_.at(blk));
+  mshrs_.erase(blk);
+
+  CacheLine* line = array_.find(blk);
+  if (line != nullptr && mosiCanRead(line->state)) {
+    // Upgrade path (S -> M or O -> M): close the Read-Only epoch, adopt the
+    // freshest data, open the Read-Write epoch.
+    DVMC_ASSERT(m.wantM, "GetS completion with a valid line");
+    if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line->data, clock_->now());
+    if (m.dataCarried) line->data = m.data;
+    line->state = MosiState::kM;
+    array_.touch(*line, sink_, node_, sim_.now());
+    if (epochs_ != nullptr) epochs_->onEpochBegin(blk, true, line->data, clock_->now());
+  } else {
+    DVMC_ASSERT(m.dataCarried, "install without data payload");
+    installWithEviction(blk, m.wantM ? MosiState::kM : MosiState::kS, m.data);
+  }
+
+  Message unblock;
+  unblock.type = MsgType::kUnblock;
+  unblock.src = node_;
+  unblock.dest = map_.homeOf(blk);
+  unblock.addr = blk;
+  send(unblock);
+
+  // Re-dispatch queued operations; each either hits now or (e.g., a store
+  // queued behind a GetS) starts its own follow-up transaction.
+  for (auto& p : m.ops) {
+    processOp(p.op, std::move(p.cb));
+  }
+}
+
+void DirectoryCacheController::installWithEviction(Addr blk, MosiState st,
+                                                   const DataBlock& d) {
+  CacheLine* victim = array_.victim(blk, [this](const CacheLine& l) {
+    return mshrs_.count(l.tag) == 0 && wbBuffer_.count(l.tag) == 0;
+  });
+  DVMC_ASSERT(victim != nullptr, "no evictable way in set");
+  if (victim->valid) evictLine(*victim);
+  array_.install(*victim, blk, st, d);
+  if (epochs_ != nullptr) {
+    epochs_->onEpochBegin(blk, st == MosiState::kM, d, clock_->now());
+  }
+}
+
+void DirectoryCacheController::evictLine(CacheLine& line) {
+  const Addr blk = line.tag;
+  if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line.data, clock_->now());
+  if (mosiIsOwner(line.state)) {
+    wbBuffer_[blk] = line.data;
+    Message putm;
+    putm.type = MsgType::kPutM;
+    putm.src = node_;
+    putm.dest = map_.homeOf(blk);
+    putm.addr = blk;
+    putm.hasData = true;
+    putm.data = line.data;
+    send(putm);
+    stats_.inc("l2.evictDirty");
+  } else {
+    stats_.inc("l2.evictClean");
+  }
+  line.valid = false;
+  line.state = MosiState::kI;
+  notifyCpuLost(blk, /*remoteWrite=*/false);  // local eviction
+}
+
+void DirectoryCacheController::handleFwdGetS(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  CacheLine* line = array_.find(blk);
+  if (line != nullptr && mosiIsOwner(line->state)) {
+    array_.touch(*line, sink_, node_, sim_.now());
+    sendData(msg.requester, blk, line->data, 0);
+    if (line->state == MosiState::kM) {
+      // M -> O: the Read-Write epoch ends, a Read-Only epoch begins.
+      if (epochs_ != nullptr) {
+        epochs_->onEpochEnd(blk, line->data, clock_->now());
+        epochs_->onEpochBegin(blk, false, line->data, clock_->now());
+      }
+      line->state = MosiState::kO;
+    }
+    return;
+  }
+  auto wb = wbBuffer_.find(blk);
+  if (wb != wbBuffer_.end()) {
+    sendData(msg.requester, blk, wb->second, 0);
+    return;
+  }
+  // Unreachable in a fault-free run; keep the system limping under injected
+  // faults so the checkers can flag the corruption downstream.
+  stats_.inc("protocol.unexpectedFwdGetS");
+  sendData(msg.requester, blk, line != nullptr ? line->data : DataBlock{}, 0);
+}
+
+void DirectoryCacheController::handleFwdGetM(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  CacheLine* line = array_.find(blk);
+  if (line != nullptr && mosiCanRead(line->state)) {
+    array_.touch(*line, sink_, node_, sim_.now());
+    sendData(msg.requester, blk, line->data, msg.ackCount);
+    if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line->data, clock_->now());
+    line->valid = false;
+    line->state = MosiState::kI;
+    notifyCpuLost(blk, /*remoteWrite=*/true);  // a remote GetM took it
+    return;
+  }
+  auto wb = wbBuffer_.find(blk);
+  if (wb != wbBuffer_.end()) {
+    sendData(msg.requester, blk, wb->second, msg.ackCount);
+    return;
+  }
+  stats_.inc("protocol.unexpectedFwdGetM");
+  sendData(msg.requester, blk, DataBlock{}, msg.ackCount);
+}
+
+void DirectoryCacheController::handleInv(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  CacheLine* line = array_.find(blk);
+  if (line != nullptr && mosiCanRead(line->state)) {
+    if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line->data, clock_->now());
+    line->valid = false;
+    line->state = MosiState::kI;
+    notifyCpuLost(blk, /*remoteWrite=*/true);  // invalidation
+  }
+  Message ack;
+  ack.type = MsgType::kInvAck;
+  ack.src = node_;
+  ack.dest = msg.requester;
+  ack.addr = blk;
+  send(ack);
+}
+
+void DirectoryCacheController::sendData(NodeId dest, Addr blk,
+                                        const DataBlock& d, int ackCount) {
+  Message m;
+  m.type = MsgType::kData;
+  m.src = node_;
+  m.dest = dest;
+  m.addr = blk;
+  m.hasData = true;
+  m.data = d;
+  m.ackCount = ackCount;
+  send(m);
+  stats_.inc("l2.dataSupplied");
+}
+
+void DirectoryCacheController::notifyCpuLost(Addr blk, bool remoteWrite) {
+  if (cpu_ != nullptr) cpu_->onReadPermissionLost(blk, remoteWrite);
+}
+
+void DirectoryCacheController::invalidateAll() {
+  array_.forEachValid([](CacheLine& line) {
+    line.valid = false;
+    line.state = MosiState::kI;
+  });
+  mshrs_.clear();
+  wbBuffer_.clear();
+  ++gen_;  // squash scheduled controller events from the rolled-back past
+}
+
+}  // namespace dvmc

@@ -1,0 +1,84 @@
+// Home memory controller for the MOSI directory protocol.
+//
+// A blocking directory: while a GetS/GetM transaction is in flight for a
+// block, later requests for that block queue at the home and are released
+// by the requester's Unblock message. The home forwards requests to the
+// current owner (FwdGetS / FwdGetM), sends invalidations to sharers, and
+// supplies data from memory when it is the owner. PutM writebacks are
+// accepted from the registered owner and NACKed when they race with an
+// ownership transfer (the evictor serves forwards from its writeback
+// buffer in the meantime).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "coherence/interfaces.hpp"
+#include "coherence/memory_storage.hpp"
+#include "common/error_sink.hpp"
+#include "common/stats.hpp"
+#include "net/torus.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+
+class DirectoryHome {
+ public:
+  DirectoryHome(Simulator& sim, TorusNetwork& net, NodeId node,
+                MemoryMap map, CoherenceTimings timings, ErrorSink* sink);
+
+  /// Network entry point (router dispatches home-bound messages here).
+  void onMessage(const Message& msg);
+
+  void setHomeObserver(HomeObserver* o) { homeObserver_ = o; }
+
+  MemoryStorage& memory() { return memory_; }
+  const StatSet& stats() const { return stats_; }
+
+  /// Directory introspection for tests.
+  NodeId ownerOf(Addr blk) const;
+  std::set<NodeId> sharersOf(Addr blk) const;
+  bool isBusy(Addr blk) const;
+
+  /// Number of blocks with a directory entry (MET sizing, Section 6.3).
+  std::size_t directoryEntries() const { return dir_.size(); }
+
+  /// BER recovery: caches were invalidated and memory restored; memory owns
+  /// every block again and pending transactions are squashed.
+  void resetDirectory() {
+    dir_.clear();
+    ++gen_;  // squash scheduled home events from the rolled-back past
+  }
+
+ private:
+  struct DirEntry {
+    NodeId owner = kInvalidNode;
+    std::set<NodeId> sharers;
+    bool busy = false;
+    std::deque<Message> pending;
+  };
+
+  void process(const Message& msg, DirEntry& e);
+  void handleGetS(const Message& msg, DirEntry& e);
+  void handleGetM(const Message& msg, DirEntry& e);
+  void handlePutM(const Message& msg, DirEntry& e);
+  void serviceQueue(Addr blk);
+  void sendDataFromMemory(Addr blk, NodeId dest, int ackCount);
+  void send(Message m) { net_.send(std::move(m)); }
+
+  Simulator& sim_;
+  TorusNetwork& net_;
+  NodeId node_;
+  MemoryMap map_;
+  CoherenceTimings timings_;
+  ErrorSink* sink_;
+  HomeObserver* homeObserver_ = nullptr;
+  MemoryStorage memory_;
+  std::unordered_map<Addr, DirEntry> dir_;
+  std::uint32_t gen_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,6 @@
+#include "coherence/logical_clock.hpp"
+
+// Out-of-line anchor so the vtable is emitted exactly once.
+namespace dvmc {
+// (Intentionally empty: all members are defined inline in the header.)
+}  // namespace dvmc

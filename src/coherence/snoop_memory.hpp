@@ -1,0 +1,77 @@
+// Memory controller for the MOSI snooping protocol.
+//
+// Every controller observes the totally ordered broadcast stream; this one
+// tracks, per home block, whether memory or a cache is the current owner
+// (updated purely from the snoop order, so all controllers agree), supplies
+// data when memory owns the block, and holds requests that are ordered
+// between a PutM and the arrival of its writeback data.
+//
+// The controller's CountingClock (requests processed so far) is the
+// snooping logical time base used to seed MET entries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "coherence/interfaces.hpp"
+#include "coherence/logical_clock.hpp"
+#include "coherence/memory_storage.hpp"
+#include "common/error_sink.hpp"
+#include "common/stats.hpp"
+#include "net/torus.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+
+class SnoopMemoryController {
+ public:
+  SnoopMemoryController(Simulator& sim, TorusNetwork& dataNet, NodeId node,
+                        MemoryMap map, CoherenceTimings timings,
+                        ErrorSink* sink);
+
+  /// Address-network entry: every broadcast request, in total order.
+  void onSnoop(const Message& msg);
+
+  /// Data-network entry: writeback data (kSnpWbData).
+  void onMessage(const Message& msg);
+
+  void setHomeObserver(HomeObserver* o) { homeObserver_ = o; }
+
+  MemoryStorage& memory() { return memory_; }
+  CountingClock& clock() { return clock_; }
+  const StatSet& stats() const { return stats_; }
+
+  NodeId cacheOwnerOf(Addr blk) const;
+
+  /// BER recovery: memory owns every block again.
+  void resetState() {
+    state_.clear();
+    ++gen_;
+  }
+
+ private:
+  struct HomeState {
+    NodeId ownerCache = kInvalidNode;  // kInvalidNode => memory owns
+    bool awaitingWb = false;
+    NodeId wbFrom = kInvalidNode;  // evictor whose WbData is in flight
+    std::deque<Message> waiting;  // requests memory must answer after WbData
+  };
+
+  void supplyData(Addr blk, NodeId dest);
+
+  Simulator& sim_;
+  TorusNetwork& dataNet_;
+  NodeId node_;
+  MemoryMap map_;
+  CoherenceTimings timings_;
+  ErrorSink* sink_;
+  HomeObserver* homeObserver_ = nullptr;
+  MemoryStorage memory_;
+  CountingClock clock_;
+  std::unordered_map<Addr, HomeState> state_;
+  std::uint32_t gen_ = 0;
+  StatSet stats_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,25 @@
+// Always-on invariant checking for the simulator.
+//
+// The DVMC checkers detect *injected* hardware errors; DVMC_ASSERT detects
+// *simulator* bugs. The two must not be conflated: checker detections are
+// reported through dvmc::ErrorSink, assertion failures abort the process.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DVMC_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DVMC_ASSERT failed at %s:%d: %s\n  %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DVMC_FATAL(msg)                                                      \
+  do {                                                                       \
+    std::fprintf(stderr, "DVMC_FATAL at %s:%d: %s\n", __FILE__, __LINE__,    \
+                 msg);                                                       \
+    std::abort();                                                            \
+  } while (0)

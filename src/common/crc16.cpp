@@ -1,0 +1,36 @@
+#include "common/crc16.hpp"
+
+#include <array>
+
+namespace dvmc {
+namespace {
+
+constexpr std::uint16_t kPoly = 0x1021;  // CRC-16/CCITT
+
+constexpr std::array<std::uint16_t, 256> makeTable() {
+  std::array<std::uint16_t, 256> t{};
+  for (unsigned i = 0; i < 256; ++i) {
+    std::uint16_t c = static_cast<std::uint16_t>(i << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 0x8000) ? static_cast<std::uint16_t>((c << 1) ^ kPoly)
+                       : static_cast<std::uint16_t>(c << 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = makeTable();
+
+}  // namespace
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = static_cast<std::uint16_t>((crc << 8) ^
+                                     kTable[((crc >> 8) ^ data[i]) & 0xFF]);
+  }
+  return crc;
+}
+
+}  // namespace dvmc

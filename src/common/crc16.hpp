@@ -1,0 +1,25 @@
+// CRC-16 block hashing (Section 4.3, "Data Block Hashing").
+//
+// The paper hashes 64-byte data blocks down to 16 bits with CRC-16 before
+// storing them in the CET/MET and shipping them in Inform-Epoch messages.
+// CRC-16 guarantees detection of any corruption touching fewer than 16 bits
+// of a block; blocks with >=16 erroneous bits alias with probability
+// ~1/65535. We use the CCITT polynomial (0x1021), table-driven.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/data_block.hpp"
+
+namespace dvmc {
+
+/// Raw CRC-16/CCITT over an arbitrary byte range (init 0xFFFF).
+std::uint16_t crc16(const std::uint8_t* data, std::size_t len);
+
+/// Convenience: hash of a whole coherence block.
+inline std::uint16_t hashBlock(const DataBlock& b) {
+  return crc16(b.data(), kBlockSizeBytes);
+}
+
+}  // namespace dvmc

@@ -1,0 +1,24 @@
+#include "common/data_block.hpp"
+
+namespace dvmc {
+
+std::uint64_t DataBlock::read(std::size_t offset, std::size_t size) const {
+  DVMC_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+              "unsupported access size");
+  DVMC_ASSERT(offset % size == 0, "unaligned access");
+  DVMC_ASSERT(offset + size <= kBlockSizeBytes, "access crosses block");
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes_.data() + offset, size);
+  return v;
+}
+
+void DataBlock::write(std::size_t offset, std::size_t size,
+                      std::uint64_t value) {
+  DVMC_ASSERT(size == 1 || size == 2 || size == 4 || size == 8,
+              "unsupported access size");
+  DVMC_ASSERT(offset % size == 0, "unaligned access");
+  DVMC_ASSERT(offset + size <= kBlockSizeBytes, "access crosses block");
+  std::memcpy(bytes_.data() + offset, &value, size);
+}
+
+}  // namespace dvmc

@@ -1,0 +1,46 @@
+// A 64-byte coherence block holding real data.
+//
+// The simulator carries actual data values end to end (through caches,
+// write buffers, network messages, and memory) so that the Uniprocessor
+// Ordering checker can replay loads against real values and the Cache
+// Coherence checker can hash block contents, exactly as the paper's
+// hardware would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace dvmc {
+
+class DataBlock {
+ public:
+  DataBlock() { bytes_.fill(0); }
+
+  /// Reads a naturally-aligned value of `size` bytes (1, 2, 4, or 8) at the
+  /// given offset within the block.
+  std::uint64_t read(std::size_t offset, std::size_t size) const;
+
+  /// Writes a naturally-aligned value of `size` bytes at the given offset.
+  void write(std::size_t offset, std::size_t size, std::uint64_t value);
+
+  /// Flips a single bit (used by the fault injector).
+  void flipBit(std::size_t bitIndex) {
+    DVMC_ASSERT(bitIndex < kBlockSizeBytes * 8, "bit index out of range");
+    bytes_[bitIndex / 8] ^= static_cast<std::uint8_t>(1u << (bitIndex % 8));
+  }
+
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::uint8_t* data() { return bytes_.data(); }
+
+  bool operator==(const DataBlock& o) const { return bytes_ == o.bytes_; }
+  bool operator!=(const DataBlock& o) const { return !(*this == o); }
+
+ private:
+  std::array<std::uint8_t, kBlockSizeBytes> bytes_;
+};
+
+}  // namespace dvmc

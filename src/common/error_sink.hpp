@@ -1,0 +1,63 @@
+// Central sink for error detections.
+//
+// Every DVMC checker (and the ECC machinery) reports detections here rather
+// than acting on them directly; the system layer decides whether to trigger
+// backward error recovery. Keeping detection and reaction separate mirrors
+// the paper's architecture, where checkers raise an error signal and
+// SafetyNet performs the recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dvmc {
+
+enum class CheckerKind : std::uint8_t {
+  kUniprocessorOrdering,
+  kAllowableReordering,
+  kCacheCoherence,
+  kEcc,
+  kLostOperation,
+  kOther,
+};
+
+const char* checkerKindName(CheckerKind k);
+
+struct Detection {
+  CheckerKind kind;
+  Cycle cycle;
+  NodeId node;
+  Addr addr;
+  std::string what;
+};
+
+class ErrorSink {
+ public:
+  void report(Detection d) { detections_.push_back(std::move(d)); }
+
+  bool any() const { return !detections_.empty(); }
+  std::size_t count() const { return detections_.size(); }
+  const std::vector<Detection>& detections() const { return detections_; }
+  const Detection& first() const { return detections_.front(); }
+  void clear() { detections_.clear(); }
+
+ private:
+  std::vector<Detection> detections_;
+};
+
+inline const char* checkerKindName(CheckerKind k) {
+  switch (k) {
+    case CheckerKind::kUniprocessorOrdering: return "UniprocessorOrdering";
+    case CheckerKind::kAllowableReordering: return "AllowableReordering";
+    case CheckerKind::kCacheCoherence: return "CacheCoherence";
+    case CheckerKind::kEcc: return "ECC";
+    case CheckerKind::kLostOperation: return "LostOperation";
+    case CheckerKind::kOther: return "Other";
+  }
+  return "?";
+}
+
+}  // namespace dvmc

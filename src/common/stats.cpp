@@ -1,0 +1,33 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace dvmc {
+
+void LatencyHistogram::add(std::uint64_t v) {
+  std::size_t bucket = 0;
+  std::uint64_t bound = 1;
+  while (bound < v && bucket < 63) {
+    bound <<= 1;
+    ++bucket;
+  }
+  if (buckets_.size() <= bucket) buckets_.resize(bucket + 1, 0);
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += v;
+  if (v > max_) max_ = v;
+}
+
+std::string LatencyHistogram::toString() const {
+  std::ostringstream os;
+  std::uint64_t bound = 1;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      os << "<=" << bound << ":" << buckets_[i] << " ";
+    }
+    bound <<= 1;
+  }
+  return os.str();
+}
+
+}  // namespace dvmc

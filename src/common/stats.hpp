@@ -1,0 +1,82 @@
+// Lightweight statistics primitives used across the simulator: counters,
+// running mean/stddev accumulators (for the paper's ten-perturbation error
+// bars), and fixed-bucket histograms (detection-latency distributions).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dvmc {
+
+/// Welford running mean / standard deviation accumulator.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  void addTracked(double x) {
+    add(x);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A histogram over power-of-two latency buckets.
+class LatencyHistogram {
+ public:
+  void add(std::uint64_t v);
+  std::uint64_t count() const { return count_; }
+  std::uint64_t maxValue() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::string toString() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Named counter bag; used for per-component event statistics.
+class StatSet {
+ public:
+  void inc(const std::string& name, std::uint64_t by = 1) {
+    counters_[name] += by;
+  }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,38 @@
+// Wraparound-safe 16-bit logical time (Section 4.3, "Logical Time").
+//
+// The paper stores logical times in 16 bits to bound storage and message
+// size, and scrubs stale timestamps before they can wrap. Comparisons use
+// modular arithmetic: `a` is considered before `b` when the signed distance
+// (b - a) mod 2^16 is positive. This is valid as long as live timestamps
+// never span more than half the wheel (2^15 ticks), which the scrub FIFOs
+// guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace dvmc {
+
+/// A 16-bit wrapping logical timestamp.
+using LTime16 = std::uint16_t;
+
+/// True if a occurred strictly before b on the wrapping wheel.
+constexpr bool ltimeBefore(LTime16 a, LTime16 b) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(b - a)) > 0;
+}
+
+/// True if a occurred before or at b.
+constexpr bool ltimeBeforeEq(LTime16 a, LTime16 b) {
+  return a == b || ltimeBefore(a, b);
+}
+
+/// Wrapping distance from a to b (how far b is ahead of a).
+constexpr std::uint16_t ltimeDistance(LTime16 a, LTime16 b) {
+  return static_cast<std::uint16_t>(b - a);
+}
+
+/// Truncates a wide logical time to the 16-bit wire/storage format.
+constexpr LTime16 ltimeTruncate(std::uint64_t wide) {
+  return static_cast<LTime16>(wide & 0xFFFF);
+}
+
+}  // namespace dvmc

@@ -1,0 +1,54 @@
+// Supported memory consistency models.
+//
+// SPARC v9 permits runtime switching between TSO, PSO, and RMO; the
+// simulated systems additionally support SC as the most restrictive
+// baseline. Code compiled for 32-bit SPARC v8 assumes TSO, so under PSO or
+// RMO any 32-bit memory operation is executed (and checked) under TSO —
+// the effectiveModel() helper implements that rule (Section 5, Table 8).
+#pragma once
+
+#include <cstdint>
+
+namespace dvmc {
+
+enum class ConsistencyModel : std::uint8_t { kSC, kTSO, kPSO, kRMO };
+
+inline const char* modelName(ConsistencyModel m) {
+  switch (m) {
+    case ConsistencyModel::kSC: return "SC";
+    case ConsistencyModel::kTSO: return "TSO";
+    case ConsistencyModel::kPSO: return "PSO";
+    case ConsistencyModel::kRMO: return "RMO";
+  }
+  return "?";
+}
+
+/// The model a given instruction executes under: 32-bit (v8) code always
+/// runs TSO; 64-bit code runs the system's configured model.
+inline ConsistencyModel effectiveModel(ConsistencyModel system,
+                                       bool is32Bit) {
+  if (is32Bit &&
+      (system == ConsistencyModel::kPSO || system == ConsistencyModel::kRMO)) {
+    return ConsistencyModel::kTSO;
+  }
+  return system;
+}
+
+/// True if the model requires loads to appear to perform in program order
+/// (loads perform at the verification stage and load-order speculation must
+/// be tracked — Section 4.1).
+inline bool modelOrdersLoads(ConsistencyModel m) {
+  return m != ConsistencyModel::kRMO;
+}
+
+/// True if the model lets the write buffer retire stores out of order.
+inline bool modelAllowsStoreReorder(ConsistencyModel m) {
+  return m == ConsistencyModel::kPSO || m == ConsistencyModel::kRMO;
+}
+
+/// True if the model allows a store->load bypass (store buffer at all).
+inline bool modelAllowsWriteBuffer(ConsistencyModel m) {
+  return m != ConsistencyModel::kSC;
+}
+
+}  // namespace dvmc

@@ -1,0 +1,50 @@
+// Memory operation types and SPARC v9 membar masks.
+//
+// The ordering tables (and hence the Allowable Reordering checker) only
+// distinguish loads, stores, atomics (which carry both load and store
+// ordering obligations), and memory barriers. SPARC's Membar instruction
+// carries a 4-bit mask selecting which orderings it enforces; Stbar is
+// encoded as Membar #StoreStore, exactly as the paper notes under Table 3.
+#pragma once
+
+#include <cstdint>
+
+namespace dvmc {
+
+enum class OpType : std::uint8_t {
+  kLoad,
+  kStore,
+  kAtomic,  // read-modify-write (swap / cas): load + store semantics
+  kMembar,  // memory barrier with a 4-bit ordering mask
+};
+
+const char* opTypeName(OpType t);
+
+/// SPARC v9 mmask bits (in instruction-encoding order).
+namespace membar {
+inline constexpr std::uint8_t kLoadLoad = 0x1;    // #LoadLoad
+inline constexpr std::uint8_t kStoreLoad = 0x2;   // #StoreLoad
+inline constexpr std::uint8_t kLoadStore = 0x4;   // #LoadStore
+inline constexpr std::uint8_t kStoreStore = 0x8;  // #StoreStore
+inline constexpr std::uint8_t kAll = 0xF;
+inline constexpr std::uint8_t kStbar = kStoreStore;  // Stbar == Membar #SS
+}  // namespace membar
+
+inline const char* opTypeName(OpType t) {
+  switch (t) {
+    case OpType::kLoad: return "Load";
+    case OpType::kStore: return "Store";
+    case OpType::kAtomic: return "Atomic";
+    case OpType::kMembar: return "Membar";
+  }
+  return "?";
+}
+
+inline bool isLoadLike(OpType t) {
+  return t == OpType::kLoad || t == OpType::kAtomic;
+}
+inline bool isStoreLike(OpType t) {
+  return t == OpType::kStore || t == OpType::kAtomic;
+}
+
+}  // namespace dvmc

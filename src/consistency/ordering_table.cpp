@@ -1,0 +1,115 @@
+#include "consistency/ordering_table.hpp"
+
+#include <sstream>
+
+namespace dvmc {
+
+namespace {
+using membar::kAll;
+using membar::kLoadLoad;
+using membar::kLoadStore;
+using membar::kStoreLoad;
+using membar::kStoreStore;
+
+// Membar rows/columns are identical in every model: a membar orders
+// against earlier loads when it carries #LL or #LS, against earlier stores
+// when it carries #SL or #SS, against later loads when it carries #LL or
+// #SL, and against later stores when it carries #LS or #SS (paper Table 4).
+constexpr std::uint8_t kLoadBeforeMembar = kLoadLoad | kLoadStore;
+constexpr std::uint8_t kStoreBeforeMembar = kStoreLoad | kStoreStore;
+constexpr std::uint8_t kMembarBeforeLoad = kLoadLoad | kStoreLoad;
+constexpr std::uint8_t kMembarBeforeStore = kLoadStore | kStoreStore;
+}  // namespace
+
+OrderingTable OrderingTable::forModel(ConsistencyModel m) {
+  OrderingTable t;
+  t.model_ = m;
+  auto& e = t.entries_;
+  const auto L = idx(OpClass::kLoad);
+  const auto S = idx(OpClass::kStore);
+  const auto M = idx(OpClass::kMembar);
+
+  // Membar rows/columns are model-independent.
+  e[L][M] = kLoadBeforeMembar;
+  e[S][M] = kStoreBeforeMembar;
+  e[M][L] = kMembarBeforeLoad;
+  e[M][S] = kMembarBeforeStore;
+  e[M][M] = 0;
+
+  switch (m) {
+    case ConsistencyModel::kSC:
+      e[L][L] = kAll;
+      e[L][S] = kAll;
+      e[S][L] = kAll;
+      e[S][S] = kAll;
+      break;
+    case ConsistencyModel::kTSO:  // Table 2
+      e[L][L] = kAll;
+      e[L][S] = kAll;
+      e[S][L] = 0;
+      e[S][S] = kAll;
+      break;
+    case ConsistencyModel::kPSO:  // Table 3 (Stbar == Membar #SS)
+      e[L][L] = kAll;
+      e[L][S] = kAll;
+      e[S][L] = 0;
+      e[S][S] = 0;
+      break;
+    case ConsistencyModel::kRMO:  // Table 4
+      e[L][L] = 0;
+      e[L][S] = 0;
+      e[S][L] = 0;
+      e[S][S] = 0;
+      break;
+  }
+  return t;
+}
+
+bool OrderingTable::requiresOrder(OpType x, std::uint8_t maskX, OpType y,
+                                  std::uint8_t maskY) const {
+  const std::uint8_t mx = (x == OpType::kMembar) ? maskX : kAll;
+  const std::uint8_t my = (y == OpType::kMembar) ? maskY : kAll;
+
+  auto classesOf = [](OpType t) -> std::array<OpClass, 2> {
+    switch (t) {
+      case OpType::kLoad: return {OpClass::kLoad, OpClass::kLoad};
+      case OpType::kStore: return {OpClass::kStore, OpClass::kStore};
+      case OpType::kAtomic: return {OpClass::kLoad, OpClass::kStore};
+      case OpType::kMembar: return {OpClass::kMembar, OpClass::kMembar};
+    }
+    return {OpClass::kLoad, OpClass::kLoad};
+  };
+
+  for (OpClass cx : classesOf(x)) {
+    for (OpClass cy : classesOf(y)) {
+      if (classOrder(cx, mx, cy, my)) return true;
+    }
+  }
+  return false;
+}
+
+std::string OrderingTable::toString() const {
+  static const char* names[] = {"Load", "Store", "Membar"};
+  std::ostringstream os;
+  os << modelName(model_) << " ordering table\n";
+  os << "            Load   Store  Membar\n";
+  for (std::size_t r = 0; r < kNumOpClasses; ++r) {
+    os << "  " << names[r];
+    for (std::size_t pad = 0; pad < 8 - std::string(names[r]).size(); ++pad)
+      os << ' ';
+    for (std::size_t c = 0; c < kNumOpClasses; ++c) {
+      const std::uint8_t v = entries_[r][c];
+      if (v == 0) {
+        os << "  false ";
+      } else if (v == membar::kAll) {
+        os << "  true  ";
+      } else {
+        os << "  0x" << std::hex << static_cast<int>(v) << std::dec << "   ";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dvmc

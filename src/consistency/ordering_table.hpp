@@ -1,0 +1,65 @@
+// Ordering tables (paper Tables 1-4).
+//
+// A consistency model is specified as a table indexed by (first operation
+// class, second operation class). Every entry is a 4-bit membar mask; plain
+// boolean entries are encoded as 0xF (true) / 0x0 (false), and non-membar
+// operations carry an implicit instruction mask of 0xF. An ordering
+// constraint exists between X (earlier in program order) and Y iff
+//
+//     entry[class(X)][class(Y)] & mask(X) & mask(Y) != 0
+//
+// which reproduces the paper's rule "compute the logical AND between the
+// mask in the instruction and the mask in the table; if the result is
+// non-zero, ordering is required". Atomics are checked as both load and
+// store (the OR over their constituent classes).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "consistency/model.hpp"
+#include "consistency/op.hpp"
+
+namespace dvmc {
+
+/// Row/column index of the ordering table.
+enum class OpClass : std::uint8_t { kLoad = 0, kStore = 1, kMembar = 2 };
+inline constexpr std::size_t kNumOpClasses = 3;
+
+class OrderingTable {
+ public:
+  /// Builds the table for a given model (paper Tables 1-4; SC = all true).
+  static OrderingTable forModel(ConsistencyModel m);
+
+  /// Raw entry (a 4-bit mask; 0xF for plain "true", 0 for "false").
+  std::uint8_t entry(OpClass first, OpClass second) const {
+    return entries_[idx(first)][idx(second)];
+  }
+
+  /// Does an ordering constraint exist between an earlier operation of
+  /// type `x` (with membar mask `maskX`, ignored unless x is a membar) and
+  /// a later operation of type `y`? Atomics expand to load|store.
+  bool requiresOrder(OpType x, std::uint8_t maskX, OpType y,
+                     std::uint8_t maskY) const;
+
+  /// Class-level query used by the Allowable Reordering checker: constraint
+  /// between class `first` (instruction mask maskFirst) and class `second`
+  /// (instruction mask maskSecond).
+  bool classOrder(OpClass first, std::uint8_t maskFirst, OpClass second,
+                  std::uint8_t maskSecond) const {
+    return (entry(first, second) & maskFirst & maskSecond) != 0;
+  }
+
+  ConsistencyModel model() const { return model_; }
+  std::string toString() const;
+
+ private:
+  static std::size_t idx(OpClass c) { return static_cast<std::size_t>(c); }
+
+  ConsistencyModel model_ = ConsistencyModel::kSC;
+  std::array<std::array<std::uint8_t, kNumOpClasses>, kNumOpClasses>
+      entries_{};
+};
+
+}  // namespace dvmc

@@ -1,0 +1,948 @@
+#include "cpu/core.hpp"
+
+#include <optional>
+
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+dvmc::Addr traceWord() {
+  static const dvmc::Addr a = [] {
+    const char* env = std::getenv("DVMC_TRACE_WORD");
+    return env ? std::strtoull(env, nullptr, 0) : 0ULL;
+  }();
+  return a;
+}
+#define TRACEW(addr, fmt, ...)                                            \
+  do {                                                                    \
+    if (traceWord() != 0 && ((addr) & ~dvmc::Addr{7}) == traceWord()) {   \
+      std::fprintf(stderr, fmt "\n", __VA_ARGS__);                       \
+    }                                                                     \
+  } while (0)
+}  // namespace
+
+namespace dvmc {
+
+namespace {
+constexpr std::uint8_t kLoadFirstBits = membar::kLoadLoad | membar::kLoadStore;
+constexpr std::uint8_t kStoreFirstBits =
+    membar::kStoreLoad | membar::kStoreStore;
+constexpr std::uint8_t kLoadAfterBits = membar::kLoadLoad | membar::kStoreLoad;
+}  // namespace
+
+Core::Core(Simulator& sim, NodeId node, ConsistencyModel model, CpuConfig cfg,
+           CacheHierarchy& mem, std::unique_ptr<ThreadProgram> program,
+           ErrorSink* sink, VerificationCache* vc, ReorderChecker* ar,
+           const DvmcConfig& dvmc)
+    : sim_(sim),
+      node_(node),
+      model_(model),
+      cfg_(cfg),
+      mem_(mem),
+      program_(std::move(program)),
+      sink_(sink),
+      vc_(vc),
+      ar_(ar),
+      dvmc_(dvmc),
+      lastDispatchModel_(model) {
+  for (int m = 0; m < 4; ++m) {
+    tables_[m] = OrderingTable::forModel(static_cast<ConsistencyModel>(m));
+  }
+  mem_.setCpuNotifier(this);
+}
+
+const OrderingTable& Core::tableFor(ConsistencyModel m) const {
+  return tables_[static_cast<int>(m)];
+}
+
+void Core::start() {
+  if (started_) return;
+  started_ = true;
+  wakeIn(1);
+  if (ar_ != nullptr) {
+    // Artificial membar injection for lost-operation detection (§4.2).
+    sim_.schedule(dvmc_.membarInjectionPeriod, [this] { injectTick(); });
+  }
+}
+
+void Core::injectTick() {
+  if (ar_ == nullptr) return;
+  ar_->injectCheckpointMembar();
+  // Pipeline-hang watchdog: a core that retires nothing across a whole
+  // injection period while holding instructions has lost an operation
+  // pre-commit (e.g., a dropped data response stranded a load).
+  if (retiredCount_ == lastRetiredAtInject_ && !rob_.empty()) {
+    if (sink_ != nullptr) {
+      sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
+                     rob_.front().seq, "pipeline made no progress"});
+    }
+    stats_.inc("cpu.hangDetections");
+  }
+  lastRetiredAtInject_ = retiredCount_;
+  if (!done()) {
+    sim_.schedule(dvmc_.membarInjectionPeriod, [this] { injectTick(); });
+  }
+}
+
+bool Core::injectWbValueFault(std::uint64_t rand) {
+  std::vector<WbEntry*> candidates;
+  for (WbEntry& w : wb_) {
+    if (!w.inFlight) candidates.push_back(&w);
+  }
+  if (candidates.empty()) return false;
+  WbEntry& w = *candidates[rand % candidates.size()];
+  w.value ^= (1ull << ((rand / candidates.size()) % 64));
+  return true;
+}
+
+bool Core::done() const {
+  return program_->finished() && rob_.empty() && wb_.empty() &&
+         replayQueue_.empty() && outstandingStores_ == 0;
+}
+
+void Core::wake() {
+  if (tickArmed_) return;
+  tickArmed_ = true;
+  sim_.schedule(1, [this, gen = restartGen_] {
+    tickArmed_ = false;
+    if (gen != restartGen_) return;
+    tick();
+  });
+}
+
+void Core::wakeIn(Cycle d) {
+  sim_.schedule(d == 0 ? 1 : d, [this, gen = restartGen_] {
+    if (gen != restartGen_) return;
+    wake();
+  });
+}
+
+Core::RobEntry* Core::entryBySeq(SeqNum seq) {
+  if (rob_.empty()) return nullptr;
+  const SeqNum head = rob_.front().seq;
+  if (seq < head || seq >= head + rob_.size()) return nullptr;
+  return &rob_[static_cast<std::size_t>(seq - head)];
+}
+
+void Core::tick() {
+  phaseRetire();
+  phaseGate();
+  drainWriteBuffer();
+  phaseExecute();
+  phaseDispatch();
+
+  // Re-arm when there is cycle-driven work left; callback-driven work
+  // (cache ops in flight) wakes the core itself.
+  bool pollable = false;
+  for (const RobEntry& e : rob_) {
+    if (e.st == St::kDispatched || e.st == St::kExecuted ||
+        e.st == St::kGateDone || e.st == St::kVerified) {
+      pollable = true;
+      break;
+    }
+  }
+  if (!pollable && !wb_.empty()) {
+    for (const WbEntry& w : wb_) {
+      if (!w.inFlight) {
+        pollable = true;
+        break;
+      }
+    }
+  }
+  if (!pollable && rob_.size() < cfg_.robSize &&
+      (!replayQueue_.empty() ||
+       (!program_->finished() && !dispatchBlocked_))) {
+    pollable = true;
+  }
+  if (pollable) wake();
+}
+
+// --------------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------------
+
+void Core::phaseDispatch() {
+  for (std::size_t n = 0; n < cfg_.width; ++n) {
+    if (rob_.size() >= cfg_.robSize) {
+      stats_.inc("cpu.robFullStalls");
+      return;
+    }
+    std::optional<Instr> inst;
+    if (!replayQueue_.empty()) {
+      // Post-recovery: re-execute the work that was in flight at the
+      // checkpoint before pulling new instructions from the program.
+      inst = replayQueue_.front();
+      replayQueue_.pop_front();
+    } else {
+      inst = program_->next();
+    }
+    if (!inst) {
+      dispatchBlocked_ = pendingTokens_ > 0;
+      return;
+    }
+    RobEntry e;
+    e.inst = *inst;
+    e.seq = nextSeq_++;
+    e.model = effectiveModel(model_, inst->is32Bit);
+    e.modeSwitch = (e.model != lastDispatchModel_);
+    lastDispatchModel_ = e.model;
+    if (inst->token != 0) ++pendingTokens_;
+    rob_.push_back(e);
+    stats_.inc("cpu.dispatched");
+  }
+}
+
+// --------------------------------------------------------------------------
+// Execute
+// --------------------------------------------------------------------------
+
+bool Core::allOlderVerified(const RobEntry& e) const {
+  for (const RobEntry& o : rob_) {
+    if (o.seq >= e.seq) break;
+    if (o.st != St::kVerified) return false;
+  }
+  return true;
+}
+
+bool Core::atomicMayExecute(const RobEntry& e) const {
+  return allOlderVerified(e) && outstandingStores_ == 0 && wb_.empty();
+}
+
+std::optional<std::uint64_t> Core::forwardFromPipeline(
+    const RobEntry& e) const {
+  const Addr word = e.inst.addr & ~Addr{7};
+  // Youngest older store in the ROB wins over anything in the write buffer.
+  for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+    if (it->seq >= e.seq) continue;
+    if ((it->inst.kind == Instr::Kind::kStore ||
+         it->inst.kind == Instr::Kind::kSwap) &&
+        (it->inst.addr & ~Addr{7}) == word) {
+      return it->inst.value;
+    }
+    if (it->inst.kind == Instr::Kind::kCas &&
+        (it->inst.addr & ~Addr{7}) == word && !it->performedAtExec) {
+      // An unresolved CAS to the same word: its effect is unknowable, so
+      // the load cannot execute yet (handled by the caller as a stall).
+      // A performed CAS's effect is already in the cache.
+      return std::nullopt;
+    }
+  }
+  for (auto it = wb_.rbegin(); it != wb_.rend(); ++it) {
+    if ((it->addr & ~Addr{7}) == word) return it->value;
+  }
+  return std::nullopt;
+}
+
+void Core::phaseExecute() {
+  // Promote finished latency-based executions first.
+  for (RobEntry& e : rob_) {
+    if (e.st == St::kIssued && e.readyAt != 0 && sim_.now() >= e.readyAt) {
+      e.readyAt = 0;
+      if (e.squashPending) {
+        // A remote write invalidated the block this (forwarded) load read
+        // from while its execute latency elapsed: re-execute.
+        e.squashPending = false;
+        ++e.gen;
+        e.st = St::kDispatched;
+        stats_.inc("cpu.loadSquashRestart");
+        continue;
+      }
+      e.st = St::kExecuted;
+      if (e.performedAtExec) {
+        // Forwarded RMO load: it performs now.
+        if (vc_ != nullptr) vc_->parkLoadValue(e.inst.addr, 8, e.execValue);
+        performEvent(e);
+      }
+    }
+  }
+
+  std::size_t issued = 0;
+  for (std::size_t i = 0; i < rob_.size() && issued < cfg_.width; ++i) {
+    RobEntry& e = rob_[i];
+    // A pending consistency-model switch drains the pipeline: nothing
+    // younger executes until the switch instruction itself may run.
+    if (e.modeSwitch && e.st == St::kDispatched &&
+        !(allOlderVerified(e) && outstandingStores_ == 0 && wb_.empty())) {
+      return;
+    }
+    if (e.st != St::kDispatched) continue;
+    issueExecute(e);
+    if (e.st != St::kDispatched) ++issued;
+  }
+}
+
+void Core::issueExecute(RobEntry& e) {
+  switch (e.inst.kind) {
+    case Instr::Kind::kCompute:
+      e.st = St::kIssued;
+      e.readyAt = sim_.now() + e.inst.latency;
+      wakeIn(e.inst.latency);
+      return;
+    case Instr::Kind::kMembar:
+      e.st = St::kExecuted;
+      return;
+    case Instr::Kind::kStore:
+      e.st = St::kIssued;
+      e.readyAt = sim_.now() + 1;
+      wakeIn(1);
+      if (cfg_.storePrefetch && !e.prefetched) {
+        e.prefetched = true;
+        CacheOp pf;
+        pf.kind = CacheOp::Kind::kPrefetchM;
+        pf.addr = e.inst.addr;
+        mem_.access(pf, nullptr);
+        stats_.inc("cpu.storePrefetch");
+      }
+      return;
+    case Instr::Kind::kLoad:
+      executeLoad(e);
+      return;
+    case Instr::Kind::kSwap:
+    case Instr::Kind::kCas:
+      if (atomicMayExecute(e)) executeAtomic(e);
+      return;
+  }
+}
+
+void Core::executeLoad(RobEntry& e) {
+  const bool rmoLoad = (e.model == ConsistencyModel::kRMO);
+  if (rmoLoad) {
+    // RMO loads perform at execute: they must wait for older unverified
+    // membars that order loads after themselves (#LL / #SL).
+    for (const RobEntry& o : rob_) {
+      if (o.seq >= e.seq) break;
+      if (o.st == St::kVerified) continue;
+      if (o.inst.kind == Instr::Kind::kMembar &&
+          (o.inst.membarMask & kLoadAfterBits) != 0) {
+        return;  // stall; retried next tick
+      }
+    }
+  }
+
+  // Stall behind an unresolved older CAS on the same word: neither
+  // forwarding nor the cache can supply the post-CAS value yet. (Atomics
+  // execute only when all older work is verified, so this resolves fast.)
+  for (const RobEntry& o : rob_) {
+    if (o.seq >= e.seq) break;
+    if (o.inst.kind == Instr::Kind::kCas && !o.performedAtExec &&
+        (o.inst.addr & ~Addr{7}) == (e.inst.addr & ~Addr{7})) {
+      return;
+    }
+  }
+  if (auto fwd = forwardFromPipeline(e)) {
+    e.st = St::kIssued;
+    e.execValue = *fwd;
+    TRACEW(e.inst.addr, "[%llu] n%u load fwd seq=%llu val=%llx",
+           (unsigned long long)sim_.now(), node_,
+           (unsigned long long)e.seq, (unsigned long long)*fwd);
+    if (loadFaultArmed_) {
+      loadFaultArmed_ = false;
+      e.execValue ^= 0x80;  // injected LSQ forwarding corruption
+      stats_.inc("cpu.injectedLoadFaults");
+    }
+    e.readyAt = sim_.now() + 1;
+    e.performedAtExec = rmoLoad;
+    stats_.inc("cpu.loadForwarded");
+    wakeIn(1);
+    return;
+  }
+
+  e.st = St::kIssued;
+  e.readyAt = 0;
+  CacheOp op;
+  op.kind = CacheOp::Kind::kLoad;
+  op.addr = e.inst.addr;
+  // Ordered-load models perform loads at the verification stage; RMO loads
+  // perform here. Without DVUO there is no replay, so the CET rule-1 check
+  // fires on the execution access.
+  op.countsAsPerform = rmoLoad || vc_ == nullptr;
+  stats_.inc("cpu.loadIssued");
+  mem_.access(op, [this, seq = e.seq, gen = e.gen, rgen = restartGen_,
+                   rmoLoad](const CacheOpResult& r) {
+    if (rgen != restartGen_) return;
+    RobEntry* e2 = entryBySeq(seq);
+    if (e2 == nullptr || e2->gen != gen) return;
+    if (e2->squashPending) {
+      e2->squashPending = false;
+      ++e2->gen;
+      e2->st = St::kDispatched;  // re-execute
+      stats_.inc("cpu.loadSquashRestart");
+      wake();
+      return;
+    }
+    e2->execValue = r.value;
+    TRACEW(e2->inst.addr, "[%llu] n%u load exec seq=%llu val=%llx",
+           (unsigned long long)sim_.now(), node_,
+           (unsigned long long)e2->seq, (unsigned long long)r.value);
+    if (loadFaultArmed_) {
+      loadFaultArmed_ = false;
+      e2->execValue ^= 0x80;  // injected LSQ/forwarding corruption
+      stats_.inc("cpu.injectedLoadFaults");
+    }
+    e2->st = St::kExecuted;
+    if (rmoLoad) {
+      e2->performedAtExec = true;
+      if (vc_ != nullptr) vc_->parkLoadValue(e2->inst.addr, 8, r.value);
+      performEvent(*e2);
+    }
+    wake();
+  });
+}
+
+void Core::executeAtomic(RobEntry& e) {
+  e.st = St::kIssued;
+  CacheOp op;
+  op.kind = e.inst.kind == Instr::Kind::kCas ? CacheOp::Kind::kAtomicCas
+                                             : CacheOp::Kind::kAtomicSwap;
+  op.addr = e.inst.addr;
+  op.value = e.inst.value;
+  op.compare = e.inst.compare;
+  op.countsAsPerform = true;
+  stats_.inc("cpu.atomics");
+  mem_.access(op, [this, seq = e.seq, gen = e.gen,
+                   rgen = restartGen_](const CacheOpResult& r) {
+    if (rgen != restartGen_) return;
+    RobEntry* e2 = entryBySeq(seq);
+    if (e2 == nullptr || e2->gen != gen) return;
+    e2->execValue = r.value;
+    e2->st = St::kExecuted;
+    e2->performedAtExec = true;
+    if (vc_ != nullptr) vc_->parkLoadValue(e2->inst.addr, 8, r.value);
+    performEvent(*e2);
+    wake();
+  });
+}
+
+// --------------------------------------------------------------------------
+// In-order gate (commit + verification stage)
+// --------------------------------------------------------------------------
+
+void Core::phaseGate() {
+  // Pass 1: promote in program order everything whose gate work finished.
+  while (!rob_.empty()) {
+    bool promoted = false;
+    for (RobEntry& e : rob_) {
+      if (e.st == St::kVerified) continue;
+      if (e.st == St::kGateDone) {
+        finishGate(e);
+        promoted = true;
+        continue;
+      }
+      break;  // first entry still working: stop promoting
+    }
+    if (!promoted) break;
+  }
+
+  // Pass 2: admit executed entries into the gate, in order, allowing
+  // parallel replays (different instructions verify concurrently as long
+  // as serializing operations wait for all older work).
+  std::size_t inGate = 0;
+  for (RobEntry& e : rob_) {
+    if (inGate >= cfg_.width) break;
+    switch (e.st) {
+      case St::kVerified:
+      case St::kGateDone:
+        continue;
+      case St::kGateIssued:
+        if (e.inst.kind == Instr::Kind::kStore) {
+          // An SC store performing at the gate: nothing younger may enter
+          // (Store -> Load ordering — a younger replay reading the cache
+          // before the store performs would observe the pre-store value).
+          return;
+        }
+        ++inGate;
+        continue;
+      case St::kExecuted:
+        gateEntry(e);
+        if (e.st == St::kGateIssued) {
+          if (e.inst.kind == Instr::Kind::kStore) return;  // SC store
+          ++inGate;
+        }
+        if (e.st == St::kExecuted) return;  // stalled: keep order
+        continue;
+      default:
+        return;  // not yet executed: in-order gate stops here
+    }
+  }
+}
+
+void Core::gateEntry(RobEntry& e) {
+  switch (e.inst.kind) {
+    case Instr::Kind::kCompute:
+      e.st = St::kGateDone;
+      return;
+
+    case Instr::Kind::kMembar: {
+      // A membar ordering stores before itself cannot pass until all older
+      // stores performed (this is what makes Membar #StoreLoad / Stbar
+      // expensive); it is also a serializing AR perform event.
+      if ((e.inst.membarMask & kStoreFirstBits) != 0 &&
+          outstandingStores_ != 0) {
+        stats_.inc("cpu.membarStalls");
+        return;  // stall
+      }
+      if (!allOlderVerified(e)) return;
+      e.st = St::kGateDone;
+      return;
+    }
+
+    case Instr::Kind::kStore: {
+      if (e.model == ConsistencyModel::kSC) {
+        // SC: no write buffer — the store performs right here, stalling
+        // the gate until the write is globally visible.
+        if (!allOlderVerified(e)) return;
+        e.st = St::kGateIssued;
+        ++outstandingStores_;
+        CacheOp op;
+        op.kind = CacheOp::Kind::kStore;
+        op.addr = e.inst.addr;
+        op.value = e.inst.value;
+        op.countsAsPerform = true;
+        stats_.inc("cpu.scStores");
+        TRACEW(e.inst.addr, "[%llu] n%u SC store issued seq=%llu val=%llx",
+               (unsigned long long)sim_.now(), node_,
+               (unsigned long long)e.seq, (unsigned long long)e.inst.value);
+        mem_.access(op, [this, seq = e.seq, gen = e.gen, rgen = restartGen_](
+                            const CacheOpResult&) {
+          if (rgen != restartGen_) return;
+          --outstandingStores_;
+          RobEntry* e2 = entryBySeq(seq);
+          if (e2 == nullptr || e2->gen != gen) return;
+          if (ar_ != nullptr) {
+            ar_->onPerform(OpType::kStore, 0, e2->seq, tableFor(e2->model));
+          }
+          TRACEW(e2->inst.addr, "[%llu] n%u SC store performed seq=%llu",
+                 (unsigned long long)sim_.now(), node_,
+                 (unsigned long long)e2->seq);
+          e2->st = St::kGateDone;
+          wake();
+        });
+        return;
+      }
+      // Buffered store: replay writes the Verification Cache; the entry
+      // lives until the store performs out of the write buffer.
+      if (vc_ != nullptr) {
+        if (!vc_->canAllocate(e.inst.addr, 8)) {
+          stats_.inc("cpu.vcFullStalls");
+          return;  // stall until a VC entry frees up
+        }
+        vc_->storeCommit(e.inst.addr, 8, e.inst.value, e.seq);
+      }
+      if (ar_ != nullptr) ar_->onCommit(OpType::kStore, e.seq);
+      ++outstandingStores_;
+      TRACEW(e.inst.addr, "[%llu] n%u store committed seq=%llu val=%llx",
+             (unsigned long long)sim_.now(), node_,
+             (unsigned long long)e.seq, (unsigned long long)e.inst.value);
+      e.st = St::kGateDone;
+      return;
+    }
+
+    case Instr::Kind::kLoad: {
+      if (e.model == ConsistencyModel::kRMO) {
+        // RMO replay happens right here, at the load's in-order admission:
+        // every older store has committed into the VC, and no younger store
+        // has — so a store-backed VC entry for this word is the value the
+        // sequential replay would produce (genuine LSQ-forwarding
+        // coverage); otherwise the parked execute-time value is consumed.
+        if (vc_ != nullptr) {
+          auto pending = vc_->lookupStoreOlderThan(e.inst.addr, 8, e.seq);
+          auto parked = vc_->consumeParked(e.inst.addr, 8);
+          if (pending) {
+            if (*pending != e.execValue) {
+              stats_.inc("cpu.uoFlushes");
+              ++e.gen;
+              e.st = St::kDispatched;
+              return;
+            }
+          } else if (parked && *parked != e.execValue) {
+            // Same-word value churn between two unordered loads — legal
+            // under RMO; resolved by a silent flush, not an error.
+            ++e.gen;
+            e.st = St::kDispatched;
+            stats_.inc("cpu.rmoReplayFlushes");
+            return;
+          } else if (!parked) {
+            stats_.inc("cpu.rmoReplayNoPark");
+          }
+        }
+        e.st = St::kGateDone;
+        return;
+      }
+      if (vc_ == nullptr) {
+        e.st = St::kGateDone;  // no replay; load performs at promotion
+        return;
+      }
+      if (ar_ != nullptr) ar_->onCommit(OpType::kLoad, e.seq);
+      replayLoad(e);
+      return;
+    }
+
+    case Instr::Kind::kSwap:
+    case Instr::Kind::kCas:
+      e.st = St::kGateDone;  // performed (serialized) at execute
+      return;
+  }
+}
+
+void Core::replayLoad(RobEntry& e) {
+  // Verification-stage replay: VC first, then the cache hierarchy,
+  // bypassing the write buffer (§4.1).
+  if (auto vcHit = vc_->lookupStoreOlderThan(e.inst.addr, 8, e.seq)) {
+    stats_.inc("cpu.replayVcHit");
+    TRACEW(e.inst.addr, "[%llu] n%u replay vc-hit seq=%llu val=%llx",
+           (unsigned long long)sim_.now(), node_,
+           (unsigned long long)e.seq, (unsigned long long)*vcHit);
+    e.st = St::kGateIssued;
+    onReplayDone(e, *vcHit, /*l1Hit=*/true);
+    return;
+  }
+  e.st = St::kGateIssued;
+  CacheOp op;
+  op.kind = CacheOp::Kind::kReplayLoad;
+  op.addr = e.inst.addr;
+  op.countsAsPerform = true;  // ordered loads perform at verification
+  stats_.inc("cpu.replayIssued");
+  TRACEW(e.inst.addr, "[%llu] n%u replay issued seq=%llu",
+         (unsigned long long)sim_.now(), node_,
+         (unsigned long long)e.seq);
+  mem_.access(op, [this, seq = e.seq, gen = e.gen,
+                   rgen = restartGen_](const CacheOpResult& r) {
+    if (rgen != restartGen_) return;
+    RobEntry* e2 = entryBySeq(seq);
+    if (e2 == nullptr || e2->gen != gen) return;
+    onReplayDone(*e2, r.value, r.l1Hit);
+    wake();
+  });
+}
+
+void Core::onReplayDone(RobEntry& e, std::uint64_t replayValue, bool l1Hit) {
+  (void)l1Hit;
+  if (e.squashPending) {
+    // A remote write raced with this load between execution and
+    // verification: load-order mis-speculation, not an error.
+    e.squashPending = false;
+    ++e.gen;
+    e.st = St::kDispatched;
+    stats_.inc("cpu.loadSquashRestart");
+    return;
+  }
+  if (replayValue != e.execValue) {
+    // A Uniprocessor Ordering violation signal: the speculative execution
+    // value is stale relative to the (performing) replay. All operations
+    // are still speculative prior to verification, so the violation is
+    // resolved by a pipeline flush and re-execution (§4.1) — it is a
+    // mis-speculation repair, not an error detection. Injected errors in
+    // the load path surface here as a flush; the §6.1 experiments count
+    // the uoFlushes delta as the detection signal for those faults.
+    ++e.gen;
+    e.st = St::kDispatched;
+    stats_.inc("cpu.uoFlushes");
+    return;
+  }
+  e.st = St::kGateDone;
+}
+
+void Core::finishGate(RobEntry& e) {
+  switch (e.inst.kind) {
+    case Instr::Kind::kLoad:
+      if (e.model != ConsistencyModel::kRMO && ar_ != nullptr) {
+        // Ordered loads perform here, in program order.
+        ar_->onPerform(OpType::kLoad, 0, e.seq, tableFor(e.model));
+      }
+      if (e.inst.token != 0) deliverToken(e);
+      break;
+
+    case Instr::Kind::kSwap:
+    case Instr::Kind::kCas:
+      if (vc_ != nullptr) {
+        auto parked = vc_->consumeParked(e.inst.addr, 8);
+        if (parked && *parked != e.execValue) {
+          reportUoViolation(e, "atomic replay mismatch");
+        }
+      }
+      if (e.inst.token != 0) deliverToken(e);
+      break;
+
+    case Instr::Kind::kMembar:
+      if (ar_ != nullptr) {
+        ar_->onPerform(OpType::kMembar, e.inst.membarMask, e.seq,
+                       tableFor(e.model));
+      }
+      break;
+
+    case Instr::Kind::kStore:
+    case Instr::Kind::kCompute:
+      break;
+  }
+  e.st = St::kVerified;
+}
+
+void Core::deliverToken(RobEntry& e) {
+  DVMC_ASSERT(pendingTokens_ > 0, "token bookkeeping underflow");
+  --pendingTokens_;
+  dispatchBlocked_ = false;
+  program_->onResult(e.inst.token, e.execValue);
+  e.inst.token = 0;
+}
+
+void Core::reportUoViolation(const RobEntry& e, const char* what) {
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kUniprocessorOrdering, sim_.now(), node_,
+                   e.inst.addr, what});
+  }
+}
+
+// --------------------------------------------------------------------------
+// Retire + write buffer
+// --------------------------------------------------------------------------
+
+void Core::phaseRetire() {
+  for (std::size_t n = 0; n < cfg_.width && !rob_.empty(); ++n) {
+    RobEntry& e = rob_.front();
+    if (e.st != St::kVerified) return;
+    if (e.inst.kind == Instr::Kind::kStore &&
+        e.model != ConsistencyModel::kSC) {
+      const bool ordered = (e.model == ConsistencyModel::kTSO ||
+                            e.model == ConsistencyModel::kSC);
+      bool coalesced = false;
+      if (cfg_.wbCoalescing && !ordered) {
+        // Relaxed-mode same-word coalescing: overwrite a not-yet-issued
+        // relaxed entry in place. The superseded store is reported to the
+        // VC as performing with its own committed value (it logically
+        // performs at the same instant the coalesced write does; the
+        // merged entry keeps the youngest seq so replay rank filtering
+        // stays exact).
+        for (auto it = wb_.rbegin(); it != wb_.rend(); ++it) {
+          if (it->inFlight || it->ordered) continue;
+          if ((it->addr & ~Addr{7}) != (e.inst.addr & ~Addr{7})) continue;
+          if (vc_ != nullptr) {
+            vc_->storeSuperseded(it->addr, 8, it->seq, it->value,
+                                 sim_.now());
+          }
+          if (ar_ != nullptr) {
+            ar_->onPerform(OpType::kStore, 0, it->seq, tableFor(model_));
+          }
+          DVMC_ASSERT(outstandingStores_ > 0, "coalesce underflow");
+          --outstandingStores_;
+          it->addr = e.inst.addr;
+          it->value = e.inst.value;
+          it->seq = e.seq;
+          coalesced = true;
+          stats_.inc("cpu.wbCoalesced");
+          break;
+        }
+      }
+      if (!coalesced) {
+        if (wb_.size() >= cfg_.wbCapacity) {
+          stats_.inc("cpu.wbFullStalls");
+          return;
+        }
+        WbEntry w;
+        w.addr = e.inst.addr;
+        w.value = e.inst.value;
+        w.seq = e.seq;
+        w.ordered = ordered;
+        wb_.push_back(w);
+      }
+    }
+    ++retiredCount_;
+    stats_.inc("cpu.retired");
+    rob_.pop_front();
+  }
+}
+
+void Core::drainWriteBuffer() {
+  std::size_t inFlight = 0;
+  for (const WbEntry& w : wb_) {
+    if (w.inFlight) ++inFlight;
+  }
+  std::size_t startIdx = 0;
+  if (wbReorderArmed_ && wb_.size() >= 2 && !wb_[0].inFlight &&
+      !wb_[1].inFlight) {
+    // Injected drain-arbiter fault: the second entry issues while the head
+    // is skipped this round, so the younger store performs first.
+    wbReorderArmed_ = false;
+    startIdx = 1;
+    stats_.inc("cpu.injectedWbReorders");
+  }
+  // Relaxed "optimized store issue policy" (Table 5): among drainable
+  // relaxed-mode entries, ones whose block is already owned (M) issue
+  // first — they complete without a coherence transaction. Two passes:
+  // owned blocks, then the rest; ordered (TSO/SC-mode) entries always obey
+  // strict order and act as barriers in both passes.
+  for (int pass = 0; pass < 2; ++pass) {
+  bool olderOrderedPending = false;
+  std::size_t ownedIssued = 0;
+  for (std::size_t i = startIdx; i < wb_.size(); ++i) {
+    // Owned-block stores use the dedicated write port and need no miss
+    // resources: they are not subject to the outstanding-miss limit
+    // (bounded per round by the pipeline width instead).
+    if (pass == 0) {
+      if (ownedIssued >= cfg_.width) break;
+    } else if (inFlight >= cfg_.wbConcurrency) {
+      break;
+    }
+    WbEntry& w = wb_[i];
+    if (w.inFlight) {
+      if (w.ordered) olderOrderedPending = true;
+      continue;
+    }
+    // TSO/SC-mode entries drain strictly in order and act as barriers for
+    // everything younger; relaxed-mode entries drain concurrently.
+    if (startIdx == 0) {
+      if (w.ordered && i != 0) break;
+      if (olderOrderedPending) break;
+    }
+    if (pass == 0) {
+      if (w.ordered || !mem_.l2().peekWritable(blockAddr(w.addr))) {
+        continue;  // not an owned relaxed store: second pass
+      }
+      ++ownedIssued;
+    }
+    w.inFlight = true;
+    ++inFlight;
+    if (w.ordered) olderOrderedPending = true;
+
+    CacheOp op;
+    op.kind = CacheOp::Kind::kStore;
+    op.addr = w.addr;
+    op.value = w.value;
+    op.countsAsPerform = true;
+    stats_.inc("cpu.wbDrains");
+    const bool faulted = (startIdx == 1 && i == 1);
+    mem_.access(op, [this, seq = w.seq,
+                     rgen = restartGen_](const CacheOpResult&) {
+      if (rgen != restartGen_) return;
+      for (auto it = wb_.begin(); it != wb_.end(); ++it) {
+        if (it->seq == seq) {
+          TRACEW(it->addr, "[%llu] n%u store performed seq=%llu val=%llx",
+                 (unsigned long long)sim_.now(), node_,
+                 (unsigned long long)it->seq,
+                 (unsigned long long)it->value);
+          if (vc_ != nullptr) {
+            vc_->storePerformed(it->addr, 8, it->value, sim_.now());
+          }
+          if (ar_ != nullptr) {
+            // Mixed-mode note: the drain rules guarantee per-model order;
+            // the perform event uses the store's own model table.
+            ar_->onPerform(OpType::kStore, 0, it->seq,
+                           tableFor(it->ordered ? ConsistencyModel::kTSO
+                                                : model_));
+          }
+          wb_.erase(it);
+          DVMC_ASSERT(outstandingStores_ > 0, "store bookkeeping underflow");
+          --outstandingStores_;
+          break;
+        }
+      }
+      wake();
+    });
+    if (faulted) return;  // only the reordered entry issues this round
+  }
+  }  // pass
+}
+
+// --------------------------------------------------------------------------
+// Speculation tracking + recovery
+// --------------------------------------------------------------------------
+
+void Core::onReadPermissionLost(Addr blk, bool remoteWrite) {
+  // Ordered-load models: a remote writer may change speculatively loaded
+  // values before the load performs at verification; squash those loads.
+  // Local evictions leave values intact — the verification replay catches
+  // any later remote write to the untracked block with a flush (squashing
+  // here would livelock a thrashing cache set).
+  if (!remoteWrite) return;
+  for (RobEntry& e : rob_) {
+    if (e.inst.kind != Instr::Kind::kLoad) continue;
+    if (e.model == ConsistencyModel::kRMO) continue;
+    if (blockAddr(e.inst.addr) != blk) continue;
+    switch (e.st) {
+      case St::kIssued:
+      case St::kGateIssued:
+        e.squashPending = true;  // discard on callback
+        stats_.inc("cpu.squashes");
+        break;
+      case St::kExecuted:
+        ++e.gen;
+        e.st = St::kDispatched;
+        stats_.inc("cpu.squashes");
+        TRACEW(e.inst.addr, "[%llu] n%u squash-exec seq=%llu",
+               (unsigned long long)sim_.now(), node_,
+               (unsigned long long)e.seq);
+        break;
+      default:
+        break;
+    }
+  }
+  wake();
+}
+
+Core::ArchSnapshot Core::snapshotState() const {
+  ArchSnapshot s;
+  s.program = program_->clone();
+  // Oldest work first: write-buffer stores predate everything in the ROB.
+  for (const WbEntry& w : wb_) {
+    s.replay.push_back(Instr::store(w.addr, w.value));
+    // Mixed-mode fidelity: keep the entry's model via the 32-bit flag.
+    s.replay.back().is32Bit =
+        w.ordered && model_ != ConsistencyModel::kTSO &&
+        model_ != ConsistencyModel::kSC;
+  }
+  for (const RobEntry& e : rob_) {
+    s.replay.push_back(e.inst);
+  }
+  return s;
+}
+
+void Core::restoreState(const ArchSnapshot& snap) {
+  ++restartGen_;
+  rob_.clear();
+  wb_.clear();
+  outstandingStores_ = 0;
+  pendingTokens_ = 0;
+  dispatchBlocked_ = false;
+  if (vc_ != nullptr) vc_->clear();
+  if (ar_ != nullptr) ar_->reset();
+  program_ = snap.program->clone();
+  // Tokens inside the replay list re-deliver when the replayed instruction
+  // verifies, matching the cloned program's waiting state.
+  replayQueue_.assign(snap.replay.begin(), snap.replay.end());
+  lastDispatchModel_ = model_;
+  tickArmed_ = false;
+  stats_.inc("cpu.restarts");
+  wake();
+}
+
+void Core::debugDump() const {
+  std::fprintf(stderr, "Core n%u: rob=%zu wb=%zu outStores=%llu pendTok=%llu"
+               " blocked=%d retired=%llu\n",
+               node_, rob_.size(), wb_.size(),
+               (unsigned long long)outstandingStores_,
+               (unsigned long long)pendingTokens_, (int)dispatchBlocked_,
+               (unsigned long long)retiredCount_);
+  std::size_t shown = 0;
+  for (const RobEntry& e : rob_) {
+    if (shown++ >= 6) break;
+    std::fprintf(stderr,
+                 "  rob seq=%llu kind=%d st=%d addr=%llx model=%d mask=%x\n",
+                 (unsigned long long)e.seq, (int)e.inst.kind, (int)e.st,
+                 (unsigned long long)e.inst.addr, (int)e.model,
+                 e.inst.membarMask);
+  }
+  for (const WbEntry& w : wb_) {
+    std::fprintf(stderr, "  wb seq=%llu addr=%llx inFlight=%d ordered=%d\n",
+                 (unsigned long long)w.seq, (unsigned long long)w.addr,
+                 (int)w.inFlight, (int)w.ordered);
+  }
+}
+
+void Core::performEvent(const RobEntry& e) {
+  if (ar_ == nullptr) return;
+  ar_->onPerform(e.inst.opType(), e.inst.membarMask, e.seq,
+                 tableFor(e.model));
+}
+
+}  // namespace dvmc

@@ -1,0 +1,216 @@
+// Out-of-order processor core with a DVMC verification stage.
+//
+// Pipeline (Figure 2): dispatch (in order, assigns sequence numbers) ->
+// execute (out of order: loads access the memory system speculatively,
+// computes burn latency) -> verify (in order; with DVUO enabled all memory
+// operations are replayed: loads against VC-then-cache, stores into the VC)
+// -> retire (stores enter the write buffer) -> write-buffer drain (stores
+// perform at the cache).
+//
+// Consistency enforcement per model:
+//  * SC  — no write buffer: a store stalls the in-order gate until it has
+//    performed. Loads execute speculatively and perform in order at the
+//    gate; remote writes to speculatively loaded blocks squash.
+//  * TSO — FIFO write buffer, one store outstanding at a time; loads as SC.
+//  * PSO — write buffer drains up to wbConcurrency stores concurrently;
+//    Stbar (Membar #SS) stalls the gate until older stores performed.
+//  * RMO — loads perform at execute (no speculation tracking needed); they
+//    only stall behind older unverified membars carrying #LL/#SL.
+// 32-bit (v8) instructions run under TSO even on PSO/RMO systems; a model
+// switch drains the pipeline, as writing PSTATE.MM does on real SPARC.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "coherence/hierarchy.hpp"
+#include "common/error_sink.hpp"
+#include "common/stats.hpp"
+#include "consistency/model.hpp"
+#include "consistency/ordering_table.hpp"
+#include "cpu/instr.hpp"
+#include "dvmc/dvmc_config.hpp"
+#include "dvmc/reorder_checker.hpp"
+#include "dvmc/verification_cache.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+
+struct CpuConfig {
+  std::size_t robSize = 64;
+  std::size_t width = 4;          // dispatch / gate / retire width per cycle
+  std::size_t wbCapacity = 64;
+  std::size_t wbConcurrency = 4;  // PSO/RMO concurrent store drains
+  bool storePrefetch = true;      // prefetch write permission at execute
+  // PSO/RMO "optimized store issue policy" (Table 5): a store entering the
+  // write buffer coalesces with a resident same-word relaxed-mode entry,
+  // reducing write-buffer pressure and coherence traffic. Never applied to
+  // ordered (TSO/SC-mode) entries — it would merge across the store order.
+  bool wbCoalescing = true;
+};
+
+class Core final : public CpuNotifier {
+ public:
+  Core(Simulator& sim, NodeId node, ConsistencyModel model, CpuConfig cfg,
+       CacheHierarchy& mem, std::unique_ptr<ThreadProgram> program,
+       ErrorSink* sink, VerificationCache* vc, ReorderChecker* ar,
+       const DvmcConfig& dvmc);
+
+  /// Arms the pipeline tick. Idempotent.
+  void start();
+
+  /// All instructions retired and all stores performed.
+  bool done() const;
+
+  // --- CpuNotifier (invalidation hints for load-order speculation) ---
+  void onReadPermissionLost(Addr blk, bool remoteWrite) override;
+
+  const StatSet& stats() const { return stats_; }
+  void debugDump() const;
+  std::uint64_t retired() const { return retiredCount_; }
+  std::uint64_t transactions() const {
+    return program_ ? program_->transactionsCompleted() : 0;
+  }
+  ThreadProgram& program() { return *program_; }
+  NodeId node() const { return node_; }
+
+  // --- fault injection hooks (error-detection experiments, §6.1) ---
+  /// Corrupts the value of the next executed load (models an LSQ
+  /// forwarding/transmission error). Detected by replay (DVUO).
+  void armLoadValueFault() { loadFaultArmed_ = true; }
+  /// Flips a bit in a resident write-buffer entry's value (models
+  /// write-buffer datapath corruption). Detected at VC deallocation.
+  bool injectWbValueFault(std::uint64_t rand);
+  /// Forces the next write-buffer drain round to issue the second entry
+  /// ahead of the head (models a drain-arbiter error). Detected by the AR
+  /// checker under SC/TSO; legal (undetected) under PSO/RMO. Returns false
+  /// when the write buffer has too few resident entries to reorder.
+  bool armWbReorderFault() {
+    if (wb_.size() < 2) return false;
+    wbReorderArmed_ = true;  // consumed at the next eligible drain round
+    return true;
+  }
+
+  // --- BER support ---
+  /// Architectural snapshot: the program state plus the instructions that
+  /// were in flight (ROB + write buffer) when the snapshot was taken. A
+  /// rolled-back memory image is consistent with re-executing exactly this
+  /// replay list before pulling from the program again; all memory-mutating
+  /// instructions in the stream are idempotent re-executed (stores rewrite
+  /// the same value; lock swaps write owner-id values, so re-acquiring a
+  /// lock we already hold is recognized by the workload).
+  struct ArchSnapshot {
+    std::unique_ptr<ThreadProgram> program;
+    std::vector<Instr> replay;  // oldest first: write buffer, then ROB
+
+    ArchSnapshot() = default;
+    ArchSnapshot(const ArchSnapshot& o)
+        : program(o.program ? o.program->clone() : nullptr),
+          replay(o.replay) {}
+    ArchSnapshot& operator=(const ArchSnapshot& o) {
+      program = o.program ? o.program->clone() : nullptr;
+      replay = o.replay;
+      return *this;
+    }
+    ArchSnapshot(ArchSnapshot&&) = default;
+    ArchSnapshot& operator=(ArchSnapshot&&) = default;
+  };
+
+  ArchSnapshot snapshotState() const;
+
+  /// Recovery: discard all in-flight work and resume from a snapshot. The
+  /// caller has already restored memory/cache/checker state.
+  void restoreState(const ArchSnapshot& snap);
+
+ private:
+  enum class St : std::uint8_t {
+    kDispatched,   // in ROB, not yet issued
+    kIssued,       // executing (cache op in flight or latency running)
+    kExecuted,     // execution complete, waiting for the in-order gate
+    kGateIssued,   // replay / store-perform in flight at the gate
+    kGateDone,     // gate work finished, awaiting in-order promotion
+    kVerified,     // passed the gate, ready to retire
+  };
+
+  struct RobEntry {
+    Instr inst;
+    SeqNum seq = 0;
+    ConsistencyModel model = ConsistencyModel::kTSO;
+    St st = St::kDispatched;
+    Cycle readyAt = 0;
+    std::uint64_t execValue = 0;
+    bool prefetched = false;
+    bool performedAtExec = false;  // RMO loads / atomics
+    bool squashPending = false;
+    bool modeSwitch = false;  // drains the pipeline before executing
+    std::uint32_t gen = 0;    // invalidates in-flight callbacks on squash
+  };
+
+  struct WbEntry {
+    Addr addr = 0;
+    std::uint64_t value = 0;
+    SeqNum seq = 0;
+    bool ordered = false;  // TSO/SC-mode store: drains strictly in order
+    bool inFlight = false;
+  };
+
+  void tick();
+  void wake();
+  void wakeIn(Cycle d);
+  void injectTick();
+  void phaseRetire();
+  void phaseGate();
+  void phaseExecute();
+  void phaseDispatch();
+  void drainWriteBuffer();
+  void deliverToken(RobEntry& e);
+
+  void issueExecute(RobEntry& e);
+  void executeLoad(RobEntry& e);
+  void executeAtomic(RobEntry& e);
+  bool atomicMayExecute(const RobEntry& e) const;
+  bool allOlderVerified(const RobEntry& e) const;
+  void gateEntry(RobEntry& e);
+  void finishGate(RobEntry& e);
+  void replayLoad(RobEntry& e);
+  void onReplayDone(RobEntry& e, std::uint64_t replayValue, bool l1Hit);
+  std::optional<std::uint64_t> forwardFromPipeline(const RobEntry& e) const;
+  RobEntry* entryBySeq(SeqNum seq);
+  const OrderingTable& tableFor(ConsistencyModel m) const;
+  void performEvent(const RobEntry& e);
+  void reportUoViolation(const RobEntry& e, const char* what);
+
+  Simulator& sim_;
+  NodeId node_;
+  ConsistencyModel model_;
+  CpuConfig cfg_;
+  CacheHierarchy& mem_;
+  std::unique_ptr<ThreadProgram> program_;
+  ErrorSink* sink_;
+  VerificationCache* vc_;   // null when DVUO disabled
+  ReorderChecker* ar_;      // null when DVAR disabled
+  DvmcConfig dvmc_;
+
+  OrderingTable tables_[4];  // indexed by ConsistencyModel
+
+  std::deque<RobEntry> rob_;
+  std::deque<WbEntry> wb_;
+  std::deque<Instr> replayQueue_;  // re-injected in-flight work (recovery)
+  SeqNum nextSeq_ = 1;
+  ConsistencyModel lastDispatchModel_;
+  std::uint64_t outstandingStores_ = 0;  // in WB or performing (SC)
+  std::uint64_t retiredCount_ = 0;
+  std::uint64_t pendingTokens_ = 0;
+  bool dispatchBlocked_ = false;  // program awaits feedback
+  bool tickArmed_ = false;
+  bool started_ = false;
+  std::uint32_t restartGen_ = 0;  // bumped on BER restart
+  bool loadFaultArmed_ = false;
+  bool wbReorderArmed_ = false;
+  std::uint64_t lastRetiredAtInject_ = 0;  // pipeline-hang watchdog
+
+  StatSet stats_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,46 @@
+// Hardware cost model for DVMC (Section 6.3).
+//
+// The storage costs are pure arithmetic over the system configuration:
+//   * CET: 34 bits per line in each cache (epoch type 1b + logical time 16b
+//     + data hash 16b + DataReadyBit 1b);
+//   * MET: 48 bits per entry, one entry per block present in any cache
+//     (16b RO end + 16b RW end + 16b hash, with the open-epoch state
+//     sharing storage via the OpenEpoch bit);
+//   * VC: a few dozen word entries;
+//   * AR checker: an LSQ-sized FIFO, sequence-number registers, ordering
+//     tables, and comparators.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "coherence/cache_array.hpp"
+
+namespace dvmc {
+
+struct HwCostInputs {
+  std::size_t numNodes = 8;
+  CacheGeometry l1;
+  CacheGeometry l2;
+  std::size_t vcWords = 64;
+  std::size_t lsqEntries = 64;
+  std::size_t writeBufferEntries = 64;
+  std::size_t informQueueEntries = 256;
+};
+
+struct HwCostReport {
+  std::size_t cetBitsPerLine = 34;
+  std::size_t cetBytesPerNode = 0;
+  std::size_t metBitsPerEntry = 48;
+  std::size_t metBytesPerController = 0;  // worst case: all cached blocks
+  std::size_t vcBytesPerNode = 0;
+  std::size_t arCheckerBytesPerNode = 0;
+  std::size_t informQueueBytesPerController = 0;
+  std::size_t totalBytesPerNode = 0;
+
+  std::string toString() const;
+};
+
+HwCostReport computeHwCost(const HwCostInputs& in);
+
+}  // namespace dvmc

@@ -1,0 +1,269 @@
+#include "dvmc/memory_epoch_checker.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+dvmc::Addr traceBlock() {
+  static const dvmc::Addr blk = [] {
+    const char* env = std::getenv("DVMC_TRACE_BLOCK");
+    return env ? std::strtoull(env, nullptr, 0) : 0ULL;
+  }();
+  return blk;
+}
+}  // namespace
+
+namespace dvmc {
+
+MemoryEpochChecker::MemoryEpochChecker(Simulator& sim, NodeId node,
+                                       const DvmcConfig& cfg, ErrorSink* sink,
+                                       LogicalClock& clock)
+    : sim_(sim), node_(node), cfg_(cfg), sink_(sink), clock_(clock) {}
+
+MemoryEpochChecker::MetEntry* MemoryEpochChecker::entryFor(Addr blk) {
+  auto it = met_.find(blk);
+  return it == met_.end() ? nullptr : &it->second;
+}
+
+void MemoryEpochChecker::onHomeRequest(Addr blk, const DataBlock& memData) {
+  auto hit = met_.find(blk);
+  if (hit != met_.end()) {
+    hit->second.evictPending = false;  // cached again
+    return;
+  }
+  // Fresh MET entry: the current logical time closes a fictitious
+  // Read-Write epoch whose end hash is the block's memory image.
+  MetEntry e;
+  e.lastROEnd = clock_.now16();
+  e.lastRWEnd = e.lastROEnd;
+  e.lastRWEndHash = hashBlock(memData);
+  e.hashValid = true;
+  met_.emplace(blk, e);
+  if (met_.size() > peakEntries_) peakEntries_ = met_.size();
+  stats_.inc("met.entryCreated");
+}
+
+void MemoryEpochChecker::onBlockUncached(Addr blk) {
+  auto it = met_.find(blk);
+  if (it == met_.end()) return;
+  it->second.evictPending = true;
+  maybeEvict(blk, it->second);
+}
+
+void MemoryEpochChecker::maybeEvict(Addr blk, MetEntry& e) {
+  if (!e.evictPending) return;
+  // Keep the entry while informs for it are still buffered (their checks
+  // would otherwise run against a freshly re-seeded entry) or while an
+  // announced open epoch references it; eviction retries after each
+  // processed inform.
+  if (e.openRO != 0 || e.openRW != kInvalidNode) {
+    stats_.inc("met.evictDeferred");
+    return;
+  }
+  for (const QueuedInform& q : queue_) {
+    if (blockAddr(q.msg.addr) == blk) {
+      stats_.inc("met.evictDeferred");
+      return;
+    }
+  }
+  met_.erase(blk);
+  stats_.inc("met.entryEvicted");
+}
+
+void MemoryEpochChecker::onInform(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kInformEpoch:
+      enqueue(msg);
+      return;
+    case MsgType::kInformOpenEpoch:
+      // Open/Closed announcements are processed immediately, outside the
+      // sorting queue: the pair travels the same network path in order,
+      // and queue-delaying the Open while the Close processes immediately
+      // would wedge the open-epoch state whenever an announced epoch ends
+      // within the sorting residence. The announced epoch is old by
+      // construction (wraparound scrubbing), so its begin precedes any
+      // queued inform and ordering is preserved.
+      processInform(msg);
+      return;
+    case MsgType::kInformClosedEpoch:
+      // Closes an epoch announced earlier; processed immediately.
+      processClosed(msg);
+      return;
+    default:
+      DVMC_FATAL("non-inform message delivered to MemoryEpochChecker");
+  }
+}
+
+void MemoryEpochChecker::enqueue(const Message& msg) {
+  queue_.push_back(QueuedInform{msg, arrivalCounter_++, sim_.now()});
+  std::push_heap(queue_.begin(), queue_.end(),
+                 [](const QueuedInform& a, const QueuedInform& b) {
+                   // Largest-on-top heap: "a < b" when a begins later.
+                   if (a.msg.epoch.begin != b.msg.epoch.begin) {
+                     return ltimeBefore(b.msg.epoch.begin, a.msg.epoch.begin);
+                   }
+                   return a.arrival > b.arrival;
+                 });
+  stats_.inc("met.informsQueued");
+  while (queue_.size() > cfg_.informQueueCapacity) {
+    processOldest();
+  }
+  // Each inform rests in the queue for a bounded sorting delay before the
+  // oldest (earliest-begin) entry may be processed; the residence window
+  // absorbs network-latency skew between informs from different nodes so
+  // that begin-time order is (almost) always restored before processing.
+  sim_.schedule(cfg_.informSortDelay, [this] { popTick(); });
+}
+
+void MemoryEpochChecker::popTick() {
+  if (queue_.empty()) return;
+  const QueuedInform& top = queue_.front();  // heap top = earliest begin
+  const Cycle rested = sim_.now() - top.arrivalCycle;
+  if (rested < cfg_.informSortDelay) {
+    // The earliest-begin inform arrived recently; give stragglers with
+    // even earlier begins a chance to show up before committing to it.
+    sim_.schedule(cfg_.informSortDelay - rested, [this] { popTick(); });
+    return;
+  }
+  processOldest();
+}
+
+void MemoryEpochChecker::processOldest() {
+  DVMC_ASSERT(!queue_.empty(), "processOldest on empty queue");
+  std::pop_heap(queue_.begin(), queue_.end(),
+                [](const QueuedInform& a, const QueuedInform& b) {
+                  if (a.msg.epoch.begin != b.msg.epoch.begin) {
+                    return ltimeBefore(b.msg.epoch.begin, a.msg.epoch.begin);
+                  }
+                  return a.arrival > b.arrival;
+                });
+  const Message msg = queue_.back().msg;
+  queue_.pop_back();
+  processInform(msg);
+}
+
+void MemoryEpochChecker::drain() {
+  while (!queue_.empty()) processOldest();
+}
+
+void MemoryEpochChecker::reportViolation(Addr blk, const char* what) {
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
+  }
+  stats_.inc("met.violations");
+}
+
+void MemoryEpochChecker::processInform(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  MetEntry* e = entryFor(blk);
+  if (e == nullptr) {
+    // An inform for a block the home never saw requested: either a fault
+    // (fabricated / misrouted message) or an inform that outlived its MET
+    // entry. Create a fresh entry conservatively and continue.
+    stats_.inc("met.informWithoutEntry");
+    e = &met_[blk];
+    e->lastROEnd = 0;
+    e->lastRWEnd = 0;
+    e->hashValid = false;
+  }
+  const EpochPayload& ep = msg.epoch;
+  if (blk == traceBlock() && traceBlock() != 0) {
+    std::fprintf(stderr,
+                 "[%llu] MET n%u proc %s src=%u begin=%u end=%u bh=%04x "
+                 "eh=%04x | lastRW=%u lastRO=%u rwHash=%04x hv=%d\n",
+                 (unsigned long long)sim_.now(), node_,
+                 ep.readWrite ? "RW" : "RO", msg.src, ep.begin, ep.end,
+                 ep.beginHash, ep.endHash, e->lastRWEnd, e->lastROEnd,
+                 e->lastRWEndHash, e->hashValid);
+  }
+  stats_.inc("met.informsProcessed");
+
+  // (a) overlap checks.
+  if (ep.readWrite) {
+    if (ltimeBefore(ep.begin, e->lastRWEnd)) {
+      reportViolation(blk, "RW epoch overlaps previous RW epoch");
+    }
+    if (ltimeBefore(ep.begin, e->lastROEnd)) {
+      reportViolation(blk, "RW epoch overlaps previous RO epoch");
+    }
+    if (e->openRO != 0 || e->openRW != kInvalidNode) {
+      reportViolation(blk, "RW epoch overlaps an open epoch");
+    }
+  } else {
+    if (ltimeBefore(ep.begin, e->lastRWEnd)) {
+      reportViolation(blk, "RO epoch overlaps previous RW epoch");
+    }
+    if (e->openRW != kInvalidNode) {
+      reportViolation(blk, "RO epoch overlaps an open RW epoch");
+    }
+  }
+
+  // (b) data propagation: the block seen at epoch begin must match the end
+  // of the latest Read-Write epoch.
+  if (e->hashValid && ep.beginHash != e->lastRWEndHash) {
+    reportViolation(blk, "data propagation hash mismatch");
+  }
+
+  if (msg.type == MsgType::kInformOpenEpoch) {
+    if (ep.readWrite) {
+      e->openRW = msg.src;
+    } else {
+      e->openRO |= (1ull << (msg.src % 64));
+    }
+    stats_.inc("met.openEpochs");
+    return;
+  }
+
+  // Regular (closed) Inform-Epoch: fold the end time and hash in.
+  if (ep.readWrite) {
+    if (ltimeBefore(e->lastRWEnd, ep.end)) e->lastRWEnd = ep.end;
+    if (ep.endHashValid) {
+      e->lastRWEndHash = ep.endHash;
+      e->hashValid = true;
+    } else {
+      e->hashValid = false;
+    }
+  } else {
+    if (ltimeBefore(e->lastROEnd, ep.end)) e->lastROEnd = ep.end;
+  }
+  maybeEvict(blk, *e);
+}
+
+void MemoryEpochChecker::processClosed(const Message& msg) {
+  const Addr blk = blockAddr(msg.addr);
+  MetEntry* e = entryFor(blk);
+  if (e == nullptr) {
+    stats_.inc("met.closedWithoutEntry");
+    return;
+  }
+  stats_.inc("met.closedEpochs");
+  if (msg.epoch.readWrite) {
+    if (e->openRW != msg.src) {
+      stats_.inc("met.closedWithoutOpen");
+    }
+    e->openRW = kInvalidNode;
+    if (ltimeBefore(e->lastRWEnd, msg.epoch.end)) {
+      e->lastRWEnd = msg.epoch.end;
+    }
+    // The short Inform-Closed-Epoch carries no end hash (paper): the next
+    // data-propagation check for this block must be skipped.
+    e->hashValid = false;
+  } else {
+    e->openRO &= ~(1ull << (msg.src % 64));
+    if (ltimeBefore(e->lastROEnd, msg.epoch.end)) {
+      e->lastROEnd = msg.epoch.end;
+    }
+  }
+  maybeEvict(blk, *e);
+}
+
+void MemoryEpochChecker::reset() {
+  met_.clear();
+  queue_.clear();
+}
+
+}  // namespace dvmc

@@ -1,0 +1,127 @@
+#include "dvmc/reorder_checker.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+void ReorderChecker::onCommit(OpType type, SeqNum seq) {
+  if (isLoadLike(type)) outstandingLoads_.insert(seq);
+  if (isStoreLike(type)) outstandingStores_.insert(seq);
+}
+
+void ReorderChecker::reportViolation(SeqNum seq, const char* what) {
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kAllowableReordering, sim_.now(), node_, seq,
+                   what});
+  }
+  stats_.inc("ar.violations");
+}
+
+void ReorderChecker::checkAgainst(OpClass cls, std::uint8_t instMask,
+                                  SeqNum seq, const OrderingTable& table,
+                                  const char* opName) {
+  // Constraint cls < Load?
+  if (table.classOrder(cls, instMask, OpClass::kLoad, membar::kAll) &&
+      seq <= maxLoad_ && maxLoad_ != 0) {
+    reportViolation(seq, opName);
+  }
+  // Constraint cls < Store?
+  if (table.classOrder(cls, instMask, OpClass::kStore, membar::kAll) &&
+      seq <= maxStore_ && maxStore_ != 0) {
+    reportViolation(seq, opName);
+  }
+  // Constraint cls < Membar(bit b)? One counter per membar mask bit.
+  for (int bit = 0; bit < 4; ++bit) {
+    const std::uint8_t bitMask = static_cast<std::uint8_t>(1u << bit);
+    if (table.classOrder(cls, instMask, OpClass::kMembar, bitMask) &&
+        seq <= maxMembarBit_[bit] && maxMembarBit_[bit] != 0) {
+      reportViolation(seq, opName);
+    }
+  }
+}
+
+void ReorderChecker::updateCounters(OpType type, std::uint8_t mask,
+                                    SeqNum seq) {
+  if (isLoadLike(type) && seq > maxLoad_) maxLoad_ = seq;
+  if (isStoreLike(type) && seq > maxStore_) maxStore_ = seq;
+  if (type == OpType::kMembar) {
+    for (int bit = 0; bit < 4; ++bit) {
+      if ((mask & (1u << bit)) != 0 && seq > maxMembarBit_[bit]) {
+        maxMembarBit_[bit] = seq;
+      }
+    }
+  }
+}
+
+void ReorderChecker::removeOutstanding(OpType type, SeqNum seq) {
+  if (isLoadLike(type)) outstandingLoads_.erase(seq);
+  if (isStoreLike(type)) outstandingStores_.erase(seq);
+}
+
+void ReorderChecker::onPerform(OpType type, std::uint8_t mask, SeqNum seq,
+                               const OrderingTable& table) {
+  stats_.inc("ar.performs");
+  switch (type) {
+    case OpType::kLoad:
+      checkAgainst(OpClass::kLoad, membar::kAll, seq, table,
+                   "load performed after a later constrained operation");
+      break;
+    case OpType::kStore:
+      checkAgainst(OpClass::kStore, membar::kAll, seq, table,
+                   "store performed after a later constrained operation");
+      break;
+    case OpType::kAtomic:
+      checkAgainst(OpClass::kLoad, membar::kAll, seq, table,
+                   "atomic performed after a later constrained operation");
+      checkAgainst(OpClass::kStore, membar::kAll, seq, table,
+                   "atomic performed after a later constrained operation");
+      break;
+    case OpType::kMembar:
+      checkAgainst(OpClass::kMembar, mask, seq, table,
+                   "membar performed after a later constrained operation");
+      break;
+  }
+  updateCounters(type, mask, seq);
+  removeOutstanding(type, seq);
+}
+
+void ReorderChecker::injectCheckpointMembar() {
+  stats_.inc("ar.injectedMembars");
+  const SeqNum oldestLoad =
+      outstandingLoads_.empty() ? 0 : *outstandingLoads_.begin();
+  const SeqNum oldestStore =
+      outstandingStores_.empty() ? 0 : *outstandingStores_.begin();
+
+  if (snapshotValid_) {
+    // An operation outstanding across a full injection period was lost
+    // (e.g., a dropped coherence message stranded a write-buffer entry).
+    if (snapshotLoad_ != 0 && oldestLoad == snapshotLoad_) {
+      if (sink_ != nullptr) {
+        sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
+                       snapshotLoad_, "load never performed"});
+      }
+      stats_.inc("ar.lostLoads");
+    }
+    if (snapshotStore_ != 0 && oldestStore == snapshotStore_) {
+      if (sink_ != nullptr) {
+        sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
+                       snapshotStore_, "store never performed"});
+      }
+      stats_.inc("ar.lostStores");
+    }
+  }
+  snapshotLoad_ = oldestLoad;
+  snapshotStore_ = oldestStore;
+  snapshotValid_ = true;
+}
+
+void ReorderChecker::reset() {
+  maxLoad_ = 0;
+  maxStore_ = 0;
+  for (auto& m : maxMembarBit_) m = 0;
+  outstandingLoads_.clear();
+  outstandingStores_.clear();
+  snapshotValid_ = false;
+}
+
+}  // namespace dvmc

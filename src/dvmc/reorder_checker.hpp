@@ -1,0 +1,82 @@
+// Allowable Reordering checker (Section 4.2).
+//
+// Every instruction gets a sequence number at decode (its program-order
+// rank). When an operation performs, the checker verifies that no
+// operation it is constrained to precede has already performed:
+//
+//     for every class OPy with a constraint OPx < OPy:
+//         seqX > max{OPy}        (else: error)
+//     then max{OPx} = max(max{OPx}, seqX)
+//
+// Membars carry a 4-bit mask, so instead of one max{Membar} counter the
+// checker keeps one counter per mask bit (the performed-membar rank is
+// meaningful only for the orderings that membar actually enforced).
+//
+// Lost-operation detection: committed operations are tracked until they
+// perform; a periodic artificial membar snapshots the oldest outstanding
+// operation per class, and an operation still outstanding at the next
+// injection (default 100k cycles, as in the paper) is reported lost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/error_sink.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "consistency/ordering_table.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+
+class ReorderChecker {
+ public:
+  ReorderChecker(Simulator& sim, NodeId node, ErrorSink* sink)
+      : sim_(sim), node_(node), sink_(sink) {}
+
+  /// An operation was committed (it must eventually perform). Membars are
+  /// not tracked here — they perform at commit.
+  void onCommit(OpType type, SeqNum seq);
+
+  /// An operation performed. `table` is the ordering table of the model the
+  /// instruction executes under (32-bit code runs TSO under PSO/RMO), and
+  /// `mask` is the membar's 4-bit mask (ignored for other types).
+  void onPerform(OpType type, std::uint8_t mask, SeqNum seq,
+                 const OrderingTable& table);
+
+  /// Artificial membar injection: call once per injection period. Compares
+  /// the oldest outstanding operations against the previous snapshot and
+  /// reports operations that failed to perform for a whole period.
+  void injectCheckpointMembar();
+
+  const StatSet& stats() const { return stats_; }
+  SeqNum maxLoad() const { return maxLoad_; }
+  SeqNum maxStore() const { return maxStore_; }
+  void reset();
+
+ private:
+  void checkAgainst(OpClass cls, std::uint8_t instMask, SeqNum seq,
+                    const OrderingTable& table, const char* opName);
+  void updateCounters(OpType type, std::uint8_t mask, SeqNum seq);
+  void removeOutstanding(OpType type, SeqNum seq);
+  void reportViolation(SeqNum seq, const char* what);
+
+  Simulator& sim_;
+  NodeId node_;
+  ErrorSink* sink_;
+
+  SeqNum maxLoad_ = 0;
+  SeqNum maxStore_ = 0;
+  SeqNum maxMembarBit_[4] = {0, 0, 0, 0};
+
+  std::set<SeqNum> outstandingLoads_;
+  std::set<SeqNum> outstandingStores_;
+  SeqNum snapshotLoad_ = 0;   // oldest outstanding load at last injection
+  SeqNum snapshotStore_ = 0;  // oldest outstanding store at last injection
+  bool snapshotValid_ = false;
+
+  StatSet stats_;
+};
+
+}  // namespace dvmc

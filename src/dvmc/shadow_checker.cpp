@@ -1,0 +1,133 @@
+#include "dvmc/shadow_checker.hpp"
+
+namespace dvmc {
+
+// ---------------------------------------------------------------------------
+// ShadowCacheChecker
+// ---------------------------------------------------------------------------
+
+void ShadowCacheChecker::report(Addr blk, const char* what) {
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
+  }
+  stats_.inc("shadow.violations");
+}
+
+void ShadowCacheChecker::onEpochBegin(Addr blk, bool readWrite,
+                                      const DataBlock& data,
+                                      std::uint64_t ltime) {
+  (void)data;
+  (void)ltime;
+  auto [it, inserted] = shadow_.try_emplace(blk, readWrite);
+  if (!inserted) {
+    report(blk, "shadow: permission granted while already held");
+    it->second = readWrite;
+  }
+  stats_.inc(readWrite ? "shadow.beginRW" : "shadow.beginRO");
+}
+
+void ShadowCacheChecker::onEpochEnd(Addr blk, const DataBlock& data,
+                                    std::uint64_t ltime) {
+  (void)data;
+  (void)ltime;
+  if (shadow_.erase(blk) == 0) {
+    report(blk, "shadow: permission revoked but never granted");
+  }
+}
+
+void ShadowCacheChecker::onPerformAccess(Addr blk, bool isWrite) {
+  auto it = shadow_.find(blk);
+  if (it == shadow_.end()) {
+    report(blk, isWrite ? "shadow: store without any permission"
+                        : "shadow: load without any permission");
+    return;
+  }
+  if (isWrite && !it->second) {
+    report(blk, "shadow: store under read-only permission");
+  }
+  stats_.inc("shadow.accessChecks");
+}
+
+// ---------------------------------------------------------------------------
+// ShadowHomeChecker
+// ---------------------------------------------------------------------------
+
+void ShadowHomeChecker::report(Addr blk, const char* what) {
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
+  }
+  stats_.inc("shadow.violations");
+}
+
+void ShadowHomeChecker::onHomeRequest(Addr blk, const DataBlock& memData) {
+  auto [it, inserted] = entries_.try_emplace(blk);
+  if (inserted) {
+    it->second.memHash = hashBlock(memData);
+    it->second.hashValid = true;
+    it->second.memClean = true;
+    stats_.inc("shadow.entryCreated");
+  }
+}
+
+void ShadowHomeChecker::onBlockUncached(Addr blk) {
+  entries_.erase(blk);
+  stats_.inc("shadow.entryEvicted");
+}
+
+void ShadowHomeChecker::onHomeGrant(Addr blk, NodeId to, bool readWrite,
+                                    bool fromMemory, std::uint16_t memHash) {
+  auto it = entries_.find(blk);
+  if (it == entries_.end()) {
+    // Requests always precede grants; tolerate (fault paths) and re-seed.
+    it = entries_.try_emplace(blk).first;
+    stats_.inc("shadow.grantWithoutEntry");
+  }
+  Entry& e = it->second;
+  stats_.inc(readWrite ? "shadow.grantRW" : "shadow.grantRO");
+
+  if (fromMemory) {
+    // The home served the memory image. If any cache has held write
+    // permission since the last accepted writeback, memory is stale and
+    // this grant propagates wrong data.
+    if (!e.memClean) {
+      report(blk, "shadow: memory data served while a cache copy is dirty");
+    } else if (e.hashValid && memHash != e.memHash) {
+      report(blk, "shadow: memory image changed without a writeback");
+    }
+  }
+
+  if (readWrite) {
+    e.owner = to;
+    e.sharers.clear();
+    e.memClean = false;  // a cache may dirty the block from here on
+  } else {
+    e.sharers.insert(to);
+  }
+}
+
+void ShadowHomeChecker::onHomeWriteback(Addr blk, NodeId from,
+                                        std::uint16_t hash, bool accepted) {
+  auto it = entries_.find(blk);
+  if (it == entries_.end()) {
+    stats_.inc("shadow.wbWithoutEntry");
+    return;
+  }
+  Entry& e = it->second;
+  if (accepted) {
+    if (e.owner != from) {
+      report(blk, "shadow: writeback accepted from a non-owner");
+    }
+    e.owner = kInvalidNode;
+    e.memHash = hash;
+    e.hashValid = true;
+    e.memClean = true;
+    stats_.inc("shadow.wbAccepted");
+  } else {
+    if (e.owner == from) {
+      report(blk, "shadow: writeback from the current owner rejected");
+    }
+    stats_.inc("shadow.wbRejected");
+  }
+}
+
+}  // namespace dvmc

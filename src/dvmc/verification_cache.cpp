@@ -1,0 +1,139 @@
+#include "dvmc/verification_cache.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+// The simulated ISA issues naturally aligned 8-byte memory operations
+// (Appendix A's proofs likewise assume word-granularity access), which
+// keeps VC entries exact word images.
+
+bool VerificationCache::canAllocate(Addr addr, std::size_t size) const {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  const Addr w = wordAlign(addr);
+  if (words_.count(w) != 0) return true;  // merges into the existing entry
+  return words_.size() < capacity_;
+}
+
+void VerificationCache::storeCommit(Addr addr, std::size_t size,
+                                    std::uint64_t value, SeqNum seq) {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  WordEntry& e = words_[wordAlign(addr)];
+  e.stores.push_back(PendingStore{seq, value});
+  stats_.inc("vc.storeCommit");
+}
+
+void VerificationCache::storePerformed(Addr addr, std::size_t size,
+                                       std::uint64_t performedValue,
+                                       Cycle now) {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  const Addr w = wordAlign(addr);
+  auto it = words_.find(w);
+  if (it == words_.end() || it->second.stores.empty()) {
+    // The write buffer performed a store the VC never saw committed —
+    // a fabricated or duplicated store (fault).
+    if (sink_ != nullptr) {
+      sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
+                     "store performed without VC entry"});
+    }
+    stats_.inc("vc.performWithoutEntry");
+    return;
+  }
+  WordEntry& e = it->second;
+  // Same-word stores drain in commit order, so the performing store is the
+  // oldest pending one. Deallocation check (Appendix A.1.1): the value
+  // that reached the cache must equal the committed value.
+  if (performedValue != e.stores.front().value) {
+    if (sink_ != nullptr) {
+      sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
+                     "write-buffer value mismatch at VC deallocation"});
+    }
+    stats_.inc("vc.deallocMismatch");
+  }
+  e.stores.erase(e.stores.begin());
+  if (e.stores.empty() && !e.parkedLoad) words_.erase(it);
+  stats_.inc("vc.storePerformed");
+}
+
+void VerificationCache::storeSuperseded(Addr addr, std::size_t size,
+                                        SeqNum seq,
+                                        std::uint64_t bufferedValue,
+                                        Cycle now) {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  const Addr w = wordAlign(addr);
+  auto it = words_.find(w);
+  if (it == words_.end()) {
+    stats_.inc("vc.performWithoutEntry");
+    return;
+  }
+  auto& stores = it->second.stores;
+  for (auto sit = stores.begin(); sit != stores.end(); ++sit) {
+    if (sit->seq != seq) continue;
+    if (sit->value != bufferedValue) {
+      if (sink_ != nullptr) {
+        sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
+                       "write-buffer value mismatch at coalesce"});
+      }
+      stats_.inc("vc.deallocMismatch");
+    }
+    stores.erase(sit);
+    if (stores.empty() && !it->second.parkedLoad) words_.erase(it);
+    stats_.inc("vc.storeSuperseded");
+    return;
+  }
+  stats_.inc("vc.performWithoutEntry");
+}
+
+std::optional<std::uint64_t> VerificationCache::lookupStoreOlderThan(
+    Addr addr, std::size_t size, SeqNum seq) const {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  auto it = words_.find(wordAlign(addr));
+  if (it == words_.end()) return std::nullopt;
+  const auto& stores = it->second.stores;
+  for (auto rit = stores.rbegin(); rit != stores.rend(); ++rit) {
+    if (rit->seq < seq) return rit->value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> VerificationCache::lookupStore(
+    Addr addr, std::size_t size) const {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  auto it = words_.find(wordAlign(addr));
+  if (it == words_.end() || it->second.stores.empty()) return std::nullopt;
+  return it->second.stores.back().value;
+}
+
+std::optional<std::uint64_t> VerificationCache::lookup(
+    Addr addr, std::size_t size) const {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  auto it = words_.find(wordAlign(addr));
+  if (it == words_.end()) return std::nullopt;
+  if (!it->second.stores.empty()) return it->second.stores.back().value;
+  if (it->second.parkedLoad) return it->second.parkedValue;
+  return std::nullopt;
+}
+
+void VerificationCache::parkLoadValue(Addr addr, std::size_t size,
+                                      std::uint64_t value) {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  WordEntry& e = words_[wordAlign(addr)];
+  e.parkedValue = value;
+  e.parkedLoad = true;
+  stats_.inc("vc.parkLoad");
+}
+
+std::optional<std::uint64_t> VerificationCache::consumeParked(
+    Addr addr, std::size_t size) {
+  DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
+  const Addr w = wordAlign(addr);
+  auto it = words_.find(w);
+  if (it == words_.end() || !it->second.parkedLoad) return std::nullopt;
+  const std::uint64_t v = it->second.parkedValue;
+  it->second.parkedLoad = false;
+  if (it->second.stores.empty()) words_.erase(it);
+  stats_.inc("vc.consumeParked");
+  return v;
+}
+
+}  // namespace dvmc

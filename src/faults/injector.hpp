@@ -1,0 +1,66 @@
+// Error injection framework (Section 6.1).
+//
+// Reproduces the paper's fault campaign: "data and address bit flips;
+// dropped, reordered, mis-routed, and duplicated messages; and reorderings
+// and incorrect forwarding in the LSQ and write buffer", injected into the
+// LSQ, write buffer, caches, interconnect, and memory/cache controllers at
+// a random time, type, and location.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "system/system.hpp"
+
+namespace dvmc {
+
+enum class FaultType : std::uint8_t {
+  kCacheDataMultiBit,  // uncorrectable cache corruption (ECC detects)
+  kCacheStateFlip,     // MOSI state bit flip (coherence checker detects)
+  kMemoryDataMultiBit, // uncorrectable memory corruption (ECC detects)
+  kMsgDrop,            // lost coherence message (lost-op / hang watchdog)
+  kMsgDuplicate,       // duplicated message
+  kMsgMisroute,        // delivered to the wrong node
+  kMsgReorder,         // ordered-network reordering (snooping only)
+  kMsgDataCorrupt,     // payload bit flip in flight (DVCC hash mismatch)
+  kLsqWrongForward,    // wrong load value out of the LSQ (DVUO replay)
+  kWbValueCorrupt,     // write-buffer datapath corruption (VC dealloc check)
+  kWbReorder,          // drain order violation (AR checker; SC/TSO only)
+  kCheckerCetCorrupt,  // fault in DVMC's own hardware: false positive only
+};
+
+const char* faultTypeName(FaultType t);
+const std::vector<FaultType>& allFaultTypes();
+
+/// True when `t` constitutes an actual error under consistency model `m`
+/// and protocol `p` (a write-buffer reorder is legal under PSO/RMO; an
+/// ordered-network reorder only exists in snooping systems).
+bool faultApplicable(FaultType t, ConsistencyModel m, Protocol p);
+
+class FaultInjector {
+ public:
+  FaultInjector(System& sys, std::uint64_t seed);
+
+  /// Attempts to inject the fault right now at a random location; returns
+  /// false if no suitable target exists yet (caller retries later).
+  bool inject(FaultType t);
+
+  /// Arms a one-shot network fault (drop/dup/misroute/reorder/corrupt):
+  /// the next eligible coherence message triggers it.
+  void armNetworkFault(FaultType t);
+
+  std::uint64_t injections() const { return injections_; }
+
+ private:
+  bool injectNow(FaultType t);
+
+  System& sys_;
+  Rng rng_;
+  std::uint64_t injections_ = 0;
+  bool netFaultArmed_ = false;
+  FaultType armedType_ = FaultType::kMsgDrop;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,77 @@
+#include "net/broadcast_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+BroadcastTree::BroadcastTree(Simulator& sim, std::size_t numNodes,
+                             BroadcastTreeConfig cfg)
+    : sim_(sim), n_(numNodes), cfg_(cfg) {
+  DVMC_ASSERT(numNodes >= 1, "broadcast tree needs at least one node");
+  endpoints_.resize(n_, nullptr);
+}
+
+void BroadcastTree::attach(NodeId node, NetworkEndpoint* ep) {
+  DVMC_ASSERT(node < n_, "attach: node out of range");
+  endpoints_[node] = ep;
+}
+
+void BroadcastTree::broadcast(Message msg) {
+  msg.id = nextMsgId_++;
+  Cycle extraDelay = 0;
+
+  if (faultFilter_) {
+    switch (faultFilter_(msg)) {
+      case NetFaultAction::kDeliver:
+        break;
+      case NetFaultAction::kDrop:
+        return;
+      case NetFaultAction::kDuplicate:
+        // Re-enter; the duplicate gets its own slot in the total order.
+        {
+          Message dup = msg;
+          sim_.schedule(1, [this, dup] {
+            Message d2 = dup;
+            // Bypass the filter for the duplicate to avoid infinite loops.
+            auto saved = std::move(faultFilter_);
+            faultFilter_ = nullptr;
+            broadcast(std::move(d2));
+            faultFilter_ = std::move(saved);
+          });
+        }
+        break;
+      case NetFaultAction::kDelay:
+        // Ordered-network reordering fault: the broadcast keeps its slot in
+        // the total order but reaches the leaves after later broadcasts.
+        extraDelay = 400;
+        break;
+    }
+  }
+
+  // Root arbitration: one broadcast occupies the tree for its serialization
+  // time; ranks are assigned in arbitration order.
+  const Cycle ser = static_cast<Cycle>(
+      std::ceil(static_cast<double>(msg.sizeBytes()) / cfg_.bytesPerCycle));
+  const Cycle start = std::max(sim_.now() + 1, rootFree_);
+  rootFree_ = start + ser;
+  msg.snoopOrder = order_++;
+  msg.netEpoch = epoch_;
+  totalBytes_ += msg.sizeBytes() * n_;  // fan-out to every leaf
+
+  const Cycle deliverAt = start + ser + cfg_.treeLatency + extraDelay;
+  sim_.scheduleAt(deliverAt, [this, msg] {
+    if (msg.netEpoch != epoch_) return;  // squashed by BER recovery
+    for (std::size_t node = 0; node < n_; ++node) {
+      DVMC_ASSERT(endpoints_[node] != nullptr,
+                  "broadcast delivered to unattached node");
+      Message copy = msg;
+      copy.dest = static_cast<NodeId>(node);
+      endpoints_[node]->onMessage(copy);
+    }
+  });
+}
+
+}  // namespace dvmc

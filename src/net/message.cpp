@@ -1,0 +1,89 @@
+#include "net/message.hpp"
+
+#include <sstream>
+
+namespace dvmc {
+
+const char* msgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kGetS: return "GetS";
+    case MsgType::kGetM: return "GetM";
+    case MsgType::kPutM: return "PutM";
+    case MsgType::kFwdGetS: return "FwdGetS";
+    case MsgType::kFwdGetM: return "FwdGetM";
+    case MsgType::kInv: return "Inv";
+    case MsgType::kInvAck: return "InvAck";
+    case MsgType::kData: return "Data";
+    case MsgType::kPutAck: return "PutAck";
+    case MsgType::kNackPutM: return "NackPutM";
+    case MsgType::kUnblock: return "Unblock";
+    case MsgType::kSnpGetS: return "SnpGetS";
+    case MsgType::kSnpGetM: return "SnpGetM";
+    case MsgType::kSnpPutM: return "SnpPutM";
+    case MsgType::kSnpData: return "SnpData";
+    case MsgType::kSnpWbData: return "SnpWbData";
+    case MsgType::kInformEpoch: return "InformEpoch";
+    case MsgType::kInformOpenEpoch: return "InformOpenEpoch";
+    case MsgType::kInformClosedEpoch: return "InformClosedEpoch";
+    case MsgType::kCkptSync: return "CkptSync";
+    case MsgType::kCkptLog: return "CkptLog";
+  }
+  return "?";
+}
+
+bool msgCarriesData(MsgType t) {
+  switch (t) {
+    case MsgType::kPutM:
+    case MsgType::kData:
+    case MsgType::kSnpData:
+    case MsgType::kSnpWbData:
+      return true;
+    default:
+      return false;
+  }
+}
+
+TrafficClass trafficClassOf(MsgType t) {
+  switch (t) {
+    case MsgType::kInformEpoch:
+    case MsgType::kInformOpenEpoch:
+    case MsgType::kInformClosedEpoch:
+      return TrafficClass::kInform;
+    case MsgType::kCkptSync:
+    case MsgType::kCkptLog:
+      return TrafficClass::kCkpt;
+    default:
+      return TrafficClass::kCoherence;
+  }
+}
+
+std::size_t Message::sizeBytes() const {
+  // Control header: type + src/dest + 6-byte address.
+  std::size_t size = 8;
+  if (hasData) size += kBlockSizeBytes;
+  switch (type) {
+    case MsgType::kInformEpoch:
+      size += 8;  // two 16-bit times + two 16-bit hashes
+      break;
+    case MsgType::kInformOpenEpoch:
+      size += 4;  // begin time + begin hash
+      break;
+    case MsgType::kInformClosedEpoch:
+      size += 2;  // end time
+      break;
+    default:
+      break;
+  }
+  return size;
+}
+
+std::string Message::describe() const {
+  std::ostringstream os;
+  os << msgTypeName(type) << " src=" << src << " dest=" << dest << " addr=0x"
+     << std::hex << addr << std::dec;
+  if (requester != kInvalidNode) os << " req=" << requester;
+  if (ackCount != 0) os << " acks=" << ackCount;
+  return os.str();
+}
+
+}  // namespace dvmc

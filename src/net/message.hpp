@@ -1,0 +1,123 @@
+// Interconnect message format.
+//
+// One message type serves the coherence protocols (directory and snooping),
+// the Cache Coherence checker's Inform-Epoch traffic, and SafetyNet's
+// checkpoint-coordination traffic. Sizes follow the paper's accounting:
+// control messages carry an address and a few bytes of metadata; data
+// messages additionally carry a full 64-byte block; Inform-Epochs carry two
+// 16-bit logical times and two 16-bit CRC hashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/data_block.hpp"
+#include "common/types.hpp"
+#include "common/wrap16.hpp"
+
+namespace dvmc {
+
+enum class MsgType : std::uint8_t {
+  // --- Directory protocol ---
+  kGetS,      // requester -> home: read permission
+  kGetM,      // requester -> home: write permission
+  kPutM,      // owner -> home: writeback (carries data)
+  kFwdGetS,   // home -> owner: supply data to requester, owner degrades to O
+  kFwdGetM,   // home -> owner: supply data to requester, owner invalidates
+  kInv,       // home -> sharer: invalidate, ack requester
+  kInvAck,    // sharer -> requester
+  kData,      // data response; ackCount tells requester how many InvAcks to await
+  kPutAck,    // home -> evictor: writeback accepted
+  kNackPutM,  // home -> evictor: ownership already transferred, drop WB buffer
+  kUnblock,   // requester -> home: transaction complete, release the block
+
+  // --- Snooping protocol (address network carries these, totally ordered) ---
+  kSnpGetS,
+  kSnpGetM,
+  kSnpPutM,   // writeback announcement; data follows on the data network
+  kSnpData,   // owner/memory -> requester on the data network
+  kSnpWbData, // owner -> memory writeback data
+
+  // --- Cache Coherence checker (DVCC) ---
+  kInformEpoch,
+  kInformOpenEpoch,
+  kInformClosedEpoch,
+
+  // --- SafetyNet-style BER coordination ---
+  kCkptSync,
+  kCkptLog,   // log-overhead traffic (modeled, proportional to dirty data)
+};
+
+const char* msgTypeName(MsgType t);
+bool msgCarriesData(MsgType t);
+
+/// Traffic accounting classes (Figure 7 composition).
+enum class TrafficClass : std::uint8_t {
+  kCoherence = 0,  // protocol control + data messages
+  kInform = 1,     // DVMC Inform-Epoch traffic
+  kCkpt = 2,       // SafetyNet coordination/log traffic
+};
+inline constexpr std::size_t kNumTrafficClasses = 3;
+TrafficClass trafficClassOf(MsgType t);
+
+/// Epoch descriptor carried by Inform-* messages (Section 4.3).
+struct EpochPayload {
+  bool readWrite = false;   // Read-Write vs Read-Only epoch
+  LTime16 begin = 0;        // logical time at epoch begin
+  LTime16 end = 0;          // logical time at epoch end (unused for open)
+  std::uint16_t beginHash = 0;  // CRC-16 of block data at epoch begin
+  std::uint16_t endHash = 0;    // CRC-16 at end (== beginHash for RO epochs)
+  bool endHashValid = true;     // false when the end hash is unavailable
+                                // (forced drain of a Read-Write epoch)
+};
+
+struct Message {
+  MsgType type = MsgType::kData;
+  NodeId src = kInvalidNode;
+  NodeId dest = kInvalidNode;
+  Addr addr = 0;
+
+  // Coherence bookkeeping.
+  NodeId requester = kInvalidNode;  // original requester, for forwards
+  int ackCount = 0;                 // InvAcks the requester must collect
+  bool fromMemory = false;          // data supplied by memory (vs a cache)
+
+  // Payload.
+  bool hasData = false;
+  DataBlock data;
+
+  // DVCC payload.
+  EpochPayload epoch;
+
+  // Unique id (assigned by the network) — used by fault injection and debug.
+  std::uint64_t id = 0;
+
+  // Rank in the total broadcast order; assigned by the ordered address
+  // network and used as the snooping protocol's logical time base.
+  std::uint64_t snoopOrder = 0;
+
+  // Network recovery epoch: stamped at send, checked at delivery. BER
+  // recovery bumps the epoch, which atomically squashes every in-flight
+  // message from the rolled-back future.
+  std::uint32_t netEpoch = 0;
+
+  /// Wire size in bytes, for bandwidth accounting.
+  std::size_t sizeBytes() const;
+
+  std::string describe() const;
+};
+
+/// Delivery target registered with a network.
+class NetworkEndpoint {
+ public:
+  virtual ~NetworkEndpoint() = default;
+  virtual void onMessage(const Message& msg) = 0;
+};
+
+/// Fault-injection filter; installed by the fault framework.
+/// May mutate the message (bit flips, misroute by changing dest). Return
+/// value says whether the message should still be delivered; the filter can
+/// inject duplicates by returning kDuplicate (deliver twice).
+enum class NetFaultAction : std::uint8_t { kDeliver, kDrop, kDuplicate, kDelay };
+
+}  // namespace dvmc

@@ -1,0 +1,190 @@
+#include "net/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+TorusNetwork::TorusNetwork(Simulator& sim, std::size_t numNodes,
+                           TorusConfig cfg)
+    : sim_(sim), n_(numNodes), cfg_(cfg) {
+  DVMC_ASSERT(numNodes >= 1, "torus needs at least one node");
+  DVMC_ASSERT(cfg_.bytesPerCycle > 0.0, "bandwidth must be positive");
+  // Pick the most square cols x rows factorization with cols >= rows.
+  cols_ = numNodes;
+  rows_ = 1;
+  for (std::size_t r = 1; r * r <= numNodes; ++r) {
+    if (numNodes % r == 0) {
+      rows_ = r;
+      cols_ = numNodes / r;
+    }
+  }
+  endpoints_.resize(n_, nullptr);
+  linkFree_.resize(n_ * 4, 0);
+  linkBytes_.resize(n_ * 4, 0);
+}
+
+void TorusNetwork::attach(NodeId node, NetworkEndpoint* ep) {
+  DVMC_ASSERT(node < n_, "attach: node out of range");
+  endpoints_[node] = ep;
+}
+
+NodeId TorusNetwork::neighbor(NodeId node, Dir d) const {
+  const std::size_t x = node % cols_;
+  const std::size_t y = node / cols_;
+  switch (d) {
+    case kEast: return static_cast<NodeId>(y * cols_ + (x + 1) % cols_);
+    case kWest: return static_cast<NodeId>(y * cols_ + (x + cols_ - 1) % cols_);
+    case kSouth: return static_cast<NodeId>(((y + 1) % rows_) * cols_ + x);
+    case kNorth: return static_cast<NodeId>(((y + rows_ - 1) % rows_) * cols_ + x);
+  }
+  return node;
+}
+
+std::vector<std::size_t> TorusNetwork::route(NodeId src, NodeId dest) const {
+  std::vector<std::size_t> links;
+  NodeId cur = src;
+  // X dimension first, along the shorter wrap direction.
+  auto xOf = [this](NodeId v) { return v % cols_; };
+  auto yOf = [this](NodeId v) { return v / cols_; };
+  while (xOf(cur) != xOf(dest)) {
+    const std::size_t dx =
+        (xOf(dest) + cols_ - xOf(cur)) % cols_;  // distance going east
+    const Dir d = (dx <= cols_ - dx) ? kEast : kWest;
+    links.push_back(linkId(cur, d));
+    cur = neighbor(cur, d);
+  }
+  while (yOf(cur) != yOf(dest)) {
+    const std::size_t dy = (yOf(dest) + rows_ - yOf(cur)) % rows_;
+    const Dir d = (dy <= rows_ - dy) ? kSouth : kNorth;
+    links.push_back(linkId(cur, d));
+    cur = neighbor(cur, d);
+  }
+  return links;
+}
+
+Cycle TorusNetwork::serializationCycles(std::size_t bytes) const {
+  return static_cast<Cycle>(
+      std::ceil(static_cast<double>(bytes) / cfg_.bytesPerCycle));
+}
+
+void TorusNetwork::send(Message msg) {
+  DVMC_ASSERT(msg.dest < n_, "send: dest out of range");
+  msg.id = nextMsgId_++;
+  msg.netEpoch = epoch_;
+  ++messagesSent_;
+
+  if (faultFilter_) {
+    switch (faultFilter_(msg)) {
+      case NetFaultAction::kDeliver:
+        break;
+      case NetFaultAction::kDrop:
+        return;
+      case NetFaultAction::kDuplicate: {
+        Message dup = msg;
+        dup.id = nextMsgId_++;
+        sim_.schedule(1, [this, dup]() mutable {
+          traverse(dup, route(dup.src, dup.dest), 0);
+        });
+        break;
+      }
+      case NetFaultAction::kDelay: {
+        Message delayed = msg;
+        sim_.schedule(200, [this, delayed]() mutable {
+          traverse(delayed, route(delayed.src, delayed.dest), 0);
+        });
+        return;
+      }
+    }
+  }
+
+  if (msg.src == msg.dest) {
+    // Local delivery (e.g., the home node is the requester's own node).
+    Message local = msg;
+    sim_.schedule(cfg_.localLatency, [this, local] { deliver(local); });
+    return;
+  }
+  auto links = route(msg.src, msg.dest);
+  if (cfg_.yieldCheckerTraffic &&
+      trafficClassOf(msg.type) != TrafficClass::kCoherence &&
+      !links.empty() && linkFree_[links.front()] > sim_.now()) {
+    // Low-priority injection: hold the message at the source until its
+    // first link drains, so coherence messages sent meanwhile overtake it.
+    const Cycle retryAt = linkFree_[links.front()];
+    sim_.scheduleAt(retryAt, [this, msg = std::move(msg),
+                              links = std::move(links)]() mutable {
+      if (msg.netEpoch != epoch_) return;  // squashed by BER recovery
+      if (cfg_.yieldCheckerTraffic && !links.empty() &&
+          linkFree_[links.front()] > sim_.now()) {
+        // Still busy (someone grabbed it again): keep yielding.
+        const Cycle again = linkFree_[links.front()];
+        Message m2 = std::move(msg);
+        sim_.scheduleAt(again, [this, m2 = std::move(m2),
+                                links = std::move(links)]() mutable {
+          // Second retry proceeds regardless: bounded injection delay.
+          traverse(std::move(m2), std::move(links), 0);
+        });
+        return;
+      }
+      traverse(std::move(msg), std::move(links), 0);
+    });
+    return;
+  }
+  traverse(std::move(msg), std::move(links), 0);
+}
+
+void TorusNetwork::traverse(Message msg, std::vector<std::size_t> links,
+                            std::size_t idx) {
+  if (idx >= links.size()) {
+    deliver(msg);
+    return;
+  }
+  const std::size_t link = links[idx];
+  const Cycle depart = std::max(sim_.now(), linkFree_[link]);
+  const Cycle ser = serializationCycles(msg.sizeBytes());
+  linkFree_[link] = depart + ser;
+  linkBytes_[link] += msg.sizeBytes();
+  classBytes_[static_cast<std::size_t>(trafficClassOf(msg.type))] +=
+      msg.sizeBytes();
+  const Cycle arrive = depart + ser + cfg_.hopLatency;
+  sim_.scheduleAt(arrive, [this, msg = std::move(msg),
+                           links = std::move(links), idx]() mutable {
+    traverse(std::move(msg), std::move(links), idx + 1);
+  });
+}
+
+void TorusNetwork::deliver(const Message& msg) {
+  if (msg.netEpoch != epoch_) return;  // squashed by BER recovery
+  NetworkEndpoint* ep = endpoints_[msg.dest];
+  DVMC_ASSERT(ep != nullptr, "message delivered to unattached node");
+  ep->onMessage(msg);
+}
+
+void TorusNetwork::resetStats() {
+  std::fill(linkBytes_.begin(), linkBytes_.end(), 0);
+  classBytes_.fill(0);
+  statsStart_ = sim_.now();
+  messagesSent_ = 0;
+}
+
+std::uint64_t TorusNetwork::totalBytes() const {
+  std::uint64_t sum = 0;
+  for (auto b : linkBytes_) sum += b;
+  return sum;
+}
+
+std::uint64_t TorusNetwork::maxLinkBytes() const {
+  std::uint64_t m = 0;
+  for (auto b : linkBytes_) m = std::max(m, b);
+  return m;
+}
+
+double TorusNetwork::peakLinkUtilization() const {
+  const Cycle elapsed = sim_.now() - statsStart_;
+  if (elapsed == 0) return 0.0;
+  return static_cast<double>(maxLinkBytes()) / static_cast<double>(elapsed);
+}
+
+}  // namespace dvmc

@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+
+void Simulator::scheduleAt(Cycle when, Action fn) {
+  DVMC_ASSERT(when >= now_, "event scheduled in the past");
+  queue_.push(Event{when, nextOrder_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // Move the action out before popping so reentrant schedules are safe.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(Cycle limit) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    step();
+    ++n;
+  }
+  if (now_ < limit && limit != ~Cycle{0}) now_ = limit;
+  return n;
+}
+
+bool Simulator::runUntil(const std::function<bool()>& pred, Cycle limit) {
+  if (pred()) return true;
+  while (!queue_.empty() && queue_.top().when <= limit) {
+    step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace dvmc

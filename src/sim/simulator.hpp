@@ -1,0 +1,65 @@
+// Discrete-event simulation kernel.
+//
+// The whole system is modeled as events on a single global cycle clock.
+// Events scheduled for the same cycle execute in scheduling order, which
+// makes every run bit-for-bit deterministic for a given seed — a property
+// the error-injection experiments and SafetyNet recovery tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace dvmc {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulation time in cycles.
+  Cycle now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` cycles from now (0 = later this cycle).
+  void schedule(Cycle delay, Action fn) { scheduleAt(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at an absolute cycle (must not be in the past).
+  void scheduleAt(Cycle when, Action fn);
+
+  /// Executes the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the event queue drains or `limit` cycles have elapsed.
+  /// Returns the number of events executed.
+  std::uint64_t run(Cycle limit = ~Cycle{0});
+
+  /// Runs until `pred()` becomes true (checked after each event), the queue
+  /// drains, or `limit` is reached. Returns true if pred was satisfied.
+  bool runUntil(const std::function<bool()>& pred, Cycle limit = ~Cycle{0});
+
+  std::uint64_t eventsExecuted() const { return executed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Cycle when;
+    std::uint64_t order;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.order > b.order;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Cycle now_ = 0;
+  std::uint64_t nextOrder_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,120 @@
+// Whole-system configuration (Tables 6 and 7 analogues).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "ber/safety_net.hpp"
+#include "coherence/cache_array.hpp"
+#include "coherence/interfaces.hpp"
+#include "consistency/model.hpp"
+#include "cpu/core.hpp"
+#include "dvmc/dvmc_config.hpp"
+#include "net/broadcast_tree.hpp"
+#include "net/torus.hpp"
+#include "workload/params.hpp"
+
+namespace dvmc {
+
+enum class Protocol : std::uint8_t { kDirectory, kSnooping };
+
+inline const char* protocolName(Protocol p) {
+  return p == Protocol::kDirectory ? "directory" : "snooping";
+}
+
+struct SystemConfig {
+  std::size_t numNodes = 8;
+  Protocol protocol = Protocol::kDirectory;
+  ConsistencyModel model = ConsistencyModel::kTSO;
+
+  CacheGeometry l1{64, 2};    // 8 KB latency filter
+  CacheGeometry l2{256, 4};   // 64 KB coherence point
+  CoherenceTimings timings;
+  TorusConfig torus;
+  BroadcastTreeConfig tree;
+  CpuConfig cpu;
+
+  // DVMC: the three checker enables live in `dvmc`. An unprotected system
+  // disables all three and BER.
+  DvmcConfig dvmc;
+  bool dvmcUniproc = false;
+  bool dvmcReorder = false;
+  bool dvmcCoherence = false;
+
+  /// Which coherence-checking mechanism to plug in (the framework is
+  /// modular — Section 8): the paper's epoch/CET/MET scheme, or the
+  /// Cantin-style shadow-replay alternative.
+  enum class CoherenceCheckerKind : std::uint8_t { kEpoch, kShadow };
+  CoherenceCheckerKind coherenceChecker = CoherenceCheckerKind::kEpoch;
+
+  bool berEnabled = false;
+  BerConfig ber;
+  /// When true (and BER is enabled), any checker detection automatically
+  /// triggers rollback to the newest checkpoint predating the detection —
+  /// the paper's availability story end to end.
+  bool autoRecover = false;
+
+  WorkloadKind workload = WorkloadKind::kMicroMix;
+  std::optional<WorkloadParams> workloadOverride;
+  std::uint64_t seed = 1;
+
+  /// Tests and examples may install custom per-node programs; when set,
+  /// this wins over `workload`.
+  std::function<std::unique_ptr<ThreadProgram>(NodeId)> programFactory;
+
+  /// Global stop target: total transactions across all processors (barnes:
+  /// phases per processor, run to completion).
+  std::uint64_t targetTransactions = 400;
+  Cycle maxCycles = 200'000'000;
+
+  /// Directory logical-time base: slow clock divisor; per-node skew stays
+  /// below the minimum network latency so causality holds.
+  Cycle dirClockDivisor = 16;
+
+  // --- convenience constructors for the paper's configurations ---
+  static SystemConfig unprotected(Protocol p, ConsistencyModel m) {
+    SystemConfig c;
+    c.protocol = p;
+    c.model = m;
+    return c;
+  }
+  static SystemConfig withDvmc(Protocol p, ConsistencyModel m) {
+    SystemConfig c = unprotected(p, m);
+    c.dvmcUniproc = true;
+    c.dvmcReorder = true;
+    c.dvmcCoherence = true;
+    c.berEnabled = true;
+    return c;
+  }
+  static SystemConfig snOnly(Protocol p, ConsistencyModel m) {
+    SystemConfig c = unprotected(p, m);
+    c.berEnabled = true;
+    return c;
+  }
+};
+
+/// One run's measurements.
+struct RunResult {
+  bool completed = false;         // reached the target before maxCycles
+  Cycle cycles = 0;               // runtime in cycles
+  std::uint64_t transactions = 0;
+  std::uint64_t retiredInstructions = 0;
+  std::uint64_t memOps = 0;
+  std::uint64_t memOps32 = 0;
+  double peakLinkBytesPerCycle = 0.0;  // Figure 7 metric
+  std::uint64_t totalNetBytes = 0;
+  std::uint64_t coherenceBytes = 0;  // traffic composition (Fig. 7)
+  std::uint64_t informBytes = 0;
+  std::uint64_t ckptBytes = 0;
+  std::uint64_t regularL1Misses = 0;   // Figure 6 inputs
+  std::uint64_t replayL1Misses = 0;
+  std::uint64_t detections = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t unrecoverable = 0;  // detections past the recovery window
+  std::uint64_t squashes = 0;
+  std::uint64_t uoFlushes = 0;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,62 @@
+#include "system/runner.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "system/system.hpp"
+
+namespace dvmc {
+
+RunResult runOnce(const SystemConfig& cfg) {
+  System sys(cfg);
+  return sys.run();
+}
+
+MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
+                        std::uint64_t seedBase) {
+  MultiRunResult out;
+  for (int s = 0; s < seedCount; ++s) {
+    cfg.seed = seedBase + static_cast<std::uint64_t>(s);
+    const RunResult r = runOnce(cfg);
+    out.cycles.addTracked(static_cast<double>(r.cycles));
+    out.peakLinkBytesPerCycle.addTracked(r.peakLinkBytesPerCycle);
+    if (r.regularL1Misses > 0) {
+      out.replayMissRatio.addTracked(static_cast<double>(r.replayL1Misses) /
+                                     static_cast<double>(r.regularL1Misses));
+    }
+    if (r.memOps > 0) {
+      out.frac32.addTracked(static_cast<double>(r.memOps32) /
+                            static_cast<double>(r.memOps));
+    }
+    out.detections += r.detections;
+    out.squashes += r.squashes;
+    out.allCompleted = out.allCompleted && r.completed;
+  }
+  return out;
+}
+
+std::string MultiRunResult::summary() const {
+  std::ostringstream os;
+  os << "cycles=" << static_cast<std::uint64_t>(cycles.mean()) << " (+/- "
+     << static_cast<std::uint64_t>(cycles.stddev()) << ")";
+  if (!allCompleted) os << " [INCOMPLETE]";
+  return os.str();
+}
+
+int benchSeedCount() {
+  if (const char* env = std::getenv("DVMC_BENCH_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+std::uint64_t benchTransactionTarget() {
+  if (const char* env = std::getenv("DVMC_BENCH_TXNS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::uint64_t>(v);
+  }
+  return 300;
+}
+
+}  // namespace dvmc

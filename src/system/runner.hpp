@@ -1,0 +1,40 @@
+// Experiment runner: the paper runs every configuration ten times with
+// small pseudo-random perturbations and reports mean +/- one standard
+// deviation. Here each "perturbation" is a different workload seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "system/config.hpp"
+
+namespace dvmc {
+
+struct MultiRunResult {
+  RunningStat cycles;
+  RunningStat peakLinkBytesPerCycle;
+  RunningStat replayMissRatio;   // replay L1 misses / regular L1 misses
+  RunningStat frac32;            // measured 32-bit op fraction (Table 8)
+  std::uint64_t detections = 0;  // summed across runs (0 in error-free runs)
+  std::uint64_t squashes = 0;
+  bool allCompleted = true;
+
+  std::string summary() const;
+};
+
+/// Builds a System from `cfg`, runs it once, returns the result.
+RunResult runOnce(const SystemConfig& cfg);
+
+/// Runs `seedCount` perturbations (seeds seedBase..seedBase+seedCount-1).
+MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
+                        std::uint64_t seedBase = 1);
+
+/// Number of perturbation runs for benches: DVMC_BENCH_SEEDS env override,
+/// default 3 (the paper uses 10; 3 keeps the full harness fast).
+int benchSeedCount();
+
+/// Global transaction target for benches: DVMC_BENCH_TXNS env override.
+std::uint64_t benchTransactionTarget();
+
+}  // namespace dvmc

@@ -1,0 +1,22 @@
+// Full-system statistics reporter: one call dumps a gem5-style text report
+// of every component's counters — pipeline, caches, protocol controllers,
+// interconnect, checkers, and BER — for a System that has finished (or
+// paused) a run. Used by the quickstart's --stats flag and by tooling.
+#pragma once
+
+#include <ostream>
+
+#include "system/system.hpp"
+
+namespace dvmc {
+
+struct StatsReportOptions {
+  bool perNode = true;      // per-node breakdowns (vs aggregates only)
+  bool includeZero = false; // print zero-valued counters too
+};
+
+/// Writes the report to `os`.
+void printStatsReport(System& sys, std::ostream& os,
+                      const StatsReportOptions& opts = {});
+
+}  // namespace dvmc

@@ -1,0 +1,409 @@
+#include "system/system.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+namespace {
+
+/// Directory-system per-node endpoint: dispatches torus messages to the
+/// home controller, the cache controller, or the MET checker.
+class DirNodeRouter final : public NetworkEndpoint {
+ public:
+  DirNodeRouter(DirectoryHome* home, DirectoryCacheController* cache,
+                MemoryEpochChecker* met, StatSet* ckptStats)
+      : home_(home), cache_(cache), met_(met), ckpt_(ckptStats) {}
+
+  void onMessage(const Message& msg) override {
+    switch (msg.type) {
+      case MsgType::kGetS:
+      case MsgType::kGetM:
+      case MsgType::kPutM:
+      case MsgType::kUnblock:
+        home_->onMessage(msg);
+        return;
+      case MsgType::kInformEpoch:
+      case MsgType::kInformOpenEpoch:
+      case MsgType::kInformClosedEpoch:
+        if (met_ != nullptr) met_->onInform(msg);
+        return;
+      case MsgType::kCkptSync:
+      case MsgType::kCkptLog:
+        if (ckpt_ != nullptr) ckpt_->inc("ber.msgsReceived");
+        return;
+      default:
+        cache_->onMessage(msg);
+        return;
+    }
+  }
+
+ private:
+  DirectoryHome* home_;
+  DirectoryCacheController* cache_;
+  MemoryEpochChecker* met_;
+  StatSet* ckpt_;
+};
+
+/// Snooping address-network endpoint: every broadcast reaches both the
+/// cache controller and the memory controller (in that fixed order, which
+/// is deterministic and identical at every node).
+class SnoopAddrRouter final : public NetworkEndpoint {
+ public:
+  SnoopAddrRouter(SnoopCacheController* cache, SnoopMemoryController* mem)
+      : cache_(cache), mem_(mem) {}
+  void onMessage(const Message& msg) override {
+    cache_->onSnoop(msg);
+    mem_->onSnoop(msg);
+  }
+
+ private:
+  SnoopCacheController* cache_;
+  SnoopMemoryController* mem_;
+};
+
+/// Snooping data-network endpoint.
+class SnoopDataRouter final : public NetworkEndpoint {
+ public:
+  SnoopDataRouter(SnoopCacheController* cache, SnoopMemoryController* mem,
+                  MemoryEpochChecker* met, StatSet* ckptStats)
+      : cache_(cache), mem_(mem), met_(met), ckpt_(ckptStats) {}
+  void onMessage(const Message& msg) override {
+    switch (msg.type) {
+      case MsgType::kSnpWbData:
+        mem_->onMessage(msg);
+        return;
+      case MsgType::kInformEpoch:
+      case MsgType::kInformOpenEpoch:
+      case MsgType::kInformClosedEpoch:
+        if (met_ != nullptr) met_->onInform(msg);
+        return;
+      case MsgType::kCkptSync:
+      case MsgType::kCkptLog:
+        if (ckpt_ != nullptr) ckpt_->inc("ber.msgsReceived");
+        return;
+      default:
+        cache_->onMessage(msg);
+        return;
+    }
+  }
+
+ private:
+  SnoopCacheController* cache_;
+  SnoopMemoryController* mem_;
+  MemoryEpochChecker* met_;
+  StatSet* ckpt_;
+};
+
+StatSet gCkptStats;  // checkpoint messages are absorbed; only counted
+
+}  // namespace
+
+System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
+  map_.numNodes = cfg_.numNodes;
+  torus_ = std::make_unique<TorusNetwork>(sim_, cfg_.numNodes, cfg_.torus);
+  if (cfg_.protocol == Protocol::kSnooping) {
+    tree_ = std::make_unique<BroadcastTree>(sim_, cfg_.numNodes, cfg_.tree);
+  }
+  nodes_.resize(cfg_.numNodes);
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) buildNode(n);
+
+  if (cfg_.berEnabled) {
+    ber_ = std::make_unique<SafetyNet>(
+        sim_, cfg_.ber, [this] { return captureSnapshot(); },
+        [this](const SafetyNet::Snapshot& s) { restoreSnapshot(s); },
+        [this] { sendCheckpointTraffic(); });
+  }
+}
+
+System::~System() = default;
+
+std::unique_ptr<ThreadProgram> System::makeProgram(NodeId n) const {
+  if (cfg_.programFactory) return cfg_.programFactory(n);
+  WorkloadParams p = cfg_.workloadOverride ? *cfg_.workloadOverride
+                                           : workloadPreset(cfg_.workload);
+  if (p.barrierEveryTx != 0) {
+    // Barrier workloads (barnes): every thread runs the same number of
+    // phases to completion; targetTransactions is per-thread phases.
+    p.maxTransactions = cfg_.targetTransactions;
+  }
+  return std::make_unique<SyntheticWorkload>(p, cfg_.model, n, cfg_.numNodes,
+                                             cfg_.seed);
+}
+
+void System::buildNode(NodeId n) {
+  Node& node = nodes_[n];
+  const Cycle skew = n % 4;  // below the minimum cross-node latency
+
+  if (cfg_.protocol == Protocol::kDirectory) {
+    node.home = std::make_unique<DirectoryHome>(sim_, *torus_, n, map_,
+                                                cfg_.timings, &sink_);
+    auto ctrl = std::make_unique<DirectoryCacheController>(
+        sim_, *torus_, n, map_, cfg_.l2, cfg_.timings, &sink_,
+        std::make_unique<PhysicalLogicalClock>(sim_, cfg_.dirClockDivisor,
+                                               skew));
+    node.dirCache = ctrl.get();
+    node.l2 = std::move(ctrl);
+  } else {
+    node.snoopMem = std::make_unique<SnoopMemoryController>(
+        sim_, *torus_, n, map_, cfg_.timings, &sink_);
+    auto ctrl = std::make_unique<SnoopCacheController>(
+        sim_, *tree_, *torus_, n, map_, cfg_.l2, cfg_.timings, &sink_);
+    node.snpCache = ctrl.get();
+    node.l2 = std::move(ctrl);
+  }
+
+  node.hierarchy = std::make_unique<CacheHierarchy>(
+      sim_, *node.l2, cfg_.l1, cfg_.timings, &sink_, n);
+
+  if (cfg_.dvmcCoherence &&
+      cfg_.coherenceChecker == SystemConfig::CoherenceCheckerKind::kEpoch) {
+    node.cet = std::make_unique<CacheEpochChecker>(
+        sim_, n, cfg_.dvmc, &sink_, [this, n](Message m) {
+          m.src = n;
+          m.dest = map_.homeOf(m.addr);
+          torus_->send(std::move(m));
+        });
+    node.l2->setEpochObserver(node.cet.get());
+
+    if (cfg_.protocol == Protocol::kDirectory) {
+      node.metClock = std::make_unique<PhysicalLogicalClock>(
+          sim_, cfg_.dirClockDivisor, skew);
+      node.met = std::make_unique<MemoryEpochChecker>(sim_, n, cfg_.dvmc,
+                                                      &sink_, *node.metClock);
+      node.home->setHomeObserver(node.met.get());
+    } else {
+      node.met = std::make_unique<MemoryEpochChecker>(
+          sim_, n, cfg_.dvmc, &sink_, node.snoopMem->clock());
+      node.snoopMem->setHomeObserver(node.met.get());
+    }
+  } else if (cfg_.dvmcCoherence) {
+    // Cantin-style shadow-replay coherence checker: no inform traffic.
+    node.shadowCache = std::make_unique<ShadowCacheChecker>(sim_, n, &sink_);
+    node.l2->setEpochObserver(node.shadowCache.get());
+    node.shadowHome = std::make_unique<ShadowHomeChecker>(sim_, n, &sink_);
+    if (cfg_.protocol == Protocol::kDirectory) {
+      node.home->setHomeObserver(node.shadowHome.get());
+    } else {
+      node.snoopMem->setHomeObserver(node.shadowHome.get());
+    }
+  }
+
+  if (cfg_.dvmcUniproc) {
+    node.vc = std::make_unique<VerificationCache>(
+        n, cfg_.dvmc.vcWordCapacity, &sink_);
+  }
+  if (cfg_.dvmcReorder) {
+    node.ar = std::make_unique<ReorderChecker>(sim_, n, &sink_);
+  }
+
+  // Architectural memory shadow for SafetyNet (plus the audit hook).
+  node.l2->setStorePerformHook(
+      [this, n](Addr addr, std::size_t size, std::uint64_t value) {
+        const Addr blk = blockAddr(addr);
+        auto it = shadow_.find(blk);
+        if (it == shadow_.end()) {
+          it = shadow_.emplace(blk, MemoryStorage::initialPattern(blk)).first;
+        }
+        it->second.write(blockOffset(addr), size, value);
+        ++storesSinceCkpt_;
+        if (auditHook_) auditHook_(n, addr, size, value);
+      });
+
+  node.core = std::make_unique<Core>(sim_, n, cfg_.model, cfg_.cpu,
+                                     *node.hierarchy, makeProgram(n), &sink_,
+                                     node.vc.get(), node.ar.get(), cfg_.dvmc);
+  node.hierarchy->setCpuNotifier(node.core.get());
+
+  if (cfg_.protocol == Protocol::kDirectory) {
+    node.dataRouter = std::make_unique<DirNodeRouter>(
+        node.home.get(), node.dirCache, node.met.get(), &gCkptStats);
+    torus_->attach(n, node.dataRouter.get());
+  } else {
+    node.dataRouter = std::make_unique<SnoopDataRouter>(
+        node.snpCache, node.snoopMem.get(), node.met.get(), &gCkptStats);
+    torus_->attach(n, node.dataRouter.get());
+    node.addrRouter = std::make_unique<SnoopAddrRouter>(node.snpCache,
+                                                        node.snoopMem.get());
+    tree_->attach(n, node.addrRouter.get());
+  }
+}
+
+std::uint64_t System::totalTransactions() const {
+  std::uint64_t total = 0;
+  for (const Node& n : nodes_) total += n.core->transactions();
+  return total;
+}
+
+bool System::allCoresDone() const {
+  for (const Node& n : nodes_) {
+    if (!n.core->done()) return false;
+  }
+  return true;
+}
+
+RunResult System::run() {
+  return runUntil([] { return false; });
+}
+
+RunResult System::runUntil(const std::function<bool()>& extraPred) {
+  if (!started_) {
+    started_ = true;
+    for (Node& n : nodes_) n.core->start();
+    if (ber_) ber_->start();
+    if (cfg_.autoRecover && ber_) armAutoRecovery();
+  }
+  const WorkloadParams p = cfg_.workloadOverride
+                               ? *cfg_.workloadOverride
+                               : workloadPreset(cfg_.workload);
+  const bool barrierWorkload = p.barrierEveryTx != 0;
+  const Cycle startCycle = sim_.now();
+
+  auto pred = [this, barrierWorkload, &extraPred] {
+    if (extraPred()) return true;
+    if (allCoresDone()) return true;  // finite programs ran to completion
+    if (barrierWorkload) return false;
+    return totalTransactions() >= cfg_.targetTransactions;
+  };
+  const bool reached = sim_.runUntil(pred, startCycle + cfg_.maxCycles);
+  return collectResult(reached, sim_.now() - startCycle);
+}
+
+RunResult System::collectResult(bool completed, Cycle cycles) const {
+  RunResult r;
+  r.completed = completed;
+  r.cycles = cycles;
+  r.transactions = totalTransactions();
+  r.peakLinkBytesPerCycle = torus_->peakLinkUtilization();
+  r.totalNetBytes = torus_->totalBytes();
+  r.coherenceBytes = torus_->classBytes(TrafficClass::kCoherence);
+  r.informBytes = torus_->classBytes(TrafficClass::kInform);
+  r.ckptBytes = torus_->classBytes(TrafficClass::kCkpt);
+  r.detections = sink_.count();
+  r.recoveries = ber_ ? ber_->recoveries() : 0;
+  r.unrecoverable = unrecoverable_;
+  for (const Node& n : nodes_) {
+    r.retiredInstructions += n.core->retired();
+    r.regularL1Misses += n.hierarchy->regularLoadL1Misses();
+    r.replayL1Misses += n.hierarchy->replayLoadL1Misses();
+    r.squashes += n.core->stats().get("cpu.squashes");
+    r.uoFlushes += n.core->stats().get("cpu.uoFlushes");
+    const auto* wl = dynamic_cast<const SyntheticWorkload*>(
+        &const_cast<Core&>(*n.core).program());
+    if (wl != nullptr) {
+      r.memOps += wl->memOpsEmitted();
+      r.memOps32 += wl->memOps32Emitted();
+    }
+  }
+  return r;
+}
+
+void System::resetNetStats() {
+  torus_->resetStats();
+  if (tree_) tree_->resetStats();
+}
+
+SafetyNet::Snapshot System::captureSnapshot() {
+  SafetyNet::Snapshot s;
+  s.cycle = sim_.now();
+  s.memory = shadow_;
+  s.cores.reserve(nodes_.size());
+  for (Node& n : nodes_) s.cores.push_back(n.core->snapshotState());
+  return s;
+}
+
+void System::restoreSnapshot(const SafetyNet::Snapshot& snap) {
+  // 1. Squash every in-flight message and pending controller event.
+  torus_->bumpEpoch();
+  if (tree_) tree_->bumpEpoch();
+
+  // 2. Restore the architectural memory image at each home.
+  shadow_ = snap.memory;
+  std::vector<std::unordered_map<Addr, DataBlock>> perHome(cfg_.numNodes);
+  for (const auto& [blk, data] : shadow_) {
+    perHome[map_.homeOf(blk)].emplace(blk, data);
+  }
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+    Node& node = nodes_[n];
+    if (node.home) {
+      node.home->memory().restore(perHome[n]);
+      node.home->resetDirectory();
+    }
+    if (node.snoopMem) {
+      node.snoopMem->memory().restore(perHome[n]);
+      node.snoopMem->resetState();
+    }
+    if (node.dirCache) node.dirCache->invalidateAll();
+    if (node.snpCache) node.snpCache->invalidateAll();
+    node.hierarchy->invalidateL1();
+    if (node.cet) node.cet->reset();
+    if (node.met) node.met->reset();
+    if (node.shadowCache) node.shadowCache->reset();
+    if (node.shadowHome) node.shadowHome->reset();
+  }
+
+  // 3. Restart the cores after a drain gap. The snapshot lives in
+  // SafetyNet's checkpoint deque; copy the per-core state for the deferred
+  // restart (the checkpoint may be trimmed meanwhile).
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+    Core::ArchSnapshot coreSnap = snap.cores[n];
+    sim_.schedule(cfg_.ber.restartDrainDelay,
+                  [this, n, coreSnap = std::move(coreSnap)] {
+                    nodes_[n].core->restoreState(coreSnap);
+                  });
+  }
+}
+
+bool System::recover(Cycle errorCycle) {
+  DVMC_ASSERT(ber_ != nullptr, "recover without BER");
+  return ber_->recoverBefore(errorCycle);
+}
+
+void System::armAutoRecovery() {
+  // Polls the error sink each cycle-granular event window; a detection
+  // triggers rollback to the newest checkpoint predating it. Detections
+  // raised by the squashed timeline are consumed so one error does not
+  // cause recovery loops.
+  sim_.schedule(64, [this] {
+    if (sink_.count() > handledDetections_) {
+      const Detection& d = sink_.detections()[handledDetections_];
+      handledDetections_ = sink_.count();
+      if (!ber_->recoverBefore(d.cycle)) {
+        ++unrecoverable_;
+      }
+    }
+    if (!allCoresDone()) armAutoRecovery();
+  });
+}
+
+void System::sendCheckpointTraffic() {
+  // Coordination: every node notifies every home slice (unicast control
+  // messages); logging: ~one message per few performed stores, modeling
+  // SafetyNet's old-value logging at the memory controllers.
+  const std::uint64_t stores = storesSinceCkpt_;
+  storesSinceCkpt_ = 0;
+  for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+    for (NodeId h = 0; h < cfg_.numNodes; ++h) {
+      if (h == n) continue;
+      Message m;
+      m.type = MsgType::kCkptSync;
+      m.src = n;
+      m.dest = h;
+      m.addr = 0;
+      torus_->send(m);
+    }
+  }
+  const std::uint64_t logMsgs =
+      std::min<std::uint64_t>(stores / 4, 64 * cfg_.numNodes);
+  for (std::uint64_t i = 0; i < logMsgs; ++i) {
+    Message m;
+    m.type = MsgType::kCkptLog;
+    m.src = static_cast<NodeId>(i % cfg_.numNodes);
+    m.dest = static_cast<NodeId>((i * 7 + 3) % cfg_.numNodes);
+    if (m.dest == m.src) m.dest = (m.dest + 1) % cfg_.numNodes;
+    m.addr = 0;
+    m.hasData = true;  // old-value log entries carry block data
+    torus_->send(m);
+  }
+}
+
+}  // namespace dvmc

@@ -1,0 +1,138 @@
+// Full-system assembly: N nodes, each with a core, an L1+L2 hierarchy, a
+// protocol controller (directory or snooping), a slice of memory, and —
+// when enabled — the three DVMC checkers and SafetyNet BER. This is the
+// simulated machine every experiment in the paper runs on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ber/safety_net.hpp"
+#include "coherence/directory_cache.hpp"
+#include "coherence/directory_home.hpp"
+#include "coherence/hierarchy.hpp"
+#include "coherence/snoop_cache.hpp"
+#include "coherence/snoop_memory.hpp"
+#include "common/error_sink.hpp"
+#include "cpu/core.hpp"
+#include "dvmc/cache_epoch_checker.hpp"
+#include "dvmc/memory_epoch_checker.hpp"
+#include "dvmc/reorder_checker.hpp"
+#include "dvmc/shadow_checker.hpp"
+#include "dvmc/verification_cache.hpp"
+#include "net/broadcast_tree.hpp"
+#include "net/torus.hpp"
+#include "sim/simulator.hpp"
+#include "system/config.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dvmc {
+
+class System {
+ public:
+  explicit System(SystemConfig cfg);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Runs until the transaction target is reached (barnes: all cores
+  /// finish) or maxCycles elapse; fills and returns the result.
+  RunResult run();
+
+  /// Runs until `extraPred` becomes true as well (fault experiments).
+  RunResult runUntil(const std::function<bool()>& extraPred);
+
+  // --- measurement control ---
+  void resetNetStats();
+  std::uint64_t totalTransactions() const;
+  bool allCoresDone() const;
+
+  // --- component access (tests, fault injection, benches) ---
+  Simulator& sim() { return sim_; }
+  ErrorSink& sink() { return sink_; }
+  const SystemConfig& config() const { return cfg_; }
+  TorusNetwork& dataNet() { return *torus_; }
+  BroadcastTree* addrNet() { return tree_.get(); }
+  Core& core(NodeId n) { return *nodes_[n].core; }
+  CacheHierarchy& hierarchy(NodeId n) { return *nodes_[n].hierarchy; }
+  CoherentCache& l2(NodeId n) { return *nodes_[n].l2; }
+  DirectoryHome* home(NodeId n) { return nodes_[n].home.get(); }
+  SnoopMemoryController* snoopMem(NodeId n) { return nodes_[n].snoopMem.get(); }
+  MemoryEpochChecker* met(NodeId n) { return nodes_[n].met.get(); }
+  CacheEpochChecker* cet(NodeId n) { return nodes_[n].cet.get(); }
+  ShadowCacheChecker* shadowCache(NodeId n) {
+    return nodes_[n].shadowCache.get();
+  }
+  ShadowHomeChecker* shadowHome(NodeId n) {
+    return nodes_[n].shadowHome.get();
+  }
+  SafetyNet* ber() { return ber_.get(); }
+  std::size_t numNodes() const { return cfg_.numNodes; }
+
+  /// Test/tooling hook observing every performed store (runs in addition
+  /// to the internal architectural-shadow bookkeeping).
+  using StoreAuditHook =
+      std::function<void(NodeId, Addr, std::size_t, std::uint64_t)>;
+  void setStoreAuditHook(StoreAuditHook h) { auditHook_ = std::move(h); }
+
+  /// SafetyNet plumbing (public for tests).
+  SafetyNet::Snapshot captureSnapshot();
+  void restoreSnapshot(const SafetyNet::Snapshot& snap);
+
+  /// Triggers BER recovery to the newest checkpoint before `errorCycle`.
+  bool recover(Cycle errorCycle);
+
+  /// Collects a RunResult from the current counters (run() calls this).
+  RunResult collectResult(bool completed, Cycle cycles) const;
+
+ private:
+  struct Node {
+    // Directory flavor.
+    std::unique_ptr<DirectoryHome> home;
+    DirectoryCacheController* dirCache = nullptr;
+    // Snooping flavor.
+    std::unique_ptr<SnoopMemoryController> snoopMem;
+    SnoopCacheController* snpCache = nullptr;
+
+    std::unique_ptr<CoherentCache> l2;
+    std::unique_ptr<CacheHierarchy> hierarchy;
+    std::unique_ptr<CacheEpochChecker> cet;
+    std::unique_ptr<MemoryEpochChecker> met;
+    std::unique_ptr<ShadowCacheChecker> shadowCache;
+    std::unique_ptr<ShadowHomeChecker> shadowHome;
+    std::unique_ptr<PhysicalLogicalClock> metClock;  // directory time base
+    std::unique_ptr<VerificationCache> vc;
+    std::unique_ptr<ReorderChecker> ar;
+    std::unique_ptr<Core> core;
+    std::unique_ptr<NetworkEndpoint> dataRouter;
+    std::unique_ptr<NetworkEndpoint> addrRouter;
+  };
+
+  void buildNode(NodeId n);
+  std::unique_ptr<ThreadProgram> makeProgram(NodeId n) const;
+  void sendCheckpointTraffic();
+
+  SystemConfig cfg_;
+  Simulator sim_;
+  ErrorSink sink_;
+  MemoryMap map_;
+  std::unique_ptr<TorusNetwork> torus_;
+  std::unique_ptr<BroadcastTree> tree_;
+  std::vector<Node> nodes_;
+  std::unique_ptr<SafetyNet> ber_;
+
+  // Architectural memory shadow: updated at every performed store; the
+  // basis for SafetyNet checkpoints.
+  void armAutoRecovery();
+
+  std::unordered_map<Addr, DataBlock> shadow_;
+  StoreAuditHook auditHook_;
+  std::uint64_t storesSinceCkpt_ = 0;
+  std::size_t handledDetections_ = 0;
+  std::uint64_t unrecoverable_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dvmc

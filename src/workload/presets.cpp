@@ -1,0 +1,123 @@
+#include "workload/params.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+const char* workloadName(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kApache: return "apache";
+    case WorkloadKind::kOltp: return "oltp";
+    case WorkloadKind::kJbb: return "jbb";
+    case WorkloadKind::kSlash: return "slash";
+    case WorkloadKind::kBarnes: return "barnes";
+    case WorkloadKind::kMicroMix: return "micromix";
+  }
+  return "?";
+}
+
+WorkloadKind workloadFromName(const std::string& name) {
+  if (name == "apache") return WorkloadKind::kApache;
+  if (name == "oltp") return WorkloadKind::kOltp;
+  if (name == "jbb") return WorkloadKind::kJbb;
+  if (name == "slash") return WorkloadKind::kSlash;
+  if (name == "barnes") return WorkloadKind::kBarnes;
+  if (name == "micromix") return WorkloadKind::kMicroMix;
+  DVMC_FATAL("unknown workload name");
+}
+
+WorkloadParams workloadPreset(WorkloadKind kind) {
+  WorkloadParams p;
+  p.kind = kind;
+  switch (kind) {
+    case WorkloadKind::kApache:
+      // Static web serving: many worker threads, mostly private request
+      // buffers, moderate sharing, light locking, 27% v8 code (Table 8).
+      p.privateBlocks = 768;
+      p.sharedBlocks = 384;
+      p.hotBlocks = 24;
+      p.hotFraction = 0.15;
+      p.numLocks = 64;
+      p.txOps = 40;
+      p.sharedFraction = 0.22;
+      p.writeFraction = 0.16;
+      p.lockFraction = 0.35;
+      p.csOps = 6;
+      p.frac32Bit = 0.27;
+      break;
+    case WorkloadKind::kOltp:
+      // TPC-C-like: larger transactions, heavier sharing and writes,
+      // moderate lock contention, 26% v8 code.
+      p.privateBlocks = 512;
+      p.sharedBlocks = 512;
+      p.hotBlocks = 32;
+      p.hotFraction = 0.3;
+      p.numLocks = 32;
+      p.txOps = 64;
+      p.sharedFraction = 0.35;
+      p.writeFraction = 0.24;
+      p.lockFraction = 0.7;
+      p.csOps = 10;
+      p.frac32Bit = 0.26;
+      break;
+    case WorkloadKind::kJbb:
+      // SPECjbb: Java middleware, warehouse-local data dominates, lots of
+      // allocation-style stores, little true sharing, 15% v8 code.
+      p.privateBlocks = 640;
+      p.sharedBlocks = 192;
+      p.hotBlocks = 8;
+      p.hotFraction = 0.1;
+      p.numLocks = 96;
+      p.txOps = 48;
+      p.sharedFraction = 0.1;
+      p.writeFraction = 0.3;
+      p.lockFraction = 0.25;
+      p.csOps = 5;
+      p.frac32Bit = 0.15;
+      break;
+    case WorkloadKind::kSlash:
+      // Slashcode: dynamic web + database with a handful of highly
+      // contended locks — the paper's high-variance outlier.
+      p.privateBlocks = 384;
+      p.sharedBlocks = 256;
+      p.hotBlocks = 8;
+      p.hotFraction = 0.4;
+      p.numLocks = 2;
+      p.txOps = 36;
+      p.sharedFraction = 0.3;
+      p.writeFraction = 0.22;
+      p.lockFraction = 0.9;
+      p.csOps = 10;
+      p.frac32Bit = 0.27;
+      break;
+    case WorkloadKind::kBarnes:
+      // SPLASH-2 Barnes-Hut: read-mostly shared tree within a phase,
+      // global barriers between phases, 64-bit scientific code.
+      p.privateBlocks = 384;
+      p.sharedBlocks = 512;
+      p.hotBlocks = 16;
+      p.hotFraction = 0.1;
+      p.numLocks = 32;
+      p.txOps = 96;
+      p.sharedFraction = 0.45;
+      p.writeFraction = 0.12;
+      p.lockFraction = 0.15;
+      p.csOps = 4;
+      p.frac32Bit = 0.02;
+      p.barrierEveryTx = 1;  // one barrier per phase-transaction
+      break;
+    case WorkloadKind::kMicroMix:
+      p.privateBlocks = 64;
+      p.sharedBlocks = 32;
+      p.numLocks = 4;
+      p.txOps = 16;
+      p.sharedFraction = 0.3;
+      p.writeFraction = 0.3;
+      p.lockFraction = 0.3;
+      p.csOps = 4;
+      break;
+  }
+  return p;
+}
+
+}  // namespace dvmc

@@ -1,0 +1,53 @@
+// A fixed, scripted instruction sequence — the unit-test / example analogue
+// of a hand-written assembly kernel. Optionally loops the sequence a given
+// number of times.
+#pragma once
+
+#include <vector>
+
+#include "cpu/instr.hpp"
+
+namespace dvmc {
+
+class ScriptedProgram final : public ThreadProgram {
+ public:
+  explicit ScriptedProgram(std::vector<Instr> instrs,
+                           std::uint64_t iterations = 1)
+      : instrs_(std::move(instrs)), iterations_(iterations) {}
+
+  std::optional<Instr> next() override {
+    if (finished()) return std::nullopt;
+    Instr i = instrs_[pos_++];
+    if (pos_ == instrs_.size() && ++iter_ < iterations_) pos_ = 0;
+    return i;
+  }
+
+  void onResult(std::uint64_t token, std::uint64_t value) override {
+    results_.emplace_back(token, value);
+  }
+
+  bool finished() const override {
+    return iter_ >= iterations_ ||
+           (iter_ + 1 == iterations_ && pos_ >= instrs_.size());
+  }
+
+  std::uint64_t transactionsCompleted() const override { return iter_; }
+
+  std::unique_ptr<ThreadProgram> clone() const override {
+    return std::make_unique<ScriptedProgram>(*this);
+  }
+
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& results()
+      const {
+    return results_;
+  }
+
+ private:
+  std::vector<Instr> instrs_;
+  std::uint64_t iterations_;
+  std::size_t pos_ = 0;
+  std::uint64_t iter_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> results_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,212 @@
+#include "workload/synthetic.hpp"
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+namespace {
+// Acquire ordering: the lock-acquiring swap acts as a load; later accesses
+// must not float above it. Release ordering: earlier accesses must be
+// visible before the lock-freeing store.
+constexpr std::uint8_t kAcquireMask = membar::kLoadLoad | membar::kLoadStore;
+constexpr std::uint8_t kReleaseMask = membar::kLoadStore | membar::kStoreStore;
+}  // namespace
+
+SyntheticWorkload::SyntheticWorkload(WorkloadParams params,
+                                     ConsistencyModel systemModel,
+                                     NodeId self, std::size_t numThreads,
+                                     std::uint64_t seed)
+    : p_(params),
+      model_(systemModel),
+      self_(self),
+      numThreads_(numThreads),
+      rng_(seed ^ (0x9E3779B97F4A7C15ULL * (self + 1))) {}
+
+bool SyntheticWorkload::finished() const {
+  return txDone_ >= p_.maxTransactions && pending_.empty() && !waiting_;
+}
+
+void SyntheticWorkload::emit(Instr i) {
+  i.is32Bit = tx32_;
+  if (i.isMemOp()) {
+    ++memOps_;
+    if (i.is32Bit) ++memOps32_;
+  }
+  pending_.push_back(i);
+}
+
+void SyntheticWorkload::emitCompute() {
+  emit(Instr::compute(static_cast<std::uint16_t>(
+      rng_.range(p_.computeMin, p_.computeMax))));
+}
+
+Addr SyntheticWorkload::pickDataAddr(bool hot) {
+  const std::size_t word = rng_.below(kBlockSizeWords);
+  if (hot) {
+    return AddressMap::sharedAddr(rng_.below(p_.hotBlocks), word);
+  }
+  if (rng_.chance(p_.sharedFraction)) {
+    const bool inHotSet = rng_.chance(p_.hotFraction);
+    const std::size_t blk =
+        inHotSet ? rng_.below(p_.hotBlocks) : rng_.below(p_.sharedBlocks);
+    return AddressMap::sharedAddr(blk, word);
+  }
+  return AddressMap::privateAddr(self_, rng_.below(p_.privateBlocks), word);
+}
+
+std::optional<Instr> SyntheticWorkload::next() {
+  if (pending_.empty() && !waiting_ && txDone_ < p_.maxTransactions) {
+    planTransaction();
+  }
+  if (pending_.empty()) return std::nullopt;  // finished or awaiting result
+  Instr i = pending_.front();
+  pending_.pop_front();
+  if (i.token != 0) waiting_ = true;
+  return i;
+}
+
+void SyntheticWorkload::planTransaction() {
+  tx32_ = rng_.chance(p_.frac32Bit);
+  if (rng_.chance(p_.lockFraction)) {
+    inBarrier_ = false;
+    // Slash-style skew: with few locks, contention concentrates naturally;
+    // with many locks, bias a little toward lock 0 to create a warm lock.
+    const std::size_t idx =
+        rng_.chance(0.25) ? 0 : rng_.below(p_.numLocks);
+    curLock_ = AddressMap::lockAddr(idx);
+    planAcquire();
+    return;  // continuation planned from onResult
+  }
+  planBody();
+  finishTransaction();
+}
+
+void SyntheticWorkload::planAcquire() {
+  // Test-and-CAS attempt; the result steers the continuation. The lock
+  // value is owner-id + 1 (not just 1), and compare-and-swap (rather than
+  // an unconditional exchange) keeps failed attempts from clobbering the
+  // holder's value — which both preserves mutual exclusion and lets a
+  // post-recovery re-executed acquire recognize a lock this thread
+  // already holds.
+  emit(Instr::cas(curLock_, 0, std::uint64_t{self_} + 1,
+                  static_cast<std::uint64_t>(Token::kAcquire)));
+}
+
+void SyntheticWorkload::planAcquiredPath() {
+  // Critical section over the hot set, then release.
+  if (!tx32_ && model_ == ConsistencyModel::kRMO) {
+    emit(Instr::membar(kAcquireMask));
+  }
+  if (inBarrier_) {
+    // Barrier critical section: read the phase counter (feedback), then
+    // increment + release are planned by onResult.
+    emit(Instr::load(AddressMap::barrierAddr(),
+                     static_cast<std::uint64_t>(Token::kBarrierRead)));
+    return;
+  }
+  for (std::size_t i = 0; i < p_.csOps; ++i) {
+    emitCompute();
+    const Addr a = pickDataAddr(/*hot=*/true);
+    if (rng_.chance(0.5)) {
+      emit(Instr::store(a, nextValue()));
+    } else {
+      emit(Instr::load(a));
+    }
+  }
+  if (!tx32_) {
+    if (model_ == ConsistencyModel::kRMO) {
+      emit(Instr::membar(kReleaseMask));
+    } else if (model_ == ConsistencyModel::kPSO) {
+      emit(Instr::stbar());
+    }
+  }
+  emit(Instr::store(curLock_, 0));  // release
+  planBody();
+  finishTransaction();
+}
+
+void SyntheticWorkload::planBody() {
+  for (std::size_t i = 0; i < p_.txOps; ++i) {
+    emitCompute();
+    const Addr a = pickDataAddr(/*hot=*/false);
+    if (rng_.chance(p_.writeFraction)) {
+      emit(Instr::store(a, nextValue()));
+    } else {
+      emit(Instr::load(a));
+    }
+  }
+}
+
+void SyntheticWorkload::finishTransaction() {
+  ++txDone_;
+  if (p_.barrierEveryTx != 0 && txDone_ % p_.barrierEveryTx == 0 &&
+      txDone_ < p_.maxTransactions) {
+    planBarrier();
+  }
+}
+
+void SyntheticWorkload::planBarrier() {
+  // Global sense-free barrier: lock-protected increment of a monotonic
+  // counter, then spin until the counter reaches barriers-so-far *
+  // numThreads (each thread increments once per barrier, not per
+  // transaction).
+  inBarrier_ = true;
+  barrierTarget_ = (txDone_ / p_.barrierEveryTx) * numThreads_;
+  curLock_ = AddressMap::lockAddr(p_.numLocks);  // dedicated barrier lock
+  planAcquire();
+}
+
+void SyntheticWorkload::onResult(std::uint64_t token, std::uint64_t value) {
+  waiting_ = false;
+  switch (static_cast<Token>(token)) {
+    case Token::kAcquire:
+      if (value == 0 || value == std::uint64_t{self_} + 1) {
+        planAcquiredPath();
+      } else {
+        // Lock held: spin with plain loads (test-and-test-and-set).
+        emitCompute();
+        emit(Instr::load(curLock_, static_cast<std::uint64_t>(Token::kSpin)));
+      }
+      return;
+    case Token::kSpin:
+      if (value == 0) {
+        planAcquire();  // observed free: retry the swap
+      } else {
+        emitCompute();
+        emit(Instr::load(curLock_, static_cast<std::uint64_t>(Token::kSpin)));
+      }
+      return;
+    case Token::kBarrierRead: {
+      // Inside the barrier critical section: increment and release.
+      emit(Instr::store(AddressMap::barrierAddr(), value + 1));
+      if (!tx32_) {
+        if (model_ == ConsistencyModel::kRMO) {
+          emit(Instr::membar(kReleaseMask));
+        } else if (model_ == ConsistencyModel::kPSO) {
+          emit(Instr::stbar());
+        }
+      }
+      emit(Instr::store(curLock_, 0));
+      emit(Instr::load(AddressMap::barrierAddr(),
+                       static_cast<std::uint64_t>(Token::kBarrierSpin)));
+      return;
+    }
+    case Token::kBarrierSpin:
+      if (value >= barrierTarget_) {
+        inBarrier_ = false;
+        if (!tx32_ && model_ == ConsistencyModel::kRMO) {
+          emit(Instr::membar(kAcquireMask));
+        }
+        // Phase complete; the next transaction starts from next().
+      } else {
+        emitCompute();
+        emit(Instr::load(AddressMap::barrierAddr(),
+                         static_cast<std::uint64_t>(Token::kBarrierSpin)));
+      }
+      return;
+    case Token::kNone:
+      DVMC_FATAL("onResult with token 0");
+  }
+}
+
+}  // namespace dvmc

@@ -1,0 +1,87 @@
+// Synthetic multithreaded workload generator.
+//
+// Emits a transaction-structured instruction stream: optional lock-guarded
+// critical sections over a contended hot set (test-and-test-and-set with
+// atomic swap), a body of loads/stores over shared and private regions with
+// compute bursts in between, model-appropriate synchronization membars
+// (none for SC/TSO, Stbar for PSO releases, acquire/release membars for
+// RMO), contiguous 32-bit v8 regions (Table 8), and optional global
+// barriers between phases (barnes).
+//
+// The generator is a value type: clone() (used by SafetyNet checkpointing)
+// is a plain copy, and all randomness comes from an owned Rng, so replay
+// from a snapshot is exact.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "consistency/model.hpp"
+#include "cpu/instr.hpp"
+#include "workload/params.hpp"
+
+namespace dvmc {
+
+class SyntheticWorkload final : public ThreadProgram {
+ public:
+  SyntheticWorkload(WorkloadParams params, ConsistencyModel systemModel,
+                    NodeId self, std::size_t numThreads, std::uint64_t seed);
+
+  // --- ThreadProgram ---
+  std::optional<Instr> next() override;
+  void onResult(std::uint64_t token, std::uint64_t value) override;
+  bool finished() const override;
+  std::uint64_t transactionsCompleted() const override { return txDone_; }
+  std::unique_ptr<ThreadProgram> clone() const override {
+    return std::make_unique<SyntheticWorkload>(*this);
+  }
+
+  // --- measurement (Table 8 reproduction) ---
+  std::uint64_t memOpsEmitted() const { return memOps_; }
+  std::uint64_t memOps32Emitted() const { return memOps32_; }
+  double fraction32Bit() const {
+    return memOps_ ? static_cast<double>(memOps32_) /
+                         static_cast<double>(memOps_)
+                   : 0.0;
+  }
+
+ private:
+  enum class Token : std::uint64_t {
+    kNone = 0,
+    kAcquire,      // swap on a lock word
+    kSpin,         // test load while spinning
+    kBarrierRead,  // counter read inside the barrier critical section
+    kBarrierSpin,  // waiting for the phase counter to reach the target
+  };
+
+  void emit(Instr i);
+  void emitCompute();
+  void planTransaction();
+  void planAcquire();
+  void planAcquiredPath();
+  void planBody();
+  void planBarrier();
+  void finishTransaction();
+  Addr pickDataAddr(bool hot);
+  std::uint64_t nextValue() { return (std::uint64_t{self_} << 48) | ++valCounter_; }
+
+  WorkloadParams p_;
+  ConsistencyModel model_;
+  NodeId self_;
+  std::size_t numThreads_;
+  Rng rng_;
+
+  std::deque<Instr> pending_;
+  bool waiting_ = false;
+  bool tx32_ = false;          // current transaction is v8 (TSO) code
+  bool inBarrier_ = false;     // acquire machinery serves the barrier
+  Addr curLock_ = 0;
+  std::uint64_t txDone_ = 0;
+  std::uint64_t valCounter_ = 0;
+  std::uint64_t memOps_ = 0;
+  std::uint64_t memOps32_ = 0;
+  std::uint64_t barrierTarget_ = 0;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,195 @@
+// SafetyNet backward-error-recovery tests: checkpoint cadence, rollback
+// with full state restoration, post-recovery forward progress, and the
+// recovery-window bound.
+#include <gtest/gtest.h>
+
+#include "system/system.hpp"
+#include "workload/scripted.hpp"
+
+namespace dvmc {
+namespace {
+
+SystemConfig berConfig(Protocol p = Protocol::kDirectory) {
+  SystemConfig cfg = SystemConfig::withDvmc(p, ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kMicroMix;
+  cfg.targetTransactions = 120;
+  cfg.ber.interval = 5'000;
+  cfg.ber.maxCheckpoints = 4;
+  cfg.maxCycles = 30'000'000;
+  return cfg;
+}
+
+TEST(SafetyNet, CheckpointsAccumulateAndTrim) {
+  SystemConfig cfg = berConfig();
+  System sys(cfg);
+  sys.runUntil([&] { return sys.sim().now() >= 40'000; });
+  ASSERT_NE(sys.ber(), nullptr);
+  EXPECT_EQ(sys.ber()->checkpointCount(), cfg.ber.maxCheckpoints);
+  EXPECT_GT(sys.ber()->newestCheckpoint(), sys.ber()->oldestCheckpoint());
+  EXPECT_EQ(sys.ber()->recoveryWindow(),
+            cfg.ber.interval * cfg.ber.maxCheckpoints);
+}
+
+TEST(SafetyNet, RecoveryRewindsAndCompletes) {
+  SystemConfig cfg = berConfig();
+  System sys(cfg);
+  sys.runUntil([&] { return sys.sim().now() >= 25'000; });
+  const std::uint64_t txnsBefore = sys.totalTransactions();
+  ASSERT_TRUE(sys.recover(sys.sim().now()));
+  EXPECT_EQ(sys.ber()->recoveries(), 1u);
+  // The rolled-back system must make forward progress to the target with
+  // no checker detections (a consistent restore).
+  RunResult r = sys.runUntil([] { return false; });
+  EXPECT_TRUE(r.completed) << "post-recovery deadlock";
+  EXPECT_EQ(sys.sink().count(), 0u) << sys.sink().first().what;
+  EXPECT_GE(sys.totalTransactions(), txnsBefore);
+}
+
+TEST(SafetyNet, RecoveryBeforeWindowFails) {
+  SystemConfig cfg = berConfig();
+  System sys(cfg);
+  sys.runUntil([&] { return sys.sim().now() >= 100'000; });
+  // An "error" that happened before the oldest retained checkpoint cannot
+  // be recovered.
+  EXPECT_FALSE(sys.recover(sys.ber()->oldestCheckpoint()));
+  EXPECT_TRUE(sys.recover(sys.sim().now()));
+}
+
+TEST(SafetyNet, RepeatedRecoveriesStayConsistent) {
+  SystemConfig cfg = berConfig();
+  cfg.targetTransactions = 150;
+  System sys(cfg);
+  for (int i = 1; i <= 3; ++i) {
+    sys.runUntil([&, i] { return sys.sim().now() >= i * 30'000u; });
+    if (sys.allCoresDone()) break;
+    ASSERT_TRUE(sys.recover(sys.sim().now())) << "recovery " << i;
+    // Drain the restart gap so cores resume before the next deadline.
+    sys.runUntil([&] { return false; });
+    if (sys.allCoresDone() ||
+        sys.totalTransactions() >= cfg.targetTransactions) {
+      break;
+    }
+  }
+  RunResult r = sys.runUntil([] { return false; });
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(sys.sink().count(), 0u) << sys.sink().first().what;
+}
+
+TEST(SafetyNet, SnoopingRecoveryWorksToo) {
+  SystemConfig cfg = berConfig(Protocol::kSnooping);
+  System sys(cfg);
+  sys.runUntil([&] { return sys.sim().now() >= 25'000; });
+  ASSERT_TRUE(sys.recover(sys.sim().now()));
+  RunResult r = sys.runUntil([] { return false; });
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(sys.sink().count(), 0u) << sys.sink().first().what;
+}
+
+TEST(SafetyNet, SnapshotRestoreRoundTripPreservesMemory) {
+  // Write values, snapshot, write more, restore: the memory image must
+  // match the snapshot point exactly.
+  SystemConfig cfg = berConfig();
+  cfg.berEnabled = true;
+  cfg.programFactory = [](NodeId n) -> std::unique_ptr<ThreadProgram> {
+    std::vector<Instr> p;
+    if (n == 0) {
+      for (int i = 0; i < 10; ++i) {
+        p.push_back(Instr::store(0x400000 + i * kBlockSizeBytes, 1000 + i));
+      }
+    }
+    return std::make_unique<ScriptedProgram>(p);
+  };
+  System sys(cfg);
+  RunResult r = sys.run();  // run to completion: all stores performed
+  ASSERT_TRUE(r.completed);
+  SafetyNet::Snapshot snap = sys.captureSnapshot();
+  for (int i = 0; i < 10; ++i) {
+    const Addr blk = 0x400000 + i * kBlockSizeBytes;
+    ASSERT_TRUE(snap.memory.count(blk)) << i;
+    EXPECT_EQ(snap.memory.at(blk).read(0, 8), 1000u + i);
+  }
+  // Corrupt the live memory, restore, verify.
+  MemoryMap map{4};
+  sys.home(map.homeOf(0x400000))->memory().injectBitFlip(0x400000, 3);
+  sys.restoreSnapshot(snap);
+  ErrorSink scratch;
+  EXPECT_EQ(sys.home(map.homeOf(0x400000))
+                ->memory()
+                .read(0x400000, &scratch, 0, 0)
+                .read(0, 8),
+            1000u);
+  EXPECT_FALSE(scratch.any());
+}
+
+TEST(SafetyNet, CheckpointTrafficIsVisible) {
+  SystemConfig cfg = berConfig();
+  cfg.dvmcCoherence = false;  // isolate BER traffic
+  cfg.dvmcUniproc = false;
+  cfg.dvmcReorder = false;
+  System sysWith(cfg);
+  sysWith.runUntil([&] { return sysWith.sim().now() >= 30'000; });
+  const std::uint64_t with = sysWith.dataNet().totalBytes();
+
+  cfg.berEnabled = false;
+  cfg.seed = 1;
+  System sysWithout(cfg);
+  sysWithout.runUntil([&] { return sysWithout.sim().now() >= 30'000; });
+  const std::uint64_t without = sysWithout.dataNet().totalBytes();
+  EXPECT_GT(with, without);
+}
+
+
+TEST(SafetyNet, RecoveryMidBarrierWorkloadCompletes) {
+  // Barnes-style barrier phases: recovery in the middle of a barrier is
+  // the nastiest state (a lock may be held, the phase counter mid-update,
+  // some threads spinning). The restored run must still reach completion
+  // with no detections.
+  SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory,
+                                            ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kBarnes;
+  cfg.targetTransactions = 4;  // phases per thread
+  cfg.ber.interval = 4'000;
+  cfg.ber.maxCheckpoints = 5;
+  cfg.maxCycles = 60'000'000;
+  System sys(cfg);
+  // Let it run into the middle of the phase structure, then roll back.
+  sys.runUntil([&] { return sys.totalTransactions() >= 6; });
+  ASSERT_FALSE(sys.allCoresDone());
+  ASSERT_TRUE(sys.recover(sys.sim().now()));
+  RunResult r = sys.runUntil([] { return false; });
+  EXPECT_TRUE(r.completed) << "barrier deadlock after recovery";
+  EXPECT_EQ(sys.sink().count(), 0u)
+      << (sys.sink().any() ? sys.sink().first().what : "");
+  // All four threads ran all four phases.
+  EXPECT_EQ(sys.totalTransactions(), 16u);
+}
+
+TEST(SafetyNet, RecoveryDuringCriticalSectionPreservesMutualExclusion) {
+  // Roll back while locks are (likely) held mid-critical-section on a
+  // contended workload; the owner-id CAS re-acquisition must not break
+  // mutual exclusion (no checker noise, run completes).
+  SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory,
+                                            ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kSlash;  // lockFraction 0.9, 2 locks
+  cfg.targetTransactions = 150;
+  cfg.ber.interval = 3'000;
+  cfg.maxCycles = 60'000'000;
+  System sys(cfg);
+  for (int i = 1; i <= 4; ++i) {
+    sys.runUntil([&, until = 10'000u * i] {
+      return sys.sim().now() >= until;
+    });
+    if (sys.allCoresDone()) break;
+    ASSERT_TRUE(sys.recover(sys.sim().now())) << i;
+  }
+  RunResult r = sys.runUntil([] { return false; });
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(sys.sink().count(), 0u)
+      << (sys.sink().any() ? sys.sink().first().what : "");
+}
+
+}  // namespace
+}  // namespace dvmc

@@ -1,0 +1,244 @@
+// Exhaustive validation of the ordering tables against the paper's
+// Tables 1-4, the membar mask algebra, and the runtime model-switch rule.
+#include <gtest/gtest.h>
+
+#include "consistency/model.hpp"
+#include "consistency/op.hpp"
+#include "consistency/ordering_table.hpp"
+
+namespace dvmc {
+namespace {
+
+bool order(const OrderingTable& t, OpType x, OpType y,
+           std::uint8_t maskX = 0, std::uint8_t maskY = 0) {
+  return t.requiresOrder(x, maskX, y, maskY);
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: Total Store Order
+// ---------------------------------------------------------------------------
+
+TEST(OrderingTable, TsoMatchesTable2) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kTSO);
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kLoad));
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kStore));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kLoad));
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kStore));
+}
+
+TEST(OrderingTable, Table1ProcessorConsistencyEqualsTso) {
+  // The paper's Table 1 illustrates Processor Consistency; SPARC TSO is "a
+  // variant of Processor Consistency" with identical load/store entries,
+  // so the TSO table doubles as Table 1.
+  const auto t = OrderingTable::forModel(ConsistencyModel::kTSO);
+  EXPECT_EQ(t.entry(OpClass::kLoad, OpClass::kLoad), membar::kAll);
+  EXPECT_EQ(t.entry(OpClass::kLoad, OpClass::kStore), membar::kAll);
+  EXPECT_EQ(t.entry(OpClass::kStore, OpClass::kLoad), 0);
+  EXPECT_EQ(t.entry(OpClass::kStore, OpClass::kStore), membar::kAll);
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: Partial Store Order (Stbar == Membar #SS)
+// ---------------------------------------------------------------------------
+
+TEST(OrderingTable, PsoMatchesTable3) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kPSO);
+  const std::uint8_t stbar = membar::kStbar;
+  // Load row.
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kLoad));
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kStore));
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kMembar, 0, stbar));
+  // Store row.
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kLoad));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kStore));
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kMembar, 0, stbar));
+  // Stbar row.
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kLoad, stbar, 0));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kStore, stbar, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kMembar, stbar, stbar));
+}
+
+TEST(OrderingTable, PsoStbarTransitivelyOrdersStores) {
+  // ST A; STBAR; ST B — A must perform before the stbar and the stbar
+  // before B, giving store-store ordering through the barrier.
+  const auto t = OrderingTable::forModel(ConsistencyModel::kPSO);
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kMembar, 0, membar::kStbar));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kStore, membar::kStbar, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Table 4: Relaxed Memory Order
+// ---------------------------------------------------------------------------
+
+TEST(OrderingTable, RmoDataOpsUnordered) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kRMO);
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kLoad));
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kStore));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kLoad));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kStore));
+}
+
+TEST(OrderingTable, RmoMembarMaskSemantics) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kRMO);
+  using namespace membar;
+  // Load -> Membar requires #LL or #LS in the membar's mask.
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kMembar, 0, kLoadLoad));
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kMembar, 0, kLoadStore));
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kMembar, 0, kStoreLoad));
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kMembar, 0, kStoreStore));
+  // Store -> Membar requires #SL or #SS.
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kMembar, 0, kStoreLoad));
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kMembar, 0, kStoreStore));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kMembar, 0, kLoadLoad));
+  EXPECT_FALSE(order(t, OpType::kStore, OpType::kMembar, 0, kLoadStore));
+  // Membar -> Load requires #LL or #SL.
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kLoad, kLoadLoad, 0));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kLoad, kStoreLoad, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kLoad, kLoadStore, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kLoad, kStoreStore, 0));
+  // Membar -> Store requires #LS or #SS.
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kStore, kLoadStore, 0));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kStore, kStoreStore, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kStore, kLoadLoad, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kStore, kStoreLoad, 0));
+}
+
+TEST(OrderingTable, RmoFullMembarOrdersEverything) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kRMO);
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kMembar, 0, membar::kAll));
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kMembar, 0, membar::kAll));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kLoad, membar::kAll, 0));
+  EXPECT_TRUE(order(t, OpType::kMembar, OpType::kStore, membar::kAll, 0));
+}
+
+TEST(OrderingTable, ZeroMaskMembarOrdersNothing) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kRMO);
+  EXPECT_FALSE(order(t, OpType::kLoad, OpType::kMembar, 0, 0));
+  EXPECT_FALSE(order(t, OpType::kMembar, OpType::kStore, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// SC
+// ---------------------------------------------------------------------------
+
+TEST(OrderingTable, ScOrdersAllDataPairs) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kSC);
+  for (OpType x : {OpType::kLoad, OpType::kStore}) {
+    for (OpType y : {OpType::kLoad, OpType::kStore}) {
+      EXPECT_TRUE(order(t, x, y));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics: both load and store obligations (Section 4)
+// ---------------------------------------------------------------------------
+
+TEST(OrderingTable, AtomicCarriesBothObligationsUnderTso) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kTSO);
+  // Atomic behaves as a load: ordered before stores and loads.
+  EXPECT_TRUE(order(t, OpType::kAtomic, OpType::kLoad));
+  EXPECT_TRUE(order(t, OpType::kAtomic, OpType::kStore));
+  // Store -> Atomic: the atomic's load half gives Load ordering? No:
+  // Store->Load is relaxed, but Store->Store applies to the store half.
+  EXPECT_TRUE(order(t, OpType::kStore, OpType::kAtomic));
+  EXPECT_TRUE(order(t, OpType::kLoad, OpType::kAtomic));
+}
+
+TEST(OrderingTable, AtomicUnderRmoOnlyOrderedByMembars) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kRMO);
+  EXPECT_FALSE(order(t, OpType::kAtomic, OpType::kLoad));
+  EXPECT_FALSE(order(t, OpType::kAtomic, OpType::kAtomic));
+  EXPECT_TRUE(order(t, OpType::kAtomic, OpType::kMembar, 0, membar::kAll));
+}
+
+// ---------------------------------------------------------------------------
+// Strictness hierarchy: SC ⊇ TSO ⊇ PSO ⊇ RMO
+// ---------------------------------------------------------------------------
+
+struct ModelPair {
+  ConsistencyModel stronger;
+  ConsistencyModel weaker;
+};
+
+class StrictnessChain : public ::testing::TestWithParam<ModelPair> {};
+
+TEST_P(StrictnessChain, StrongerModelImpliesWeakerConstraints) {
+  const auto strong = OrderingTable::forModel(GetParam().stronger);
+  const auto weak = OrderingTable::forModel(GetParam().weaker);
+  const OpType types[] = {OpType::kLoad, OpType::kStore, OpType::kAtomic,
+                          OpType::kMembar};
+  for (OpType x : types) {
+    for (OpType y : types) {
+      for (std::uint8_t mx = 0; mx <= membar::kAll; ++mx) {
+        for (std::uint8_t my = 0; my <= membar::kAll; ++my) {
+          if (weak.requiresOrder(x, mx, y, my)) {
+            EXPECT_TRUE(strong.requiresOrder(x, mx, y, my))
+                << opTypeName(x) << "->" << opTypeName(y) << " mx=" << int(mx)
+                << " my=" << int(my);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chain, StrictnessChain,
+    ::testing::Values(ModelPair{ConsistencyModel::kSC, ConsistencyModel::kTSO},
+                      ModelPair{ConsistencyModel::kTSO, ConsistencyModel::kPSO},
+                      ModelPair{ConsistencyModel::kPSO,
+                                ConsistencyModel::kRMO}));
+
+// ---------------------------------------------------------------------------
+// Runtime model switching (32-bit v8 code)
+// ---------------------------------------------------------------------------
+
+TEST(ModelSwitch, V8CodeForcesTsoUnderRelaxedModels) {
+  EXPECT_EQ(effectiveModel(ConsistencyModel::kPSO, true),
+            ConsistencyModel::kTSO);
+  EXPECT_EQ(effectiveModel(ConsistencyModel::kRMO, true),
+            ConsistencyModel::kTSO);
+  EXPECT_EQ(effectiveModel(ConsistencyModel::kTSO, true),
+            ConsistencyModel::kTSO);
+  EXPECT_EQ(effectiveModel(ConsistencyModel::kSC, true),
+            ConsistencyModel::kSC);  // SC is already stronger
+}
+
+TEST(ModelSwitch, SixtyFourBitCodeKeepsSystemModel) {
+  for (auto m : {ConsistencyModel::kSC, ConsistencyModel::kTSO,
+                 ConsistencyModel::kPSO, ConsistencyModel::kRMO}) {
+    EXPECT_EQ(effectiveModel(m, false), m);
+  }
+}
+
+TEST(ModelPredicates, LoadAndStoreBehaviors) {
+  EXPECT_TRUE(modelOrdersLoads(ConsistencyModel::kSC));
+  EXPECT_TRUE(modelOrdersLoads(ConsistencyModel::kTSO));
+  EXPECT_TRUE(modelOrdersLoads(ConsistencyModel::kPSO));
+  EXPECT_FALSE(modelOrdersLoads(ConsistencyModel::kRMO));
+
+  EXPECT_FALSE(modelAllowsStoreReorder(ConsistencyModel::kTSO));
+  EXPECT_TRUE(modelAllowsStoreReorder(ConsistencyModel::kPSO));
+  EXPECT_TRUE(modelAllowsStoreReorder(ConsistencyModel::kRMO));
+
+  EXPECT_FALSE(modelAllowsWriteBuffer(ConsistencyModel::kSC));
+  EXPECT_TRUE(modelAllowsWriteBuffer(ConsistencyModel::kTSO));
+}
+
+TEST(OrderingTable, ToStringMentionsModel) {
+  const auto t = OrderingTable::forModel(ConsistencyModel::kPSO);
+  EXPECT_NE(t.toString().find("PSO"), std::string::npos);
+}
+
+TEST(OpTypes, Classification) {
+  EXPECT_TRUE(isLoadLike(OpType::kLoad));
+  EXPECT_TRUE(isLoadLike(OpType::kAtomic));
+  EXPECT_FALSE(isLoadLike(OpType::kStore));
+  EXPECT_TRUE(isStoreLike(OpType::kStore));
+  EXPECT_TRUE(isStoreLike(OpType::kAtomic));
+  EXPECT_FALSE(isStoreLike(OpType::kMembar));
+}
+
+}  // namespace
+}  // namespace dvmc

@@ -1,0 +1,54 @@
+// Tests for the Section 6.3 hardware cost arithmetic.
+#include <gtest/gtest.h>
+
+#include "dvmc/hw_cost.hpp"
+
+namespace dvmc {
+namespace {
+
+TEST(HwCost, PaperScaleConfiguration) {
+  // Approximating the paper's system: CET covers L1 + L2 lines at 34 bits
+  // per line; with a ~1 MB L2 the CET lands near the paper's ~70 KB.
+  HwCostInputs in;
+  in.numNodes = 8;
+  in.l1 = {128, 4};    // 32 KB
+  in.l2 = {4096, 4};   // 1 MB
+  in.vcWords = 32;
+  HwCostReport r = computeHwCost(in);
+  // 512 + 16384 lines * 34 bits = ~71.8 KB.
+  EXPECT_NEAR(static_cast<double>(r.cetBytesPerNode), 70.0 * 1024, 4096);
+  // MET: one 48-bit entry per cached block in the system, worst case at
+  // one controller: 8 * 16896 * 6 B ~ 792 KB... the paper's 102 KB assumes
+  // blocks spread evenly; our report is the worst case and must exceed the
+  // even-spread value by about the node count.
+  EXPECT_GT(r.metBytesPerController, 8u * 100 * 1024 / 8);
+  EXPECT_EQ(r.vcBytesPerNode, 32u * 8);
+  EXPECT_GT(r.totalBytesPerNode, r.cetBytesPerNode);
+}
+
+TEST(HwCost, ScalesWithCacheSize) {
+  HwCostInputs small;
+  small.l2 = {256, 4};
+  HwCostInputs big = small;
+  big.l2 = {1024, 4};
+  EXPECT_GT(computeHwCost(big).cetBytesPerNode,
+            computeHwCost(small).cetBytesPerNode);
+  EXPECT_GT(computeHwCost(big).metBytesPerController,
+            computeHwCost(small).metBytesPerController);
+}
+
+TEST(HwCost, BitConstantsMatchPaper) {
+  HwCostReport r = computeHwCost(HwCostInputs{});
+  EXPECT_EQ(r.cetBitsPerLine, 34u);   // type + time + hash + DataReadyBit
+  EXPECT_EQ(r.metBitsPerEntry, 48u);  // RO end + RW end + hash
+}
+
+TEST(HwCost, ReportPrints) {
+  const std::string s = computeHwCost(HwCostInputs{}).toString();
+  EXPECT_NE(s.find("CET"), std::string::npos);
+  EXPECT_NE(s.find("MET"), std::string::npos);
+  EXPECT_NE(s.find("VC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvmc

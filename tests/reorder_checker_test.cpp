@@ -1,0 +1,189 @@
+// Unit tests for the Allowable Reordering checker (§4.2): legal and
+// illegal perform orders under each model, membar mask counters, and
+// lost-operation detection via injected membars.
+#include <gtest/gtest.h>
+
+#include "common/error_sink.hpp"
+#include "dvmc/reorder_checker.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+namespace {
+
+struct ArFixture : ::testing::Test {
+  ArFixture() : checker(sim, 0, &sink) {}
+  const OrderingTable& table(ConsistencyModel m) {
+    tables[static_cast<int>(m)] = OrderingTable::forModel(m);
+    return tables[static_cast<int>(m)];
+  }
+  Simulator sim;
+  ErrorSink sink;
+  ReorderChecker checker;
+  OrderingTable tables[4];
+};
+
+TEST_F(ArFixture, InOrderPerformsAreClean) {
+  const auto& t = table(ConsistencyModel::kSC);
+  for (SeqNum s = 1; s <= 20; ++s) {
+    checker.onPerform(s % 2 ? OpType::kLoad : OpType::kStore, 0, s, t);
+  }
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, TsoAllowsStoreLoadReorder) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  // ST(1) buffered; LD(2) performs first — legal under TSO.
+  checker.onCommit(OpType::kStore, 1);
+  checker.onPerform(OpType::kLoad, 0, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, ScForbidsStoreLoadReorder) {
+  const auto& t = table(ConsistencyModel::kSC);
+  checker.onPerform(OpType::kLoad, 0, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);  // store after later load
+  ASSERT_TRUE(sink.any());
+  EXPECT_EQ(sink.first().kind, CheckerKind::kAllowableReordering);
+}
+
+TEST_F(ArFixture, TsoForbidsStoreStoreReorder) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  checker.onPerform(OpType::kStore, 0, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  EXPECT_TRUE(sink.any());
+}
+
+TEST_F(ArFixture, PsoAllowsStoreStoreReorder) {
+  const auto& t = table(ConsistencyModel::kPSO);
+  checker.onPerform(OpType::kStore, 0, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, TsoForbidsLoadLoadReorder) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  checker.onPerform(OpType::kLoad, 0, 2, t);
+  checker.onPerform(OpType::kLoad, 0, 1, t);
+  EXPECT_TRUE(sink.any());
+}
+
+TEST_F(ArFixture, RmoAllowsArbitraryDataReorder) {
+  const auto& t = table(ConsistencyModel::kRMO);
+  checker.onPerform(OpType::kLoad, 0, 4, t);
+  checker.onPerform(OpType::kStore, 0, 3, t);
+  checker.onPerform(OpType::kLoad, 0, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, RmoMembarEnforcesSelectedOrdering) {
+  const auto& t = table(ConsistencyModel::kRMO);
+  // ST(1); MEMBAR #SS(2); ST(3): membar performs before ST(1) -> error
+  // when ST(1) finally performs (it should have preceded the membar).
+  checker.onCommit(OpType::kStore, 1);
+  checker.onPerform(OpType::kMembar, membar::kStoreStore, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  ASSERT_TRUE(sink.any());
+}
+
+TEST_F(ArFixture, RmoMembarWrongMaskBitIsNoConstraint) {
+  const auto& t = table(ConsistencyModel::kRMO);
+  // A #LoadLoad membar does not order stores at all.
+  checker.onCommit(OpType::kStore, 1);
+  checker.onPerform(OpType::kMembar, membar::kLoadLoad, 2, t);
+  checker.onPerform(OpType::kStore, 0, 1, t);
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, MembarAfterLaterLoadPerformedIsViolation) {
+  const auto& t = table(ConsistencyModel::kRMO);
+  // LD(3) performs, then MEMBAR #LL (2) performs: the membar required all
+  // later loads to perform after it.
+  checker.onPerform(OpType::kLoad, 0, 3, t);
+  checker.onPerform(OpType::kMembar, membar::kLoadLoad, 2, t);
+  EXPECT_TRUE(sink.any());
+}
+
+TEST_F(ArFixture, AtomicChecksBothHalves) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  // Atomic(1) performs after a later load performed: its load half is
+  // ordered before later loads under TSO -> violation.
+  checker.onPerform(OpType::kLoad, 0, 2, t);
+  checker.onPerform(OpType::kAtomic, 0, 1, t);
+  EXPECT_TRUE(sink.any());
+}
+
+TEST_F(ArFixture, AtomicUpdatesBothCounters) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  checker.onPerform(OpType::kAtomic, 0, 5, t);
+  EXPECT_EQ(checker.maxLoad(), 5u);
+  EXPECT_EQ(checker.maxStore(), 5u);
+}
+
+TEST_F(ArFixture, MixedModelChecksUsePerOpTable) {
+  // A PSO-mode store performing out of order is fine; a TSO-mode (32-bit)
+  // store with the same history is flagged.
+  checker.onPerform(OpType::kStore, 0, 2, table(ConsistencyModel::kPSO));
+  EXPECT_FALSE(sink.any());
+  checker.onPerform(OpType::kStore, 0, 1, table(ConsistencyModel::kTSO));
+  EXPECT_TRUE(sink.any());
+}
+
+// ---------------------------------------------------------------------------
+// Lost-operation detection
+// ---------------------------------------------------------------------------
+
+TEST_F(ArFixture, LostStoreDetectedAfterTwoInjections) {
+  checker.onCommit(OpType::kStore, 7);  // never performs
+  checker.injectCheckpointMembar();     // snapshot
+  EXPECT_FALSE(sink.any());
+  checker.injectCheckpointMembar();  // still outstanding -> lost
+  ASSERT_TRUE(sink.any());
+  EXPECT_EQ(sink.first().kind, CheckerKind::kLostOperation);
+}
+
+TEST_F(ArFixture, ProgressingStoreNotFlagged) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  checker.onCommit(OpType::kStore, 7);
+  checker.injectCheckpointMembar();
+  checker.onPerform(OpType::kStore, 0, 7, t);  // performs before next check
+  checker.injectCheckpointMembar();
+  checker.injectCheckpointMembar();
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, NewOutstandingStoreEachPeriodNotFlagged) {
+  const auto& t = table(ConsistencyModel::kTSO);
+  // A pipeline that keeps retiring: the oldest outstanding store advances
+  // between injections, so nothing is lost.
+  SeqNum s = 1;
+  for (int period = 0; period < 5; ++period) {
+    checker.onCommit(OpType::kStore, s);
+    checker.injectCheckpointMembar();
+    checker.onPerform(OpType::kStore, 0, s, t);
+    ++s;
+  }
+  EXPECT_FALSE(sink.any());
+}
+
+TEST_F(ArFixture, LostLoadDetected) {
+  checker.onCommit(OpType::kLoad, 3);
+  checker.injectCheckpointMembar();
+  checker.injectCheckpointMembar();
+  ASSERT_TRUE(sink.any());
+  EXPECT_EQ(sink.first().kind, CheckerKind::kLostOperation);
+}
+
+TEST_F(ArFixture, ResetClearsState) {
+  const auto& t = table(ConsistencyModel::kSC);
+  checker.onPerform(OpType::kLoad, 0, 9, t);
+  checker.reset();
+  EXPECT_EQ(checker.maxLoad(), 0u);
+  // After reset, small sequence numbers are clean again.
+  checker.onPerform(OpType::kLoad, 0, 1, t);
+  EXPECT_FALSE(sink.any());
+}
+
+}  // namespace
+}  // namespace dvmc

@@ -1,0 +1,104 @@
+// Unit tests for the discrete-event kernel: ordering, determinism,
+// reentrant scheduling, and the run/runUntil drivers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dvmc {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameCycleFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ReentrantScheduling) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.schedule(1, chain);
+  };
+  sim.schedule(1, chain);
+  sim.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(Simulator, ZeroDelayRunsLaterSameCycle) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(1, [&] {
+    order.push_back(1);
+    sim.schedule(0, [&] { order.push_back(2); });
+  });
+  sim.schedule(1, [&] { order.push_back(3); });
+  sim.run();
+  // The zero-delay event runs after already-queued same-cycle events.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Simulator, RunHonorsLimit) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10, [&] { ++ran; });
+  sim.schedule(100, [&] { ++ran; });
+  sim.run(50);
+  EXPECT_EQ(ran, 1);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  int x = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(i, [&] { ++x; });
+  }
+  const bool hit = sim.runUntil([&] { return x == 4; });
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(x, 4);
+  EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST(Simulator, RunUntilReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.schedule(1, [] {});
+  EXPECT_FALSE(sim.runUntil([] { return false; }));
+}
+
+TEST(Simulator, EventCounting) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.eventsExecuted(), 7u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  Cycle seen = 0;
+  sim.scheduleAt(123, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 123u);
+}
+
+}  // namespace
+}  // namespace dvmc

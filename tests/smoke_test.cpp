@@ -1,0 +1,66 @@
+// End-to-end smoke: small systems complete workloads without any checker
+// detections across protocols, consistency models, and workloads.
+#include <gtest/gtest.h>
+
+#include "system/runner.hpp"
+#include "system/system.hpp"
+
+namespace dvmc {
+namespace {
+
+struct SmokeCase {
+  Protocol protocol;
+  ConsistencyModel model;
+  WorkloadKind workload;
+};
+
+class SmokeAll : public ::testing::TestWithParam<SmokeCase> {};
+
+TEST_P(SmokeAll, CompletesWithoutDetections) {
+  const SmokeCase& c = GetParam();
+  SystemConfig cfg = SystemConfig::withDvmc(c.protocol, c.model);
+  cfg.numNodes = 4;
+  cfg.workload = c.workload;
+  cfg.targetTransactions = c.workload == WorkloadKind::kBarnes ? 3 : 60;
+  cfg.maxCycles = 30'000'000;
+  System sys(cfg);
+  RunResult r = sys.run();
+  EXPECT_TRUE(r.completed) << "cycles=" << r.cycles
+                           << " txns=" << r.transactions;
+  for (const auto& d : sys.sink().detections()) {
+    ADD_FAILURE() << checkerKindName(d.kind) << " @" << d.cycle << " node "
+                  << d.node << " addr=0x" << std::hex << d.addr << std::dec
+                  << ": " << d.what;
+    break;
+  }
+  EXPECT_GT(r.transactions, 0u);
+}
+
+std::vector<SmokeCase> allCases() {
+  std::vector<SmokeCase> v;
+  for (Protocol p : {Protocol::kDirectory, Protocol::kSnooping}) {
+    for (ConsistencyModel m :
+         {ConsistencyModel::kSC, ConsistencyModel::kTSO,
+          ConsistencyModel::kPSO, ConsistencyModel::kRMO}) {
+      for (WorkloadKind w :
+           {WorkloadKind::kMicroMix, WorkloadKind::kApache,
+            WorkloadKind::kOltp, WorkloadKind::kJbb, WorkloadKind::kSlash,
+            WorkloadKind::kBarnes}) {
+        v.push_back({p, m, w});
+      }
+    }
+  }
+  return v;
+}
+
+std::string caseName(const ::testing::TestParamInfo<SmokeCase>& info) {
+  const SmokeCase& c = info.param;
+  return std::string(protocolName(c.protocol)) + "_" + modelName(c.model) +
+         "_" + workloadName(c.workload);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, SmokeAll,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+}  // namespace
+}  // namespace dvmc

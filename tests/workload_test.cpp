@@ -1,0 +1,223 @@
+// Workload generator tests: determinism, clone fidelity, lock protocol
+// shape, 32-bit fractions (Table 8), and preset sanity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/params.hpp"
+#include "workload/synthetic.hpp"
+
+namespace dvmc {
+namespace {
+
+/// Drives a workload standalone: failed lock acquires are simulated by
+/// feeding back "held" a few times before "free".
+std::vector<Instr> drive(SyntheticWorkload& w, std::size_t maxInstrs,
+                         int holdRounds = 0) {
+  std::vector<Instr> out;
+  int holds = holdRounds;
+  while (out.size() < maxInstrs && !w.finished()) {
+    auto i = w.next();
+    if (!i) break;
+    out.push_back(*i);
+    if (i->token != 0) {
+      // Resolve the feedback immediately: locks are free (0) unless we are
+      // still simulating contention; barrier reads return a large count so
+      // spins terminate.
+      std::uint64_t value = 0;
+      if (static_cast<SyntheticWorkload*>(&w) != nullptr) {
+        if (holds > 0 && i->kind == Instr::Kind::kCas) {
+          value = 999;  // held by someone else
+          --holds;
+        } else if (i->kind == Instr::Kind::kLoad && i->addr >= (1u << 19) &&
+                   i->addr < (1u << 21)) {
+          value = 1u << 20;  // barrier counter far past any target
+        }
+      }
+      w.onResult(i->token, value);
+    }
+  }
+  return out;
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kOltp);
+  p.maxTransactions = 5;
+  SyntheticWorkload a(p, ConsistencyModel::kTSO, 0, 4, 7);
+  SyntheticWorkload b(p, ConsistencyModel::kTSO, 0, 4, 7);
+  auto ia = drive(a, 2000);
+  auto ib = drive(b, 2000);
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].kind, ib[i].kind) << i;
+    EXPECT_EQ(ia[i].addr, ib[i].addr) << i;
+    EXPECT_EQ(ia[i].value, ib[i].value) << i;
+  }
+}
+
+TEST(Workload, DifferentNodesProduceDifferentStreams) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kOltp);
+  p.maxTransactions = 5;
+  SyntheticWorkload a(p, ConsistencyModel::kTSO, 0, 4, 7);
+  SyntheticWorkload b(p, ConsistencyModel::kTSO, 1, 4, 7);
+  auto ia = drive(a, 500);
+  auto ib = drive(b, 500);
+  bool differ = ia.size() != ib.size();
+  for (std::size_t i = 0; !differ && i < ia.size(); ++i) {
+    differ = ia[i].addr != ib[i].addr;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Workload, CloneContinuesIdentically) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kApache);
+  p.maxTransactions = 10;
+  SyntheticWorkload a(p, ConsistencyModel::kTSO, 2, 4, 3);
+  drive(a, 137);  // advance into the middle of a transaction
+  auto clone = a.clone();
+  auto* b = static_cast<SyntheticWorkload*>(clone.get());
+  auto ia = drive(a, 300);
+  auto ib = drive(*b, 300);
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].addr, ib[i].addr) << i;
+    EXPECT_EQ(ia[i].value, ib[i].value) << i;
+  }
+}
+
+TEST(Workload, LockProtocolShape) {
+  // Force every transaction through a critical section and verify the
+  // swap ... release-store pairing on the same lock address.
+  WorkloadParams p = workloadPreset(WorkloadKind::kMicroMix);
+  p.lockFraction = 1.0;
+  p.maxTransactions = 8;
+  SyntheticWorkload w(p, ConsistencyModel::kTSO, 0, 4, 5);
+  auto instrs = drive(w, 5000);
+  int swaps = 0;
+  int releases = 0;
+  Addr lastLock = 0;
+  for (const Instr& i : instrs) {
+    if (i.kind == Instr::Kind::kCas) {
+      ++swaps;
+      lastLock = i.addr;
+      EXPECT_GE(i.addr, AddressMap::kLockBase);
+      EXPECT_LT(i.addr, AddressMap::kBarrierBase);
+      EXPECT_EQ(i.compare, 0u);  // acquires only a free lock
+      EXPECT_EQ(i.value, 1u);    // owner id 0 + 1
+    }
+    if (i.kind == Instr::Kind::kStore && i.addr == lastLock && i.value == 0) {
+      ++releases;
+    }
+  }
+  EXPECT_EQ(swaps, 8);
+  EXPECT_EQ(releases, 8) << "every acquire must pair with a release";
+}
+
+TEST(Workload, SpinsWhileLockHeld) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kMicroMix);
+  p.lockFraction = 1.0;
+  p.maxTransactions = 1;
+  SyntheticWorkload w(p, ConsistencyModel::kTSO, 0, 4, 5);
+  auto instrs = drive(w, 5000, /*holdRounds=*/3);
+  int spinLoads = 0;
+  int swaps = 0;
+  for (const Instr& i : instrs) {
+    if (i.kind == Instr::Kind::kLoad && i.addr >= AddressMap::kLockBase &&
+        i.addr < AddressMap::kBarrierBase) {
+      ++spinLoads;
+    }
+    if (i.kind == Instr::Kind::kCas) ++swaps;
+  }
+  EXPECT_GE(spinLoads, 3);  // spun while held
+  EXPECT_GE(swaps, 2);      // retried the swap after observing free
+}
+
+TEST(Workload, ReleaseMembarsMatchModel) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kMicroMix);
+  p.lockFraction = 1.0;
+  p.frac32Bit = 0.0;
+  p.maxTransactions = 4;
+
+  auto countMembars = [&](ConsistencyModel m) {
+    SyntheticWorkload w(p, m, 0, 4, 5);
+    auto instrs = drive(w, 5000);
+    int membars = 0;
+    for (const Instr& i : instrs) {
+      if (i.kind == Instr::Kind::kMembar) ++membars;
+    }
+    return membars;
+  };
+  EXPECT_EQ(countMembars(ConsistencyModel::kSC), 0);
+  EXPECT_EQ(countMembars(ConsistencyModel::kTSO), 0);
+  EXPECT_GT(countMembars(ConsistencyModel::kPSO), 0);   // stbar releases
+  EXPECT_GT(countMembars(ConsistencyModel::kRMO),
+            countMembars(ConsistencyModel::kPSO));      // acquire + release
+}
+
+TEST(Workload, ThirtyTwoBitFractionApproximatesTable8) {
+  for (WorkloadKind k : {WorkloadKind::kApache, WorkloadKind::kOltp,
+                         WorkloadKind::kJbb, WorkloadKind::kSlash}) {
+    WorkloadParams p = workloadPreset(k);
+    p.maxTransactions = 400;
+    SyntheticWorkload w(p, ConsistencyModel::kPSO, 0, 4, 11);
+    drive(w, 200'000);
+    EXPECT_NEAR(w.fraction32Bit(), p.frac32Bit, 0.05) << workloadName(k);
+  }
+}
+
+TEST(Workload, AddressesStayInAssignedRegions) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kOltp);
+  p.maxTransactions = 20;
+  SyntheticWorkload w(p, ConsistencyModel::kTSO, 3, 4, 13);
+  for (const Instr& i : drive(w, 10'000)) {
+    if (!i.isMemOp()) continue;
+    const bool isLock = i.addr >= AddressMap::kLockBase &&
+                        i.addr < AddressMap::kSharedBase;
+    const bool isShared = i.addr >= AddressMap::kSharedBase &&
+                          i.addr < AddressMap::kPrivateBase;
+    const bool isOwnPrivate =
+        i.addr >= AddressMap::privateAddr(3, 0, 0) &&
+        i.addr < AddressMap::privateAddr(4, 0, 0);
+    EXPECT_TRUE(isLock || isShared || isOwnPrivate)
+        << std::hex << i.addr;
+    EXPECT_EQ(i.addr % 8, 0u) << "word aligned";
+  }
+}
+
+TEST(Workload, FinishesExactlyAtTransactionTarget) {
+  WorkloadParams p = workloadPreset(WorkloadKind::kMicroMix);
+  p.lockFraction = 0.0;
+  p.maxTransactions = 7;
+  SyntheticWorkload w(p, ConsistencyModel::kTSO, 0, 4, 1);
+  drive(w, 100'000);
+  EXPECT_TRUE(w.finished());
+  EXPECT_EQ(w.transactionsCompleted(), 7u);
+}
+
+TEST(Workload, PresetsLookupByName) {
+  EXPECT_EQ(workloadFromName("apache"), WorkloadKind::kApache);
+  EXPECT_EQ(workloadFromName("oltp"), WorkloadKind::kOltp);
+  EXPECT_EQ(workloadFromName("jbb"), WorkloadKind::kJbb);
+  EXPECT_EQ(workloadFromName("slash"), WorkloadKind::kSlash);
+  EXPECT_EQ(workloadFromName("barnes"), WorkloadKind::kBarnes);
+  for (WorkloadKind k : {WorkloadKind::kApache, WorkloadKind::kOltp,
+                         WorkloadKind::kJbb, WorkloadKind::kSlash,
+                         WorkloadKind::kBarnes}) {
+    EXPECT_EQ(workloadFromName(workloadName(k)), k);
+  }
+}
+
+TEST(Workload, SlashPresetIsHighContention) {
+  const WorkloadParams slash = workloadPreset(WorkloadKind::kSlash);
+  const WorkloadParams apache = workloadPreset(WorkloadKind::kApache);
+  EXPECT_LT(slash.numLocks, apache.numLocks);
+  EXPECT_GT(slash.lockFraction, apache.lockFraction);
+}
+
+TEST(Workload, BarnesPresetHasBarriers) {
+  EXPECT_GT(workloadPreset(WorkloadKind::kBarnes).barrierEveryTx, 0u);
+  EXPECT_EQ(workloadPreset(WorkloadKind::kOltp).barrierEveryTx, 0u);
+}
+
+}  // namespace
+}  // namespace dvmc

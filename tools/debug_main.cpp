@@ -1,0 +1,44 @@
+// Developer tool: run one {protocol, model, workload} configuration on a
+// small DVMC-protected system and print completion/detection details plus
+// core dumps on hangs. Block-level checker tracing via DVMC_TRACE_BLOCK /
+// DVMC_TRACE_WORD environment variables.
+//
+//   ./dvmc_debug [dir|snoop] [sc|tso|pso|rmo] [workload]
+#include <cstdio>
+#include "system/system.hpp"
+
+using namespace dvmc;
+
+int main(int argc, char** argv) {
+  Protocol proto = (argc > 1 && std::string(argv[1]) == "snoop")
+                       ? Protocol::kSnooping : Protocol::kDirectory;
+  ConsistencyModel model = ConsistencyModel::kSC;
+  if (argc > 2) {
+    std::string m = argv[2];
+    model = m == "tso" ? ConsistencyModel::kTSO
+          : m == "pso" ? ConsistencyModel::kPSO
+          : m == "rmo" ? ConsistencyModel::kRMO : ConsistencyModel::kSC;
+  }
+  WorkloadKind wl = argc > 3 ? workloadFromName(argv[3]) : WorkloadKind::kApache;
+  SystemConfig cfg = SystemConfig::withDvmc(proto, model);
+  cfg.numNodes = 4;
+  cfg.workload = wl;
+  cfg.targetTransactions = 60;
+  cfg.maxCycles = 30'000'000;
+  System sys(cfg);
+  RunResult r = sys.run();
+  printf("completed=%d cycles=%llu txns=%llu detections=%llu\n",
+         r.completed, (unsigned long long)r.cycles,
+         (unsigned long long)r.transactions, (unsigned long long)r.detections);
+  if (!r.completed) {
+    for (NodeId n = 0; n < sys.numNodes(); ++n) sys.core(n).debugDump();
+  }
+  int i = 0;
+  for (const auto& d : sys.sink().detections()) {
+    printf("  [%d] %s @%llu node=%u addr=0x%llx : %s\n", i++,
+           checkerKindName(d.kind), (unsigned long long)d.cycle, d.node,
+           (unsigned long long)d.addr, d.what.c_str());
+    if (i > 10) break;
+  }
+  return 0;
+}
