@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_linkbw.dir/bench_fig8_linkbw.cpp.o"
+  "CMakeFiles/bench_fig8_linkbw.dir/bench_fig8_linkbw.cpp.o.d"
+  "bench_fig8_linkbw"
+  "bench_fig8_linkbw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_linkbw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_checkers.dir/bench_micro_checkers.cpp.o"
+  "CMakeFiles/bench_micro_checkers.dir/bench_micro_checkers.cpp.o.d"
+  "bench_micro_checkers"
+  "bench_micro_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

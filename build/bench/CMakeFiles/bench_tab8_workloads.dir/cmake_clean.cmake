@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab8_workloads.dir/bench_tab8_workloads.cpp.o"
+  "CMakeFiles/bench_tab8_workloads.dir/bench_tab8_workloads.cpp.o.d"
+  "bench_tab8_workloads"
+  "bench_tab8_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab8_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

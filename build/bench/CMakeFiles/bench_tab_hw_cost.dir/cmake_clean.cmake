@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab_hw_cost.dir/bench_tab_hw_cost.cpp.o"
+  "CMakeFiles/bench_tab_hw_cost.dir/bench_tab_hw_cost.cpp.o.d"
+  "bench_tab_hw_cost"
+  "bench_tab_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_microscope.dir/checker_microscope.cpp.o"
+  "CMakeFiles/checker_microscope.dir/checker_microscope.cpp.o.d"
+  "checker_microscope"
+  "checker_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

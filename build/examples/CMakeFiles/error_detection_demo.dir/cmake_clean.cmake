@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_detection_demo.dir/error_detection_demo.cpp.o"
+  "CMakeFiles/error_detection_demo.dir/error_detection_demo.cpp.o.d"
+  "error_detection_demo"
+  "error_detection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_detection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/dvmc_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/dvmc_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dvmc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ber/CMakeFiles/dvmc_ber.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dvmc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvmc/CMakeFiles/dvmc_checkers.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dvmc_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/dvmc_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dvmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_ber.dir/safety_net.cpp.o"
+  "CMakeFiles/dvmc_ber.dir/safety_net.cpp.o.d"
+  "libdvmc_ber.a"
+  "libdvmc_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/cache_array.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/cache_array.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/cache_array.cpp.o.d"
+  "/root/repo/src/coherence/directory_cache.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/directory_cache.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/directory_cache.cpp.o.d"
+  "/root/repo/src/coherence/directory_home.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/directory_home.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/directory_home.cpp.o.d"
+  "/root/repo/src/coherence/hierarchy.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/hierarchy.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/coherence/logical_clock.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/logical_clock.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/logical_clock.cpp.o.d"
+  "/root/repo/src/coherence/memory_storage.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/memory_storage.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/memory_storage.cpp.o.d"
+  "/root/repo/src/coherence/snoop_cache.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/snoop_cache.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/snoop_cache.cpp.o.d"
+  "/root/repo/src/coherence/snoop_memory.cpp" "src/coherence/CMakeFiles/dvmc_coherence.dir/snoop_memory.cpp.o" "gcc" "src/coherence/CMakeFiles/dvmc_coherence.dir/snoop_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/dvmc_consistency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

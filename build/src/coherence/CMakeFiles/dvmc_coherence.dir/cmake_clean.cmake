@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_coherence.dir/cache_array.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/cache_array.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/directory_cache.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/directory_cache.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/directory_home.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/directory_home.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/hierarchy.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/logical_clock.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/logical_clock.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/memory_storage.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/memory_storage.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/snoop_cache.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/snoop_cache.cpp.o.d"
+  "CMakeFiles/dvmc_coherence.dir/snoop_memory.cpp.o"
+  "CMakeFiles/dvmc_coherence.dir/snoop_memory.cpp.o.d"
+  "libdvmc_coherence.a"
+  "libdvmc_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvmc_coherence.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_common.dir/crc16.cpp.o"
+  "CMakeFiles/dvmc_common.dir/crc16.cpp.o.d"
+  "CMakeFiles/dvmc_common.dir/data_block.cpp.o"
+  "CMakeFiles/dvmc_common.dir/data_block.cpp.o.d"
+  "CMakeFiles/dvmc_common.dir/stats.cpp.o"
+  "CMakeFiles/dvmc_common.dir/stats.cpp.o.d"
+  "libdvmc_common.a"
+  "libdvmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_consistency.dir/ordering_table.cpp.o"
+  "CMakeFiles/dvmc_consistency.dir/ordering_table.cpp.o.d"
+  "libdvmc_consistency.a"
+  "libdvmc_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

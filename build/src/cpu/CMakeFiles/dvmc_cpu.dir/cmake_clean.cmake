@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_cpu.dir/core.cpp.o"
+  "CMakeFiles/dvmc_cpu.dir/core.cpp.o.d"
+  "libdvmc_cpu.a"
+  "libdvmc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

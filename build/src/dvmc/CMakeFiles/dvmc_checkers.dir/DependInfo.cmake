@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvmc/cache_epoch_checker.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/cache_epoch_checker.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/cache_epoch_checker.cpp.o.d"
+  "/root/repo/src/dvmc/hw_cost.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/hw_cost.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/hw_cost.cpp.o.d"
+  "/root/repo/src/dvmc/memory_epoch_checker.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/memory_epoch_checker.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/memory_epoch_checker.cpp.o.d"
+  "/root/repo/src/dvmc/reorder_checker.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/reorder_checker.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/reorder_checker.cpp.o.d"
+  "/root/repo/src/dvmc/shadow_checker.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/shadow_checker.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/shadow_checker.cpp.o.d"
+  "/root/repo/src/dvmc/verification_cache.cpp" "src/dvmc/CMakeFiles/dvmc_checkers.dir/verification_cache.cpp.o" "gcc" "src/dvmc/CMakeFiles/dvmc_checkers.dir/verification_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dvmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dvmc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dvmc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/dvmc_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dvmc_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

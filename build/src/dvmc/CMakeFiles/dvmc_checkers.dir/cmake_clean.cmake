@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_checkers.dir/cache_epoch_checker.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/cache_epoch_checker.cpp.o.d"
+  "CMakeFiles/dvmc_checkers.dir/hw_cost.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/hw_cost.cpp.o.d"
+  "CMakeFiles/dvmc_checkers.dir/memory_epoch_checker.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/memory_epoch_checker.cpp.o.d"
+  "CMakeFiles/dvmc_checkers.dir/reorder_checker.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/reorder_checker.cpp.o.d"
+  "CMakeFiles/dvmc_checkers.dir/shadow_checker.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/shadow_checker.cpp.o.d"
+  "CMakeFiles/dvmc_checkers.dir/verification_cache.cpp.o"
+  "CMakeFiles/dvmc_checkers.dir/verification_cache.cpp.o.d"
+  "libdvmc_checkers.a"
+  "libdvmc_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

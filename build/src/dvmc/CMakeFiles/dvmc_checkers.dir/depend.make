@@ -1,0 +1,2 @@
+# Empty dependencies file for dvmc_checkers.
+# This may be replaced when dependencies are built.

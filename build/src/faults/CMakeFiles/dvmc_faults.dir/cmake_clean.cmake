@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_faults.dir/injector.cpp.o"
+  "CMakeFiles/dvmc_faults.dir/injector.cpp.o.d"
+  "libdvmc_faults.a"
+  "libdvmc_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

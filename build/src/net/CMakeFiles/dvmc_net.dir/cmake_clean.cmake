@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_net.dir/broadcast_tree.cpp.o"
+  "CMakeFiles/dvmc_net.dir/broadcast_tree.cpp.o.d"
+  "CMakeFiles/dvmc_net.dir/message.cpp.o"
+  "CMakeFiles/dvmc_net.dir/message.cpp.o.d"
+  "CMakeFiles/dvmc_net.dir/torus.cpp.o"
+  "CMakeFiles/dvmc_net.dir/torus.cpp.o.d"
+  "libdvmc_net.a"
+  "libdvmc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dvmc_sim.dir/simulator.cpp.o.d"
+  "libdvmc_sim.a"
+  "libdvmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

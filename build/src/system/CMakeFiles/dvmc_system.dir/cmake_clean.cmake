@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_system.dir/runner.cpp.o"
+  "CMakeFiles/dvmc_system.dir/runner.cpp.o.d"
+  "CMakeFiles/dvmc_system.dir/stats_report.cpp.o"
+  "CMakeFiles/dvmc_system.dir/stats_report.cpp.o.d"
+  "CMakeFiles/dvmc_system.dir/system.cpp.o"
+  "CMakeFiles/dvmc_system.dir/system.cpp.o.d"
+  "libdvmc_system.a"
+  "libdvmc_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_workload.dir/presets.cpp.o"
+  "CMakeFiles/dvmc_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/dvmc_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/dvmc_workload.dir/synthetic.cpp.o.d"
+  "libdvmc_workload.a"
+  "libdvmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

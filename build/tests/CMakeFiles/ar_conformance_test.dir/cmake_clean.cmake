@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_conformance_test.dir/ar_conformance_test.cpp.o"
+  "CMakeFiles/ar_conformance_test.dir/ar_conformance_test.cpp.o.d"
+  "ar_conformance_test"
+  "ar_conformance_test.pdb"
+  "ar_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_detection_test.dir/fault_detection_test.cpp.o"
+  "CMakeFiles/fault_detection_test.dir/fault_detection_test.cpp.o.d"
+  "fault_detection_test"
+  "fault_detection_test.pdb"
+  "fault_detection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_checker_test.dir/reorder_checker_test.cpp.o"
+  "CMakeFiles/reorder_checker_test.dir/reorder_checker_test.cpp.o.d"
+  "reorder_checker_test"
+  "reorder_checker_test.pdb"
+  "reorder_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_checker_test.dir/shadow_checker_test.cpp.o"
+  "CMakeFiles/shadow_checker_test.dir/shadow_checker_test.cpp.o.d"
+  "shadow_checker_test"
+  "shadow_checker_test.pdb"
+  "shadow_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snooping_protocol_test.dir/snooping_protocol_test.cpp.o"
+  "CMakeFiles/snooping_protocol_test.dir/snooping_protocol_test.cpp.o.d"
+  "snooping_protocol_test"
+  "snooping_protocol_test.pdb"
+  "snooping_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snooping_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

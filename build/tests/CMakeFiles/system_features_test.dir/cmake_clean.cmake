@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_features_test.dir/system_features_test.cpp.o"
+  "CMakeFiles/system_features_test.dir/system_features_test.cpp.o.d"
+  "system_features_test"
+  "system_features_test.pdb"
+  "system_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

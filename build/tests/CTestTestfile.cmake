@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_array_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/snooping_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/verification_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/reorder_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/epoch_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/ber_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_detection_test[1]_include.cmake")
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/system_features_test[1]_include.cmake")
+include("/root/repo/build/tests/ar_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_test[1]_include.cmake")
+include("/root/repo/build/tests/shadow_checker_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmc_debug.dir/debug_main.cpp.o"
+  "CMakeFiles/dvmc_debug.dir/debug_main.cpp.o.d"
+  "dvmc_debug"
+  "dvmc_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmc_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

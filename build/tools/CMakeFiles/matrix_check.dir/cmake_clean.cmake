@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_check.dir/matrix_check.cpp.o"
+  "CMakeFiles/matrix_check.dir/matrix_check.cpp.o.d"
+  "matrix_check"
+  "matrix_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
