@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 
@@ -51,9 +52,11 @@ inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
 inline void header(const char* id, const char* what) {
   std::printf("==========================================================\n");
   std::printf("%s — %s\n", id, what);
-  std::printf("  nodes=8, seeds=%d, transactions=%llu (barnes: 4 phases)\n",
+  std::printf("  nodes=8, seeds=%d, transactions=%llu (barnes: 4 phases), "
+              "jobs=%d\n",
               benchSeedCount(),
-              static_cast<unsigned long long>(benchTransactionTarget()));
+              static_cast<unsigned long long>(benchTransactionTarget()),
+              defaultJobs());
   std::printf("==========================================================\n");
 }
 
@@ -67,14 +70,20 @@ inline std::string normCell(const RunningStat& s, double baseMean) {
 
 /// Per-seed runtimes for paired comparisons: runtime noise between seeds is
 /// much larger than between configurations, so ratios are taken seed by
-/// seed (the paper's perturbation pairs) before aggregating.
+/// seed (the paper's perturbation pairs) before aggregating. Seeds run in
+/// parallel (resolveJobs, --jobs); results stay in seed order.
 inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
                                             std::uint64_t* detections = nullptr) {
+  std::vector<RunResult> results(static_cast<std::size_t>(seeds));
+  parallelFor(static_cast<std::size_t>(seeds),
+              static_cast<unsigned>(resolveJobs(cfg)), [&](std::size_t s) {
+                SystemConfig c = cfg;
+                c.seed = 1 + s;
+                results[s] = runOnce(c);
+              });
   std::vector<double> out;
-  out.reserve(seeds);
-  for (int s = 0; s < seeds; ++s) {
-    cfg.seed = 1 + s;
-    RunResult r = runOnce(cfg);
+  out.reserve(results.size());
+  for (const RunResult& r : results) {
     out.push_back(static_cast<double>(r.cycles));
     if (detections != nullptr) *detections += r.detections;
   }

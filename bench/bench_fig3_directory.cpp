@@ -52,7 +52,8 @@ int run(Protocol protocol, const char* id, const char* title) {
 }  // namespace
 }  // namespace dvmc
 
-int main() {
+int main(int argc, char** argv) {
+  dvmc::parseJobsFlag(argc, argv);
   return dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
                    "normalized runtime, directory protocol, Base vs DVMC");
 }

@@ -42,4 +42,7 @@ int run() {
 }  // namespace
 }  // namespace dvmc
 
-int main() { return dvmc::run(); }
+int main(int argc, char** argv) {
+  dvmc::parseJobsFlag(argc, argv);
+  return dvmc::run();
+}

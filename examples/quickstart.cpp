@@ -9,12 +9,14 @@
 #include <iostream>
 #include <string>
 
+#include "system/runner.hpp"
 #include "system/stats_report.hpp"
 #include "system/system.hpp"
 
 using namespace dvmc;
 
 int main(int argc, char** argv) {
+  argc = parseJobsFlag(argc, argv);
   const WorkloadKind wl =
       argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::kOltp;
   ConsistencyModel model = ConsistencyModel::kTSO;

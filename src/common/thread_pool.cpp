@@ -1,0 +1,87 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace dvmc {
+
+unsigned ThreadPool::hardwareWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = hardwareWorkers();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  taskReady_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  allDone_.wait(lk, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      taskReady_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --inFlight_;
+      if (inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) jobs = ThreadPool::hardwareWorkers();
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  if (jobs > count) jobs = static_cast<unsigned>(count);
+
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  };
+
+  ThreadPool pool(jobs);
+  // One claim loop per worker; each loop exits once the index space is
+  // exhausted, and wait() covers all of them.
+  for (unsigned w = 0; w < jobs; ++w) pool.submit(drain);
+  pool.wait();
+}
+
+}  // namespace dvmc

@@ -1,0 +1,72 @@
+// Fixed-size thread pool for embarrassingly parallel experiment work.
+//
+// The paper's evaluation runs every configuration ten times with perturbed
+// seeds; those runs share nothing, so the experiment harness farms them out
+// to a small pool of workers. This is deliberately not a work-stealing
+// scheduler: tasks are coarse (whole simulations, seconds each), so a single
+// mutex-protected FIFO queue is plenty and keeps the dispatch order — and
+// therefore any diagnostic output — easy to reason about.
+//
+// Determinism contract: the pool never reorders *results*. Callers index
+// results by task id (see parallelFor) and merge in task order, so a
+// parallel run aggregates bit-identically to a sequential one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dvmc {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 = hardwareWorkers()).
+  explicit ThreadPool(unsigned workers = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void wait();
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// std::thread::hardware_concurrency, with a floor of 1.
+  static unsigned hardwareWorkers();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  mutable std::mutex mu_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;  // queued + currently running
+  bool stop_ = false;
+};
+
+/// Runs body(0) .. body(count-1) on up to `jobs` threads (0 = hardware
+/// concurrency). Iterations are claimed dynamically, so uneven task
+/// durations balance out. jobs<=1 or count<=1 degrades to a plain serial
+/// loop on the calling thread — the sequential reference path.
+///
+/// The body must be safe to invoke concurrently for distinct indices; each
+/// index is invoked exactly once. parallelFor returns only after every
+/// iteration has completed.
+void parallelFor(std::size_t count, unsigned jobs,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace dvmc

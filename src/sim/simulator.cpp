@@ -1,36 +1,164 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace dvmc {
+
+namespace {
+constexpr Cycle kNoEvent = ~Cycle{0};
+}  // namespace
+
+Simulator::Event* Simulator::allocEvent(Cycle when, Action fn) {
+  if (freeList_ == nullptr) {
+    slabs_.emplace_back(new Event[kSlabEvents]);
+    Event* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabEvents; ++i) {
+      slab[i].next = freeList_;
+      freeList_ = &slab[i];
+    }
+  }
+  Event* e = freeList_;
+  freeList_ = e->next;
+  e->when = when;
+  e->order = nextOrder_++;
+  e->fn = std::move(fn);
+  e->next = nullptr;
+  return e;
+}
+
+void Simulator::releaseEvent(Event* e) {
+  e->fn = nullptr;
+  e->next = freeList_;
+  freeList_ = e;
+}
+
+void Simulator::pushBucket(Event* e) {
+  const std::size_t idx = static_cast<std::size_t>(e->when % kNearWindow);
+  // schedule() hands out monotonically increasing order numbers, so a plain
+  // tail append keeps each bucket sorted by order.
+  if (bucketHead_[idx] == nullptr) {
+    bucketHead_[idx] = bucketTail_[idx] = e;
+    bucketMask_ |= std::uint64_t{1} << idx;
+  } else {
+    bucketTail_[idx]->next = e;
+    bucketTail_[idx] = e;
+  }
+}
+
+void Simulator::insertBucketOrdered(Event* e) {
+  // Far-future events migrating out of the heap may carry a smaller order
+  // number than same-cycle events appended directly; splice by order so
+  // same-cycle execution still follows scheduling order. Same-cycle chains
+  // are short, so the linear scan is cheap.
+  const std::size_t idx = static_cast<std::size_t>(e->when % kNearWindow);
+  Event* head = bucketHead_[idx];
+  if (head == nullptr) {
+    bucketHead_[idx] = bucketTail_[idx] = e;
+    bucketMask_ |= std::uint64_t{1} << idx;
+    return;
+  }
+  if (e->order < head->order) {
+    e->next = head;
+    bucketHead_[idx] = e;
+    return;
+  }
+  Event* prev = head;
+  while (prev->next != nullptr && prev->next->order < e->order) {
+    prev = prev->next;
+  }
+  e->next = prev->next;
+  prev->next = e;
+  if (e->next == nullptr) bucketTail_[idx] = e;
+}
+
+void Simulator::pushHeap(Event* e) {
+  const auto later = [](const Event* a, const Event* b) {
+    if (a->when != b->when) return a->when > b->when;
+    return a->order > b->order;
+  };
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Simulator::Event* Simulator::popHeap() {
+  const auto later = [](const Event* a, const Event* b) {
+    if (a->when != b->when) return a->when > b->when;
+    return a->order > b->order;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event* e = heap_.back();
+  heap_.pop_back();
+  e->next = nullptr;
+  return e;
+}
+
+Cycle Simulator::nextBucketTime() const {
+  if (bucketMask_ == 0) return kNoEvent;
+  // Every bucketed event lies in [now_, now_ + kNearWindow), so rotating the
+  // occupancy mask to start at now_'s bucket turns "earliest event cycle"
+  // into a count-trailing-zeros.
+  const int base = static_cast<int>(now_ % kNearWindow);
+  const std::uint64_t rotated = std::rotr(bucketMask_, base);
+  return now_ + static_cast<Cycle>(std::countr_zero(rotated));
+}
+
+Cycle Simulator::peekWhen() const {
+  const Cycle bucketT = nextBucketTime();
+  const Cycle heapT = heap_.empty() ? kNoEvent : heap_.front()->when;
+  return bucketT < heapT ? bucketT : heapT;
+}
 
 void Simulator::scheduleAt(Cycle when, Action fn) {
   DVMC_ASSERT(when >= now_, "event scheduled in the past");
-  queue_.push(Event{when, nextOrder_++, std::move(fn)});
+  Event* e = allocEvent(when, std::move(fn));
+  if (when - now_ < kNearWindow) {
+    pushBucket(e);
+  } else {
+    pushHeap(e);
+  }
+  ++size_;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // Move the action out before popping so reentrant schedules are safe.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
+  if (size_ == 0) return false;
+  const Cycle t = peekWhen();
+  now_ = t;
+  // Heap events whose cycle has arrived join the calendar so that events
+  // from both structures interleave in global scheduling order.
+  while (!heap_.empty() && heap_.front()->when == t) {
+    insertBucketOrdered(popHeap());
+  }
+  const std::size_t idx = static_cast<std::size_t>(t % kNearWindow);
+  Event* e = bucketHead_[idx];
+  bucketHead_[idx] = e->next;
+  if (bucketHead_[idx] == nullptr) {
+    bucketTail_[idx] = nullptr;
+    bucketMask_ &= ~(std::uint64_t{1} << idx);
+  }
+  --size_;
   ++executed_;
-  ev.fn();
+  // Move the action out and recycle the node first so reentrant schedules
+  // (including ones that reuse this node) are safe.
+  Action fn = std::move(e->fn);
+  releaseEvent(e);
+  fn();
   return true;
 }
 
 std::uint64_t Simulator::run(Cycle limit) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.top().when <= limit) {
+  while (size_ != 0 && peekWhen() <= limit) {
     step();
     ++n;
   }
-  if (now_ < limit && limit != ~Cycle{0}) now_ = limit;
+  if (now_ < limit && limit != kNoEvent) now_ = limit;
   return n;
 }
 
 bool Simulator::runUntil(const std::function<bool()>& pred, Cycle limit) {
   if (pred()) return true;
-  while (!queue_.empty() && queue_.top().when <= limit) {
+  while (size_ != 0 && peekWhen() <= limit) {
     step();
     if (pred()) return true;
   }

@@ -4,11 +4,20 @@
 // Events scheduled for the same cycle execute in scheduling order, which
 // makes every run bit-for-bit deterministic for a given seed — a property
 // the error-injection experiments and SafetyNet recovery tests rely on.
+//
+// Storage is a two-level calendar queue tuned for the hot path. Nearly all
+// events in this machine are scheduled a handful of cycles out (cache and
+// link latencies), so the kernel keeps a 64-cycle window of FIFO buckets —
+// one per upcoming cycle, nonemptiness tracked in a single 64-bit mask —
+// and spills only far-future events (checkpoint intervals, membar-injection
+// timers) to a binary heap. Event nodes come from a slab-backed free list,
+// so steady-state scheduling performs zero allocations.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -19,6 +28,10 @@ namespace dvmc {
 class Simulator {
  public:
   using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time in cycles.
   Cycle now() const { return now_; }
@@ -41,25 +54,42 @@ class Simulator {
   bool runUntil(const std::function<bool()>& pred, Cycle limit = ~Cycle{0});
 
   std::uint64_t eventsExecuted() const { return executed_; }
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pendingEvents() const { return size_; }
 
  private:
   struct Event {
-    Cycle when;
-    std::uint64_t order;
+    Cycle when = 0;
+    std::uint64_t order = 0;
     Action fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.order > b.order;
-    }
+    Event* next = nullptr;  // bucket chain / free list
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Delays below kNearWindow go to the calendar; the window width matches
+  // the bucket count so each bucket holds at most one distinct cycle.
+  static constexpr Cycle kNearWindow = 64;
+  static constexpr std::size_t kSlabEvents = 256;
+
+  Event* allocEvent(Cycle when, Action fn);
+  void releaseEvent(Event* e);
+  void pushBucket(Event* e);
+  void insertBucketOrdered(Event* e);
+  void pushHeap(Event* e);
+  Event* popHeap();
+  /// Time of the earliest pending event (~Cycle{0} if none).
+  Cycle peekWhen() const;
+  Cycle nextBucketTime() const;
+
+  std::array<Event*, kNearWindow> bucketHead_{};
+  std::array<Event*, kNearWindow> bucketTail_{};
+  std::uint64_t bucketMask_ = 0;  // bit i set iff bucketHead_[i] != nullptr
+  std::vector<Event*> heap_;      // min-heap on (when, order)
+  std::vector<std::unique_ptr<Event[]>> slabs_;
+  Event* freeList_ = nullptr;
   Cycle now_ = 0;
   std::uint64_t nextOrder_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t size_ = 0;
 };
 
 }  // namespace dvmc

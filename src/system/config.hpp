@@ -60,6 +60,13 @@ struct SystemConfig {
   std::optional<WorkloadParams> workloadOverride;
   std::uint64_t seed = 1;
 
+  /// Worker threads for multi-seed experiment runs (runSeeds): each seed's
+  /// simulation is independent, so they fan out across a thread pool. 0 =
+  /// the process default (see setDefaultJobs / DVMC_JOBS; hardware
+  /// concurrency out of the box), 1 = strictly sequential. Merged
+  /// statistics are bit-identical regardless of the setting.
+  int jobs = 0;
+
   /// Tests and examples may install custom per-node programs; when set,
   /// this wins over `workload`.
   std::function<std::unique_ptr<ThreadProgram>(NodeId)> programFactory;

@@ -1,8 +1,12 @@
 #include "system/runner.hpp"
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "system/system.hpp"
 
 namespace dvmc {
@@ -12,12 +16,79 @@ RunResult runOnce(const SystemConfig& cfg) {
   return sys.run();
 }
 
+namespace {
+
+std::atomic<int> g_defaultJobs{0};  // 0 = not yet initialized
+
+int initialDefaultJobs() {
+  if (const char* env = std::getenv("DVMC_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return static_cast<int>(ThreadPool::hardwareWorkers());
+}
+
+}  // namespace
+
+int defaultJobs() {
+  int v = g_defaultJobs.load(std::memory_order_relaxed);
+  if (v == 0) {
+    v = initialDefaultJobs();
+    g_defaultJobs.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void setDefaultJobs(int jobs) {
+  g_defaultJobs.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+int resolveJobs(const SystemConfig& cfg) {
+  return cfg.jobs > 0 ? cfg.jobs : defaultJobs();
+}
+
+int parseJobsFlag(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int jobs = 0;
+    int consumed = 0;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      jobs = std::atoi(arg + 7);
+      consumed = 1;
+    } else if ((std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) &&
+               i + 1 < argc) {
+      jobs = std::atoi(argv[i + 1]);
+      consumed = 2;
+    }
+    if (consumed > 0) {
+      if (jobs > 0) setDefaultJobs(jobs);
+      i += consumed - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argv[out] = nullptr;
+  return out;
+}
+
 MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
                         std::uint64_t seedBase) {
+  // Fan the independent per-seed simulations out across workers; results
+  // land in a slot per seed so the merge below is in seed order and the
+  // aggregated statistics match a sequential run bit for bit.
+  std::vector<RunResult> results(static_cast<std::size_t>(seedCount));
+  const int jobs = resolveJobs(cfg);
+  parallelFor(
+      static_cast<std::size_t>(seedCount), static_cast<unsigned>(jobs),
+      [&](std::size_t s) {
+        SystemConfig c = cfg;
+        c.seed = seedBase + static_cast<std::uint64_t>(s);
+        results[s] = runOnce(c);
+      });
+
   MultiRunResult out;
-  for (int s = 0; s < seedCount; ++s) {
-    cfg.seed = seedBase + static_cast<std::uint64_t>(s);
-    const RunResult r = runOnce(cfg);
+  for (const RunResult& r : results) {
     out.cycles.addTracked(static_cast<double>(r.cycles));
     out.peakLinkBytesPerCycle.addTracked(r.peakLinkBytesPerCycle);
     if (r.regularL1Misses > 0) {

@@ -1,6 +1,11 @@
 // Experiment runner: the paper runs every configuration ten times with
 // small pseudo-random perturbations and reports mean +/- one standard
 // deviation. Here each "perturbation" is a different workload seed.
+//
+// Perturbation runs share nothing — each builds its own System + Simulator
+// — so runSeeds fans them out across a thread pool (SystemConfig::jobs,
+// default hardware concurrency) and merges per-seed results in seed order.
+// The merged statistics are bit-identical to a sequential run.
 #pragma once
 
 #include <cstdint>
@@ -26,9 +31,25 @@ struct MultiRunResult {
 /// Builds a System from `cfg`, runs it once, returns the result.
 RunResult runOnce(const SystemConfig& cfg);
 
-/// Runs `seedCount` perturbations (seeds seedBase..seedBase+seedCount-1).
+/// Runs `seedCount` perturbations (seeds seedBase..seedBase+seedCount-1),
+/// in parallel on resolveJobs(cfg) workers. When cfg.programFactory is set
+/// and jobs > 1 it is invoked concurrently and must be thread-safe.
 MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
                         std::uint64_t seedBase = 1);
+
+/// Process-wide default worker count used when cfg.jobs == 0.
+/// Initialized from DVMC_JOBS if set, else hardware concurrency.
+/// The bench/example binaries set this from their --jobs flag.
+int defaultJobs();
+void setDefaultJobs(int jobs);
+
+/// cfg.jobs if > 0, else defaultJobs().
+int resolveJobs(const SystemConfig& cfg);
+
+/// Strips a `--jobs N` (or `-j N` / `--jobs=N`) flag from argv, if present,
+/// and feeds it to setDefaultJobs. Returns the new argc. Shared by the
+/// bench and example mains so every binary exposes the same knob.
+int parseJobsFlag(int argc, char** argv);
 
 /// Number of perturbation runs for benches: DVMC_BENCH_SEEDS env override,
 /// default 3 (the paper uses 10; 3 keeps the full harness fast).

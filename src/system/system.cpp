@@ -94,8 +94,6 @@ class SnoopDataRouter final : public NetworkEndpoint {
   StatSet* ckpt_;
 };
 
-StatSet gCkptStats;  // checkpoint messages are absorbed; only counted
-
 }  // namespace
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
@@ -216,11 +214,11 @@ void System::buildNode(NodeId n) {
 
   if (cfg_.protocol == Protocol::kDirectory) {
     node.dataRouter = std::make_unique<DirNodeRouter>(
-        node.home.get(), node.dirCache, node.met.get(), &gCkptStats);
+        node.home.get(), node.dirCache, node.met.get(), &ckptMsgStats_);
     torus_->attach(n, node.dataRouter.get());
   } else {
     node.dataRouter = std::make_unique<SnoopDataRouter>(
-        node.snpCache, node.snoopMem.get(), node.met.get(), &gCkptStats);
+        node.snpCache, node.snoopMem.get(), node.met.get(), &ckptMsgStats_);
     torus_->attach(n, node.dataRouter.get());
     node.addrRouter = std::make_unique<SnoopAddrRouter>(node.snpCache,
                                                         node.snoopMem.get());

@@ -117,6 +117,9 @@ class System {
   SystemConfig cfg_;
   Simulator sim_;
   ErrorSink sink_;
+  // Checkpoint messages are absorbed at the endpoint and only counted.
+  // Per-system (not global): parallel runSeeds runs Systems concurrently.
+  StatSet ckptMsgStats_;
   MemoryMap map_;
   std::unique_ptr<TorusNetwork> torus_;
   std::unique_ptr<BroadcastTree> tree_;

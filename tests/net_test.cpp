@@ -41,7 +41,9 @@ TEST_F(TorusFixture, DeliversToDestination) {
   sim.run();
   EXPECT_EQ(eps[5].received.size(), 1u);
   for (NodeId n = 0; n < 8; ++n) {
-    if (n != 5) EXPECT_TRUE(eps[n].received.empty());
+    if (n != 5) {
+      EXPECT_TRUE(eps[n].received.empty());
+    }
   }
 }
 

@@ -100,5 +100,159 @@ TEST(Simulator, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(seen, 123u);
 }
 
+// --- calendar-queue specifics: the 64-cycle near window, the far-future
+// heap, and the seam between them ------------------------------------------
+
+TEST(Simulator, FarFutureEventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<Cycle> order;
+  for (Cycle d : {Cycle{1000}, Cycle{64}, Cycle{5'000'000}, Cycle{65},
+                  Cycle{200}}) {
+    sim.schedule(d, [&, d] { order.push_back(d); });
+  }
+  sim.run();
+  EXPECT_EQ(order,
+            (std::vector<Cycle>{64, 65, 200, 1000, 5'000'000}));
+  EXPECT_EQ(sim.now(), 5'000'000u);
+}
+
+TEST(Simulator, WindowBoundaryDelays) {
+  // Delays straddling the 64-cycle near window (63 → calendar, 64 → heap)
+  // must still execute in time order.
+  Simulator sim;
+  std::vector<Cycle> order;
+  for (Cycle d : {Cycle{64}, Cycle{63}, Cycle{65}, Cycle{62}, Cycle{127},
+                  Cycle{128}, Cycle{129}}) {
+    sim.schedule(d, [&, d] { order.push_back(d); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<Cycle>{62, 63, 64, 65, 127, 128, 129}));
+}
+
+TEST(Simulator, SameCycleFifoAcrossHeapAndCalendar) {
+  // A far-future event (heap) scheduled BEFORE a near event for the same
+  // cycle must run first: same-cycle execution follows scheduling order
+  // regardless of which structure held the event.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(100, [&] { order.push_back(1); });  // far → heap
+  sim.schedule(40, [&] {
+    // At cycle 40, cycle 100 is within the near window → calendar.
+    sim.schedule(60, [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, SameCycleFifoWhenNearScheduledFirst) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] {
+    sim.schedule(70, [&] { order.push_back(1); });   // cycle 100 via heap
+    sim.schedule(40, [&] {                            // cycle 70
+      sim.schedule(30, [&] { order.push_back(2); });  // cycle 100 via calendar
+    });
+  });
+  sim.run();
+  // Heap event (order earlier) still precedes the calendar event at 100.
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, BucketWraparoundLongChain) {
+  // A self-rescheduling chain with a delay coprime to the window size
+  // sweeps every bucket index many times.
+  Simulator sim;
+  Cycle last = 0;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    EXPECT_EQ(sim.now(), last + 7);
+    last = sim.now();
+    if (++count < 1000) sim.schedule(7, chain);
+  };
+  sim.schedule(7, chain);
+  sim.run();
+  EXPECT_EQ(count, 1000);
+  EXPECT_EQ(sim.now(), 7000u);
+}
+
+TEST(Simulator, RunLimitLandsInsideWindow) {
+  // run(limit) advances now_ past cycles with no events; later scheduling
+  // relative to the new now_ must stay consistent.
+  Simulator sim;
+  std::vector<Cycle> ran;
+  sim.schedule(10, [&] { ran.push_back(sim.now()); });
+  sim.schedule(90, [&] { ran.push_back(sim.now()); });
+  sim.run(47);
+  EXPECT_EQ(sim.now(), 47u);
+  EXPECT_EQ(ran, (std::vector<Cycle>{10}));
+  sim.schedule(3, [&] { ran.push_back(sim.now()); });  // cycle 50
+  sim.schedule(63, [&] { ran.push_back(sim.now()); });  // cycle 110
+  sim.run();
+  EXPECT_EQ(ran, (std::vector<Cycle>{10, 50, 90, 110}));
+}
+
+TEST(Simulator, NodeRecyclingKeepsOrdering) {
+  // Push the kernel through many alloc/release cycles (slab reuse) and
+  // check counting + ordering stay exact.
+  Simulator sim;
+  std::uint64_t lastSeen = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule(static_cast<Cycle>(1 + (i * 13) % 200),
+                   [&, i] { lastSeen = sim.now() * 1000 + i; });
+    }
+    sim.run();
+    EXPECT_TRUE(sim.empty());
+  }
+  EXPECT_EQ(sim.eventsExecuted(), 5000u);
+  EXPECT_NE(lastSeen, 0u);
+}
+
+TEST(Simulator, RandomizedAgainstReferenceOrdering) {
+  // Drive the kernel with a deterministic pseudo-random mix of near and far
+  // delays (including reentrant schedules) and compare the execution order
+  // against a stable-sorted reference on (when, scheduling index).
+  struct Ref {
+    Cycle when;
+    std::uint64_t order;
+  };
+  Simulator sim;
+  std::vector<Ref> ref;
+  std::vector<std::uint64_t> executed;
+  std::uint64_t lcg = 12345;
+  std::uint64_t nextId = 0;
+  auto rnd = [&] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  std::function<void(std::uint64_t)> body = [&](std::uint64_t id) {
+    executed.push_back(id);
+    if (nextId < 3000 && rnd() % 3 == 0) {
+      // Reentrant: spawn a child with a delay crossing the window boundary
+      // every so often.
+      const Cycle d = rnd() % 5 == 0 ? 60 + rnd() % 20 : rnd() % 64;
+      const std::uint64_t child = nextId++;
+      ref.push_back({sim.now() + d, child});
+      sim.schedule(d, [&, child] { body(child); });
+    }
+  };
+  for (int i = 0; i < 500; ++i) {
+    const Cycle when = rnd() % 300;
+    const std::uint64_t id = nextId++;
+    ref.push_back({when, id});
+    sim.scheduleAt(when, [&, id] { body(id); });
+  }
+  sim.run();
+
+  std::stable_sort(ref.begin(), ref.end(), [](const Ref& a, const Ref& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.order < b.order;
+  });
+  ASSERT_EQ(executed.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(executed[i], ref[i].order) << "position " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dvmc

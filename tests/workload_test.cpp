@@ -25,14 +25,12 @@ std::vector<Instr> drive(SyntheticWorkload& w, std::size_t maxInstrs,
       // still simulating contention; barrier reads return a large count so
       // spins terminate.
       std::uint64_t value = 0;
-      if (static_cast<SyntheticWorkload*>(&w) != nullptr) {
-        if (holds > 0 && i->kind == Instr::Kind::kCas) {
-          value = 999;  // held by someone else
-          --holds;
-        } else if (i->kind == Instr::Kind::kLoad && i->addr >= (1u << 19) &&
-                   i->addr < (1u << 21)) {
-          value = 1u << 20;  // barrier counter far past any target
-        }
+      if (holds > 0 && i->kind == Instr::Kind::kCas) {
+        value = 999;  // held by someone else
+        --holds;
+      } else if (i->kind == Instr::Kind::kLoad && i->addr >= (1u << 19) &&
+                 i->addr < (1u << 21)) {
+        value = 1u << 20;  // barrier counter far past any target
       }
       w.onResult(i->token, value);
     }
