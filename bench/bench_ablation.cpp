@@ -233,6 +233,8 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  dvmc::parseJobsFlag(argc, argv);
-  return dvmc::run();
+  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  const int rc = dvmc::run();
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/run_report.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 
@@ -46,7 +47,17 @@ inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
   cfg.workload = wl;
   cfg.targetTransactions = targetFor(wl);
   cfg.maxCycles = 200'000'000;
+  // --trace=FILE arms a process-global tracer; runSeeds/runCyclesPerSeed
+  // hand it to the first seed's run only.
+  cfg.tracer = obs::activeTracer();
   return cfg;
+}
+
+/// Standard flag handling for every bench/example main: strips --jobs and
+/// the observability flags (--trace / --report-json / --trace-capacity).
+inline int parseStandardFlags(int argc, char** argv) {
+  argc = parseJobsFlag(argc, argv);
+  return obs::parseObsFlags(argc, argv);
 }
 
 inline void header(const char* id, const char* what) {
@@ -79,6 +90,7 @@ inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
               static_cast<unsigned>(resolveJobs(cfg)), [&](std::size_t s) {
                 SystemConfig c = cfg;
                 c.seed = 1 + s;
+                if (s != 0) c.tracer = nullptr;  // tracer is single-threaded
                 results[s] = runOnce(c);
               });
   std::vector<double> out;

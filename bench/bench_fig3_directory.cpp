@@ -53,7 +53,9 @@ int run(Protocol protocol, const char* id, const char* title) {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  dvmc::parseJobsFlag(argc, argv);
-  return dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
+  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  const int rc = dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
                    "normalized runtime, directory protocol, Base vs DVMC");
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

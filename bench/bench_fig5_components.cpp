@@ -37,9 +37,9 @@ int run() {
     for (const auto& c : configs) {
       SystemConfig cfg = bench::benchConfig(
           Protocol::kDirectory, ConsistencyModel::kTSO, wl, false, c.ber);
-      cfg.dvmcCoherence = c.dvcc;
-      cfg.dvmcUniproc = c.dvuo;
-      cfg.dvmcReorder = c.dvar;
+      cfg.dvmc.cacheCoherence = c.dvcc;
+      cfg.dvmc.uniprocOrdering = c.dvuo;
+      cfg.dvmc.allowableReordering = c.dvar;
       std::uint64_t detections = 0;
       const std::vector<double> v =
           bench::runCyclesPerSeed(cfg, seeds, &detections);
@@ -57,6 +57,8 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  dvmc::parseJobsFlag(argc, argv);
-  return dvmc::run();
+  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  const int rc = dvmc::run();
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

@@ -12,10 +12,11 @@
 
 #include "faults/injector.hpp"
 #include "system/system.hpp"
+#include "obs/run_report.hpp"
 
 using namespace dvmc;
 
-int main(int argc, char** argv) {
+int runDemo(int argc, char** argv) {
   const int faultBudget = argc > 1 ? std::atoi(argv[1]) : 8;
 
   SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory,
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   cfg.ber.interval = 10'000;
   cfg.ber.maxCheckpoints = 10;
   cfg.maxCycles = 100'000'000;
+  cfg.tracer = obs::activeTracer();
 
   System sys(cfg);
   FaultInjector injector(sys, 0xBEEF);
@@ -79,4 +81,11 @@ int main(int argc, char** argv) {
               " recovery; every *error* that manifested was detected and\n"
               " rolled back while the work kept flowing.)\n");
   return r.completed && r.unrecoverable == 0 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  argc = dvmc::obs::parseObsFlags(argc, argv);
+  const int rc = runDemo(argc, argv);
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

@@ -10,6 +10,7 @@
 #include "dvmc/cache_epoch_checker.hpp"
 #include "dvmc/memory_epoch_checker.hpp"
 #include "sim/simulator.hpp"
+#include "obs/run_report.hpp"
 
 using namespace dvmc;
 
@@ -31,8 +32,9 @@ const char* typeName(MsgType t) { return msgTypeName(t); }
 
 }  // namespace
 
-int main() {
+int runMicroscope() {
   Simulator sim;
+  sim.setTracer(dvmc::obs::activeTracer());
   DvmcConfig cfg;
   cfg.scrubAgeTicks = 64;  // tiny so the demo shows scrubbing quickly
   ErrorSink sink;
@@ -125,4 +127,13 @@ int main() {
               "spurious)\n",
               sink.count());
   return sink.count() == 3 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  argc = dvmc::obs::parseObsFlags(argc, argv);
+  (void)argc;
+  (void)argv;
+  const int rc = runMicroscope();
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

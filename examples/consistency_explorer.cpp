@@ -15,6 +15,7 @@
 
 #include "system/system.hpp"
 #include "workload/scripted.hpp"
+#include "obs/run_report.hpp"
 
 using namespace dvmc;
 
@@ -37,6 +38,7 @@ struct Outcome {
 Outcome runDekker(ConsistencyModel model, int jitter) {
   SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory, model);
   cfg.numNodes = 2;
+  cfg.tracer = obs::activeTracer();
   cfg.berEnabled = false;
   cfg.maxCycles = 2'000'000;
   // Thread 0: X = 1; r0 = Y.   Thread 1: Y = 1; r1 = X.
@@ -79,7 +81,7 @@ Outcome runDekker(ConsistencyModel model, int jitter) {
 
 }  // namespace
 
-int main() {
+int runExplorer() {
   std::printf("=== Ordering tables (paper Tables 1-4) ===\n\n");
   for (ConsistencyModel m :
        {ConsistencyModel::kSC, ConsistencyModel::kTSO, ConsistencyModel::kPSO,
@@ -118,4 +120,13 @@ int main() {
       "\nEvery trial above ran with the Allowable Reordering checker armed:\n"
       "the hardware reorderings were all legal under the active table.\n");
   return 0;
+}
+
+int main(int argc, char** argv) {
+  argc = dvmc::obs::parseObsFlags(argc, argv);
+  (void)argc;
+  (void)argv;
+  const int rc = runExplorer();
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

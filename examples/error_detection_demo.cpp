@@ -17,10 +17,11 @@
 
 #include "faults/injector.hpp"
 #include "system/system.hpp"
+#include "obs/run_report.hpp"
 
 using namespace dvmc;
 
-int main(int argc, char** argv) {
+int runDemo(int argc, char** argv) {
   FaultType fault = FaultType::kMsgDrop;
   if (argc > 1) {
     bool found = false;
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   cfg.dvmc.membarInjectionPeriod = 20'000;
   cfg.ber.interval = 10'000;
   cfg.ber.maxCheckpoints = 10;
+  cfg.tracer = obs::activeTracer();
   if (!faultApplicable(fault, cfg.model, cfg.protocol)) {
     std::fprintf(stderr, "fault %s is not an error under %s/%s\n",
                  faultTypeName(fault), protocolName(cfg.protocol),
@@ -139,4 +141,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sys.sim().now()),
               static_cast<unsigned long long>(sys.sink().count()));
   return r.completed && sys.sink().count() == 0 ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  argc = dvmc::obs::parseObsFlags(argc, argv);
+  const int rc = runDemo(argc, argv);
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

@@ -12,10 +12,11 @@
 #include "system/runner.hpp"
 #include "system/stats_report.hpp"
 #include "system/system.hpp"
+#include "obs/run_report.hpp"
 
 using namespace dvmc;
 
-int main(int argc, char** argv) {
+int runQuickstart(int argc, char** argv) {
   argc = parseJobsFlag(argc, argv);
   const WorkloadKind wl =
       argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::kOltp;
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
   cfg.numNodes = 8;
   cfg.workload = wl;
   cfg.targetTransactions = 400;
+  cfg.tracer = obs::activeTracer();
 
   std::printf("DVMC quickstart: %zu-node %s system, %s, workload '%s'\n",
               cfg.numNodes, protocolName(protocol), modelName(model),
@@ -97,4 +99,11 @@ int main(int argc, char** argv) {
     }
   }
   return r.detections == 0 && r.completed ? 0 : 1;
+}
+
+int main(int argc, char** argv) {
+  argc = dvmc::obs::parseObsFlags(argc, argv);
+  const int rc = runQuickstart(argc, argv);
+  const int obsRc = dvmc::obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }

@@ -1,6 +1,7 @@
 #include "ber/safety_net.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace dvmc {
 
@@ -21,9 +22,14 @@ void SafetyNet::start() {
 void SafetyNet::checkpointTick() {
   if (!running_) return;
   checkpoints_.push_back(capture_());
-  stats_.inc("ber.checkpoints");
+  cCheckpoints_.inc();
   while (checkpoints_.size() > cfg_.maxCheckpoints) {
     checkpoints_.pop_front();  // oldest checkpoint validated & discarded
+  }
+  gLiveCheckpoints_.set(checkpoints_.size());
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kCheckpoint, "ber.checkpoint", 0, 0,
+               cCheckpoints_.value());
   }
   if (cfg_.modelTraffic && traffic_) traffic_();
   sim_.schedule(cfg_.interval, [this] { checkpointTick(); });
@@ -40,16 +46,22 @@ bool SafetyNet::recoverBefore(Cycle errorCycle) {
     }
   }
   if (target == nullptr) {
-    stats_.inc("ber.windowExpired");
+    cWindowExpired_.inc();
     return false;
   }
   restore_(*target);
   ++recoveries_;
-  stats_.inc("ber.recoveries");
+  cRecoveries_.inc();
+  hRollbackDistance_.add(sim_.now() - target->cycle);
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kRollback, "ber.rollback", 0, 0,
+               sim_.now() - target->cycle);
+  }
   // Checkpoints taken after the restored point describe a squashed future.
   while (!checkpoints_.empty() && checkpoints_.back().cycle > target->cycle) {
     checkpoints_.pop_back();
   }
+  gLiveCheckpoints_.set(checkpoints_.size());
   return true;
 }
 

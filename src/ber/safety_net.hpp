@@ -22,8 +22,8 @@
 #include <vector>
 
 #include "common/data_block.hpp"
-#include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "cpu/core.hpp"
 #include "sim/simulator.hpp"
 
@@ -68,7 +68,7 @@ class SafetyNet {
   }
   Cycle recoveryWindow() const { return cfg_.interval * cfg_.maxCheckpoints; }
   std::uint64_t recoveries() const { return recoveries_; }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
  private:
   void checkpointTick();
@@ -81,7 +81,14 @@ class SafetyNet {
   std::deque<Snapshot> checkpoints_;
   bool running_ = false;
   std::uint64_t recoveries_ = 0;
-  StatSet stats_;
+
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cCheckpoints_ = stats_.counter("ber.checkpoints");
+  Counter cRecoveries_ = stats_.counter("ber.recoveries");
+  Counter cWindowExpired_ = stats_.counter("ber.windowExpired");
+  Gauge gLiveCheckpoints_ = stats_.gauge("ber.liveCheckpoints");
+  Histogram hRollbackDistance_ = stats_.histogram("ber.rollbackDistance");
 };
 
 }  // namespace dvmc

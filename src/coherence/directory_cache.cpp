@@ -1,6 +1,7 @@
 #include "coherence/directory_cache.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace dvmc {
 
@@ -62,7 +63,7 @@ void DirectoryCacheController::processOp(const CacheOp& op,
   if (line != nullptr && mosiCanRead(line->state) &&
       (!needsWrite || mosiCanWrite(line->state))) {
     array_.touch(*line, sink_, node_, sim_.now());
-    stats_.inc("l2.hit");
+    cHit_.inc();
     const std::size_t off = blockOffset(op.addr);
     switch (op.kind) {
       case CacheOp::Kind::kLoad:
@@ -97,7 +98,11 @@ void DirectoryCacheController::processOp(const CacheOp& op,
     }
   }
 
-  stats_.inc("l2.miss");
+  cMiss_.inc();
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kCoherence,
+               needsWrite ? "l2.missM" : "l2.missS", node_, blk, 0);
+  }
   startTransaction(blk, needsWrite, PendingOp{op, std::move(cb)});
 }
 
@@ -129,7 +134,7 @@ void DirectoryCacheController::startTransaction(Addr blk, bool wantM,
     // PutAck/Nack before re-requesting, so the home never sees the current
     // owner re-request its own block.
     m.requestSent = false;
-    stats_.inc("l2.wbStall");
+    cWbStall_.inc();
     return;
   }
   sendRequest(blk, m);
@@ -143,7 +148,7 @@ void DirectoryCacheController::sendRequest(Addr blk, const Mshr& mshr) {
   req.dest = map_.homeOf(blk);
   req.addr = blk;
   send(req);
-  stats_.inc(mshr.wantM ? "l2.getM" : "l2.getS");
+  (mshr.wantM ? cGetM_ : cGetS_).inc();
 }
 
 void DirectoryCacheController::onMessage(const Message& msg) {
@@ -154,7 +159,7 @@ void DirectoryCacheController::onMessage(const Message& msg) {
       if (it == mshrs_.end()) {
         // Possible only under injected faults (duplicated or misrouted
         // message); drop it and let the checkers flag any consequence.
-        stats_.inc("l2.strayData");
+        cStrayData_.inc();
         return;
       }
       Mshr& m = it->second;
@@ -171,7 +176,7 @@ void DirectoryCacheController::onMessage(const Message& msg) {
       auto it = mshrs_.find(blk);
       if (it == mshrs_.end()) {
         // Possible only under injected faults (e.g., duplicated message).
-        stats_.inc("l2.strayInvAck");
+        cStrayInvAck_.inc();
         return;
       }
       ++it->second.acksReceived;
@@ -270,9 +275,9 @@ void DirectoryCacheController::evictLine(CacheLine& line) {
     putm.hasData = true;
     putm.data = line.data;
     send(putm);
-    stats_.inc("l2.evictDirty");
+    cEvictDirty_.inc();
   } else {
-    stats_.inc("l2.evictClean");
+    cEvictClean_.inc();
   }
   line.valid = false;
   line.state = MosiState::kI;
@@ -302,7 +307,7 @@ void DirectoryCacheController::handleFwdGetS(const Message& msg) {
   }
   // Unreachable in a fault-free run; keep the system limping under injected
   // faults so the checkers can flag the corruption downstream.
-  stats_.inc("protocol.unexpectedFwdGetS");
+  cUnexpectedFwdGetS_.inc();
   sendData(msg.requester, blk, line != nullptr ? line->data : DataBlock{}, 0);
 }
 
@@ -323,7 +328,7 @@ void DirectoryCacheController::handleFwdGetM(const Message& msg) {
     sendData(msg.requester, blk, wb->second, msg.ackCount);
     return;
   }
-  stats_.inc("protocol.unexpectedFwdGetM");
+  cUnexpectedFwdGetM_.inc();
   sendData(msg.requester, blk, DataBlock{}, msg.ackCount);
 }
 
@@ -355,7 +360,7 @@ void DirectoryCacheController::sendData(NodeId dest, Addr blk,
   m.data = d;
   m.ackCount = ackCount;
   send(m);
-  stats_.inc("l2.dataSupplied");
+  cDataSupplied_.inc();
 }
 
 void DirectoryCacheController::notifyCpuLost(Addr blk, bool remoteWrite) {

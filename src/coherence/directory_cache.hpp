@@ -22,7 +22,7 @@
 #include "coherence/cache_array.hpp"
 #include "coherence/interfaces.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
 
@@ -50,7 +50,7 @@ class DirectoryCacheController final : public CoherentCache {
   /// Network entry point (router dispatches cache-bound messages here).
   void onMessage(const Message& msg);
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   CacheArray& array() { return array_; }
   NodeId node() const { return node_; }
 
@@ -108,7 +108,20 @@ class DirectoryCacheController final : public CoherentCache {
   std::unordered_map<Addr, Mshr> mshrs_;
   std::unordered_map<Addr, DataBlock> wbBuffer_;
   std::uint32_t gen_ = 0;  // bumped by invalidateAll (BER recovery)
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cHit_ = stats_.counter("l2.hit");
+  Counter cMiss_ = stats_.counter("l2.miss");
+  Counter cGetS_ = stats_.counter("l2.getS");
+  Counter cGetM_ = stats_.counter("l2.getM");
+  Counter cWbStall_ = stats_.counter("l2.wbStall");
+  Counter cEvictClean_ = stats_.counter("l2.evictClean");
+  Counter cEvictDirty_ = stats_.counter("l2.evictDirty");
+  Counter cDataSupplied_ = stats_.counter("l2.dataSupplied");
+  Counter cStrayData_ = stats_.counter("l2.strayData");
+  Counter cStrayInvAck_ = stats_.counter("l2.strayInvAck");
+  Counter cUnexpectedFwdGetS_ = stats_.counter("protocol.unexpectedFwdGetS");
+  Counter cUnexpectedFwdGetM_ = stats_.counter("protocol.unexpectedFwdGetM");
 };
 
 }  // namespace dvmc

@@ -35,7 +35,7 @@ void DirectoryHome::onMessage(const Message& msg) {
   if (map_.homeOf(msg.addr) != node_) {
     // Misrouted (injected fault): a real controller's address decoder would
     // reject this; drop and count. DVMC detects the downstream consequence.
-    stats_.inc("home.misrouted");
+    cMisrouted_.inc();
     return;
   }
   const Addr blk = blockAddr(msg.addr);
@@ -57,7 +57,7 @@ void DirectoryHome::onMessage(const Message& msg) {
       return;
     case MsgType::kUnblock:
       if (!e.busy) {
-        stats_.inc("home.strayUnblock");  // duplicated message fault
+        cStrayUnblock_.inc();  // duplicated message fault
         return;
       }
       e.busy = false;
@@ -73,7 +73,7 @@ void DirectoryHome::serviceQueue(Addr blk) {
   while (!e.busy && !e.pending.empty()) {
     const Message msg = e.pending.front();
     e.pending.pop_front();
-    stats_.inc("home.serviced");
+    cServiced_.inc();
     process(msg, e);
     // GetS/GetM set busy (released by Unblock); PutM completes in place and
     // lets the loop keep draining.
@@ -98,7 +98,7 @@ void DirectoryHome::process(const Message& msg, DirEntry& e) {
 
 void DirectoryHome::handleGetS(const Message& msg, DirEntry& e) {
   const Addr blk = blockAddr(msg.addr);
-  stats_.inc("home.getS");
+  cGetS_.inc();
   if (homeObserver_ != nullptr) {
     homeObserver_->onHomeRequest(blk,
                                  memory_.read(blk, sink_, node_, sim_.now()));
@@ -108,7 +108,7 @@ void DirectoryHome::handleGetS(const Message& msg, DirEntry& e) {
     // writeback — only possible under injected faults. Serve stale memory
     // data; the coherence checker's data-propagation rule flags it.
     e.owner = kInvalidNode;
-    stats_.inc("home.ownerReRequest");
+    cOwnerReRequest_.inc();
   }
   if (e.owner != kInvalidNode) {
     Message fwd;
@@ -118,7 +118,7 @@ void DirectoryHome::handleGetS(const Message& msg, DirEntry& e) {
     fwd.addr = blk;
     fwd.requester = msg.src;
     send(fwd);
-    stats_.inc("home.fwdGetS");
+    cFwdGetS_.inc();
     if (homeObserver_ != nullptr) {
       homeObserver_->onHomeGrant(blk, msg.src, /*readWrite=*/false,
                                  /*fromMemory=*/false, 0);
@@ -137,7 +137,7 @@ void DirectoryHome::handleGetS(const Message& msg, DirEntry& e) {
 
 void DirectoryHome::handleGetM(const Message& msg, DirEntry& e) {
   const Addr blk = blockAddr(msg.addr);
-  stats_.inc("home.getM");
+  cGetM_.inc();
   if (homeObserver_ != nullptr) {
     homeObserver_->onHomeRequest(blk,
                                  memory_.read(blk, sink_, node_, sim_.now()));
@@ -157,7 +157,7 @@ void DirectoryHome::handleGetM(const Message& msg, DirEntry& e) {
     fwd.requester = msg.src;
     fwd.ackCount = ackCount;
     send(fwd);
-    stats_.inc("home.fwdGetM");
+    cFwdGetM_.inc();
   } else if (e.owner == msg.src) {
     // O -> M upgrade: the requester already holds the latest data; send an
     // ack-count-only response.
@@ -169,7 +169,7 @@ void DirectoryHome::handleGetM(const Message& msg, DirEntry& e) {
     d.ackCount = ackCount;
     d.hasData = false;
     send(d);
-    stats_.inc("home.upgradeAck");
+    cUpgradeAck_.inc();
   } else {
     sendDataFromMemory(blk, msg.src, ackCount);
   }
@@ -182,7 +182,7 @@ void DirectoryHome::handleGetM(const Message& msg, DirEntry& e) {
     inv.addr = blk;
     inv.requester = msg.src;
     send(inv);
-    stats_.inc("home.inv");
+    cInv_.inc();
   }
 
   if (homeObserver_ != nullptr) {
@@ -208,7 +208,7 @@ void DirectoryHome::handlePutM(const Message& msg, DirEntry& e) {
     memory_.write(blk, msg.data);
     e.owner = kInvalidNode;
     reply.type = MsgType::kPutAck;
-    stats_.inc("home.putM");
+    cPutM_.inc();
     if (homeObserver_ != nullptr) {
       homeObserver_->onHomeWriteback(blk, msg.src, hashBlock(msg.data),
                                      /*accepted=*/true);
@@ -223,7 +223,7 @@ void DirectoryHome::handlePutM(const Message& msg, DirEntry& e) {
     // Ownership already transferred by a racing GetM; the writeback is
     // stale and the data must be discarded.
     reply.type = MsgType::kNackPutM;
-    stats_.inc("home.nackPutM");
+    cNackPutM_.inc();
     if (homeObserver_ != nullptr) {
       homeObserver_->onHomeWriteback(blk, msg.src, hashBlock(msg.data),
                                      /*accepted=*/false);
@@ -248,7 +248,7 @@ void DirectoryHome::sendDataFromMemory(Addr blk, NodeId dest, int ackCount) {
     m.fromMemory = true;
     send(m);
   });
-  stats_.inc("home.memData");
+  cMemData_.inc();
 }
 
 }  // namespace dvmc

@@ -18,7 +18,7 @@
 #include "coherence/interfaces.hpp"
 #include "coherence/memory_storage.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,7 +35,7 @@ class DirectoryHome {
   void setHomeObserver(HomeObserver* o) { homeObserver_ = o; }
 
   MemoryStorage& memory() { return memory_; }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
   /// Directory introspection for tests.
   NodeId ownerOf(Addr blk) const;
@@ -78,7 +78,21 @@ class DirectoryHome {
   MemoryStorage memory_;
   std::unordered_map<Addr, DirEntry> dir_;
   std::uint32_t gen_ = 0;
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cServiced_ = stats_.counter("home.serviced");
+  Counter cGetS_ = stats_.counter("home.getS");
+  Counter cGetM_ = stats_.counter("home.getM");
+  Counter cFwdGetS_ = stats_.counter("home.fwdGetS");
+  Counter cFwdGetM_ = stats_.counter("home.fwdGetM");
+  Counter cUpgradeAck_ = stats_.counter("home.upgradeAck");
+  Counter cInv_ = stats_.counter("home.inv");
+  Counter cPutM_ = stats_.counter("home.putM");
+  Counter cNackPutM_ = stats_.counter("home.nackPutM");
+  Counter cMemData_ = stats_.counter("home.memData");
+  Counter cOwnerReRequest_ = stats_.counter("home.ownerReRequest");
+  Counter cStrayUnblock_ = stats_.counter("home.strayUnblock");
+  Counter cMisrouted_ = stats_.counter("home.misrouted");
 };
 
 }  // namespace dvmc

@@ -36,11 +36,11 @@ void CacheHierarchy::access(const CacheOp& op, CacheOpCallback cb) {
                                        isReplay] {
       CacheLine* line = l1_.find(blk);
       if (line != nullptr) {
-        stats_.inc(isReplay ? "l1.replayHit" : "l1.hit");
+        (isReplay ? cReplayHit_ : cHit_).inc();
         finishLoadFromL1(op, cb, *line);
         return;
       }
-      stats_.inc(isReplay ? "l1.replayMiss" : "l1.miss");
+      (isReplay ? cReplayMiss_ : cMiss_).inc();
       if (isReplay) {
         ++replayMisses_;
       } else {

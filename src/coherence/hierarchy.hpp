@@ -13,7 +13,7 @@
 #include "coherence/cache_array.hpp"
 #include "coherence/interfaces.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace dvmc {
@@ -35,7 +35,7 @@ class CacheHierarchy final : public CpuNotifier {
 
   CacheArray& l1() { return l1_; }
   CoherentCache& l2() { return l2_; }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
   std::uint64_t regularLoadL1Misses() const { return regularMisses_; }
   std::uint64_t replayLoadL1Misses() const { return replayMisses_; }
@@ -57,7 +57,12 @@ class CacheHierarchy final : public CpuNotifier {
   NodeId node_;
   CacheArray l1_;
   CpuNotifier* cpu_ = nullptr;
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cHit_ = stats_.counter("l1.hit");
+  Counter cMiss_ = stats_.counter("l1.miss");
+  Counter cReplayHit_ = stats_.counter("l1.replayHit");
+  Counter cReplayMiss_ = stats_.counter("l1.replayMiss");
   std::uint64_t regularMisses_ = 0;
   std::uint64_t replayMisses_ = 0;
 };

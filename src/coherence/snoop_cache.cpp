@@ -1,6 +1,7 @@
 #include "coherence/snoop_cache.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace dvmc {
 
@@ -62,7 +63,7 @@ void SnoopCacheController::processOp(const CacheOp& op, CacheOpCallback cb) {
   if (line != nullptr && mosiCanRead(line->state) &&
       (!needsWrite || mosiCanWrite(line->state))) {
     array_.touch(*line, sink_, node_, sim_.now());
-    stats_.inc("l2.hit");
+    cHit_.inc();
     const std::size_t off = blockOffset(op.addr);
     switch (op.kind) {
       case CacheOp::Kind::kLoad:
@@ -97,7 +98,11 @@ void SnoopCacheController::processOp(const CacheOp& op, CacheOpCallback cb) {
     }
   }
 
-  stats_.inc("l2.miss");
+  cMiss_.inc();
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kCoherence,
+               needsWrite ? "l2.missM" : "l2.missS", node_, blk, 0);
+  }
   startTransaction(blk, needsWrite, PendingOp{op, std::move(cb)});
 }
 
@@ -129,7 +134,7 @@ void SnoopCacheController::startTransaction(Addr blk, bool wantM,
   req.src = node_;
   req.addr = blk;
   addrNet_.broadcast(req);
-  stats_.inc(wantM ? "l2.getM" : "l2.getS");
+  (wantM ? cGetM_ : cGetS_).inc();
 }
 
 void SnoopCacheController::onSnoop(const Message& msg) {
@@ -142,7 +147,7 @@ void SnoopCacheController::onSnoop(const Message& msg) {
     if (msg.type == MsgType::kSnpGetS || msg.type == MsgType::kSnpGetM) {
       auto it = mshrs_.find(blk);
       if (it == mshrs_.end()) {
-        stats_.inc("l2.straySelfSnoop");  // duplicated broadcast fault
+        cStraySelfSnoop_.inc();  // duplicated broadcast fault
         return;
       }
       Mshr& m = it->second;
@@ -169,7 +174,7 @@ void SnoopCacheController::onSnoop(const Message& msg) {
           d.hasData = true;
           d.data = wb->second.data;
           dataNet_.send(d);
-          stats_.inc("l2.wbData");
+          cWbData_.inc();
         }
         wbBuffer_.erase(wb);
       }
@@ -183,7 +188,7 @@ void SnoopCacheController::onSnoop(const Message& msg) {
   auto it = mshrs_.find(blk);
   if (it != mshrs_.end() && it->second.ordered) {
     it->second.deferredSnoops.push_back(msg);
-    stats_.inc("l2.deferredSnoop");
+    cDeferredSnoop_.inc();
     return;
   }
   applySnoop(msg, ltime);
@@ -235,13 +240,13 @@ void SnoopCacheController::applySnoop(const Message& msg,
 
 void SnoopCacheController::onMessage(const Message& msg) {
   if (msg.type != MsgType::kSnpData) {
-    stats_.inc("l2.unexpectedData");
+    cUnexpectedData_.inc();
     return;
   }
   const Addr blk = blockAddr(msg.addr);
   auto it = mshrs_.find(blk);
   if (it == mshrs_.end()) {
-    stats_.inc("l2.strayData");
+    cStrayData_.inc();
     return;
   }
   it->second.dataReceived = true;
@@ -313,9 +318,9 @@ void SnoopCacheController::evictLine(CacheLine& line) {
     putm.src = node_;
     putm.addr = blk;
     addrNet_.broadcast(putm);
-    stats_.inc("l2.evictDirty");
+    cEvictDirty_.inc();
   } else {
-    stats_.inc("l2.evictClean");
+    cEvictClean_.inc();
   }
   line.valid = false;
   line.state = MosiState::kI;
@@ -332,7 +337,7 @@ void SnoopCacheController::supplyData(NodeId dest, const Addr blk,
   m.hasData = true;
   m.data = d;
   dataNet_.send(m);
-  stats_.inc("l2.dataSupplied");
+  cDataSupplied_.inc();
 }
 
 void SnoopCacheController::notifyCpuLost(Addr blk, bool remoteWrite) {

@@ -16,7 +16,7 @@
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "net/broadcast_tree.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
@@ -48,7 +48,7 @@ class SnoopCacheController final : public CoherentCache {
   /// Data-network entry: kSnpData responses.
   void onMessage(const Message& msg);
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   CacheArray& array() { return array_; }
   NodeId node() const { return node_; }
   void invalidateAll();
@@ -103,7 +103,20 @@ class SnoopCacheController final : public CoherentCache {
   std::unordered_map<Addr, Mshr> mshrs_;
   std::unordered_map<Addr, WbEntry> wbBuffer_;
   std::uint32_t gen_ = 0;  // bumped by invalidateAll (BER recovery)
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cHit_ = stats_.counter("l2.hit");
+  Counter cMiss_ = stats_.counter("l2.miss");
+  Counter cGetS_ = stats_.counter("l2.getS");
+  Counter cGetM_ = stats_.counter("l2.getM");
+  Counter cEvictClean_ = stats_.counter("l2.evictClean");
+  Counter cEvictDirty_ = stats_.counter("l2.evictDirty");
+  Counter cDataSupplied_ = stats_.counter("l2.dataSupplied");
+  Counter cWbData_ = stats_.counter("l2.wbData");
+  Counter cDeferredSnoop_ = stats_.counter("l2.deferredSnoop");
+  Counter cStraySelfSnoop_ = stats_.counter("l2.straySelfSnoop");
+  Counter cUnexpectedData_ = stats_.counter("l2.unexpectedData");
+  Counter cStrayData_ = stats_.counter("l2.strayData");
 };
 
 }  // namespace dvmc

@@ -49,7 +49,7 @@ void SnoopMemoryController::onSnoop(const Message& msg) {
           // shadow checker sees writeback-then-grant in logical order.
           h.waiting.push_back(msg);
           deferredGrant = true;
-          stats_.inc("mem.heldForWb");
+          cHeldForWb_.inc();
         } else {
           supplyData(blk, msg.src);
         }
@@ -72,7 +72,7 @@ void SnoopMemoryController::onSnoop(const Message& msg) {
         if (h.awaitingWb) {
           h.waiting.push_back(msg);
           deferredGrant = true;
-          stats_.inc("mem.heldForWb");
+          cHeldForWb_.inc();
         } else if (msg.src != kInvalidNode) {
           supplyData(blk, msg.src);
         }
@@ -93,9 +93,9 @@ void SnoopMemoryController::onSnoop(const Message& msg) {
         h.ownerCache = kInvalidNode;
         h.awaitingWb = true;
         h.wbFrom = msg.src;
-        stats_.inc("mem.putM");
+        cPutM_.inc();
       } else {
-        stats_.inc("mem.stalePutM");  // ownership raced away; data discarded
+        cStalePutM_.inc();  // ownership raced away; data discarded
         if (homeObserver_ != nullptr) {
           homeObserver_->onHomeWriteback(blk, msg.src, 0,
                                          /*accepted=*/false);
@@ -109,12 +109,12 @@ void SnoopMemoryController::onSnoop(const Message& msg) {
 
 void SnoopMemoryController::onMessage(const Message& msg) {
   if (msg.type != MsgType::kSnpWbData) {
-    stats_.inc("mem.unexpectedData");
+    cUnexpectedData_.inc();
     return;
   }
   const Addr blk = blockAddr(msg.addr);
   if (map_.homeOf(blk) != node_) {
-    stats_.inc("mem.misrouted");
+    cMisrouted_.inc();
     return;
   }
   DVMC_ASSERT(msg.hasData, "WbData without payload");
@@ -158,7 +158,7 @@ void SnoopMemoryController::supplyData(Addr blk, NodeId dest) {
     m.fromMemory = true;
     dataNet_.send(m);
   });
-  stats_.inc("mem.dataSupplied");
+  cDataSupplied_.inc();
 }
 
 }  // namespace dvmc

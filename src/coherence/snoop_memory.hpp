@@ -18,7 +18,7 @@
 #include "coherence/logical_clock.hpp"
 #include "coherence/memory_storage.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
 
@@ -40,7 +40,7 @@ class SnoopMemoryController {
 
   MemoryStorage& memory() { return memory_; }
   CountingClock& clock() { return clock_; }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
   NodeId cacheOwnerOf(Addr blk) const;
 
@@ -71,7 +71,14 @@ class SnoopMemoryController {
   CountingClock clock_;
   std::unordered_map<Addr, HomeState> state_;
   std::uint32_t gen_ = 0;
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cDataSupplied_ = stats_.counter("mem.dataSupplied");
+  Counter cPutM_ = stats_.counter("mem.putM");
+  Counter cStalePutM_ = stats_.counter("mem.stalePutM");
+  Counter cHeldForWb_ = stats_.counter("mem.heldForWb");
+  Counter cUnexpectedData_ = stats_.counter("mem.unexpectedData");
+  Counter cMisrouted_ = stats_.counter("mem.misrouted");
 };
 
 }  // namespace dvmc

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,16 +37,36 @@ struct Detection {
 
 class ErrorSink {
  public:
-  void report(Detection d) { detections_.push_back(std::move(d)); }
+  /// Called synchronously from report() for every detection, after it has
+  /// been appended to the vector. Observers replace polling detections():
+  /// the event tracer records detections through one, and the system
+  /// layer's auto-recovery arms rollback through another. An observer must
+  /// not call report() re-entrantly; scheduling follow-up work on the
+  /// simulator is the intended reaction pattern.
+  using Observer = std::function<void(const Detection&)>;
+
+  void addObserver(Observer fn) { observers_.push_back(std::move(fn)); }
+
+  void report(Detection d) {
+    detections_.push_back(std::move(d));
+    if (!observers_.empty()) {
+      const Detection& ref = detections_.back();
+      for (const Observer& fn : observers_) fn(ref);
+    }
+  }
 
   bool any() const { return !detections_.empty(); }
   std::size_t count() const { return detections_.size(); }
+  /// Vector accessor kept for tests; production reaction paths should
+  /// register an observer instead of polling this.
   const std::vector<Detection>& detections() const { return detections_; }
   const Detection& first() const { return detections_.front(); }
+  /// Clears recorded detections; registered observers stay.
   void clear() { detections_.clear(); }
 
  private:
   std::vector<Detection> detections_;
+  std::vector<Observer> observers_;
 };
 
 inline const char* checkerKindName(CheckerKind k) {

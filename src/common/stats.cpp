@@ -18,6 +18,16 @@ void LatencyHistogram::add(std::uint64_t v) {
   if (v > max_) max_ = v;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.buckets_.size() > buckets_.size()) buckets_.resize(o.buckets_.size(), 0);
+  for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
+    buckets_[i] += o.buckets_[i];
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
 std::string LatencyHistogram::toString() const {
   std::ostringstream os;
   std::uint64_t bound = 1;

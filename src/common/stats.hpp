@@ -49,12 +49,23 @@ class LatencyHistogram {
  public:
   void add(std::uint64_t v);
   std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
   std::uint64_t maxValue() const { return max_; }
   double mean() const {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
                   : 0.0;
   }
   std::string toString() const;
+
+  /// Bucket-wise sum with another histogram (metric snapshot merging).
+  void merge(const LatencyHistogram& o);
+  /// Per-bucket count of values <= 2^i (exposed for report serialization).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  bool operator==(const LatencyHistogram& o) const {
+    return buckets_ == o.buckets_ && count_ == o.count_ && sum_ == o.sum_ &&
+           max_ == o.max_;
+  }
 
  private:
   std::vector<std::uint64_t> buckets_;
@@ -64,7 +75,13 @@ class LatencyHistogram {
 };
 
 /// Named counter bag; used for per-component event statistics.
-class StatSet {
+///
+/// DEPRECATED: superseded by MetricSet (obs/metrics.hpp), which registers
+/// typed metrics once at component construction and makes the hot path a
+/// plain slot increment instead of a per-event map lookup. This shim stays
+/// for one PR so out-of-tree tests keep compiling; new code must not use
+/// it.
+class [[deprecated("use MetricSet from obs/metrics.hpp")]] StatSet {
  public:
   void inc(const std::string& name, std::uint64_t by = 1) {
     counters_[name] += by;

@@ -78,7 +78,7 @@ void Core::injectTick() {
       sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
                      rob_.front().seq, "pipeline made no progress"});
     }
-    stats_.inc("cpu.hangDetections");
+    cHangDetections_.inc();
   }
   lastRetiredAtInject_ = retiredCount_;
   if (!done()) {
@@ -166,7 +166,7 @@ void Core::tick() {
 void Core::phaseDispatch() {
   for (std::size_t n = 0; n < cfg_.width; ++n) {
     if (rob_.size() >= cfg_.robSize) {
-      stats_.inc("cpu.robFullStalls");
+      cRobFullStalls_.inc();
       return;
     }
     std::optional<Instr> inst;
@@ -190,7 +190,7 @@ void Core::phaseDispatch() {
     lastDispatchModel_ = e.model;
     if (inst->token != 0) ++pendingTokens_;
     rob_.push_back(e);
-    stats_.inc("cpu.dispatched");
+    cDispatched_.inc();
   }
 }
 
@@ -246,7 +246,7 @@ void Core::phaseExecute() {
         e.squashPending = false;
         ++e.gen;
         e.st = St::kDispatched;
-        stats_.inc("cpu.loadSquashRestart");
+        cLoadSquashRestart_.inc();
         continue;
       }
       e.st = St::kExecuted;
@@ -293,7 +293,7 @@ void Core::issueExecute(RobEntry& e) {
         pf.kind = CacheOp::Kind::kPrefetchM;
         pf.addr = e.inst.addr;
         mem_.access(pf, nullptr);
-        stats_.inc("cpu.storePrefetch");
+        cStorePrefetch_.inc();
       }
       return;
     case Instr::Kind::kLoad:
@@ -340,11 +340,11 @@ void Core::executeLoad(RobEntry& e) {
     if (loadFaultArmed_) {
       loadFaultArmed_ = false;
       e.execValue ^= 0x80;  // injected LSQ forwarding corruption
-      stats_.inc("cpu.injectedLoadFaults");
+      cInjectedLoadFaults_.inc();
     }
     e.readyAt = sim_.now() + 1;
     e.performedAtExec = rmoLoad;
-    stats_.inc("cpu.loadForwarded");
+    cLoadForwarded_.inc();
     wakeIn(1);
     return;
   }
@@ -358,7 +358,7 @@ void Core::executeLoad(RobEntry& e) {
   // perform here. Without DVUO there is no replay, so the CET rule-1 check
   // fires on the execution access.
   op.countsAsPerform = rmoLoad || vc_ == nullptr;
-  stats_.inc("cpu.loadIssued");
+  cLoadIssued_.inc();
   mem_.access(op, [this, seq = e.seq, gen = e.gen, rgen = restartGen_,
                    rmoLoad](const CacheOpResult& r) {
     if (rgen != restartGen_) return;
@@ -368,7 +368,7 @@ void Core::executeLoad(RobEntry& e) {
       e2->squashPending = false;
       ++e2->gen;
       e2->st = St::kDispatched;  // re-execute
-      stats_.inc("cpu.loadSquashRestart");
+      cLoadSquashRestart_.inc();
       wake();
       return;
     }
@@ -379,7 +379,7 @@ void Core::executeLoad(RobEntry& e) {
     if (loadFaultArmed_) {
       loadFaultArmed_ = false;
       e2->execValue ^= 0x80;  // injected LSQ/forwarding corruption
-      stats_.inc("cpu.injectedLoadFaults");
+      cInjectedLoadFaults_.inc();
     }
     e2->st = St::kExecuted;
     if (rmoLoad) {
@@ -400,7 +400,7 @@ void Core::executeAtomic(RobEntry& e) {
   op.value = e.inst.value;
   op.compare = e.inst.compare;
   op.countsAsPerform = true;
-  stats_.inc("cpu.atomics");
+  cAtomics_.inc();
   mem_.access(op, [this, seq = e.seq, gen = e.gen,
                    rgen = restartGen_](const CacheOpResult& r) {
     if (rgen != restartGen_) return;
@@ -480,7 +480,7 @@ void Core::gateEntry(RobEntry& e) {
       // expensive); it is also a serializing AR perform event.
       if ((e.inst.membarMask & kStoreFirstBits) != 0 &&
           outstandingStores_ != 0) {
-        stats_.inc("cpu.membarStalls");
+        cMembarStalls_.inc();
         return;  // stall
       }
       if (!allOlderVerified(e)) return;
@@ -500,7 +500,7 @@ void Core::gateEntry(RobEntry& e) {
         op.addr = e.inst.addr;
         op.value = e.inst.value;
         op.countsAsPerform = true;
-        stats_.inc("cpu.scStores");
+        cScStores_.inc();
         TRACEW(e.inst.addr, "[%llu] n%u SC store issued seq=%llu val=%llx",
                (unsigned long long)sim_.now(), node_,
                (unsigned long long)e.seq, (unsigned long long)e.inst.value);
@@ -525,7 +525,7 @@ void Core::gateEntry(RobEntry& e) {
       // lives until the store performs out of the write buffer.
       if (vc_ != nullptr) {
         if (!vc_->canAllocate(e.inst.addr, 8)) {
-          stats_.inc("cpu.vcFullStalls");
+          cVcFullStalls_.inc();
           return;  // stall until a VC entry frees up
         }
         vc_->storeCommit(e.inst.addr, 8, e.inst.value, e.seq);
@@ -551,7 +551,7 @@ void Core::gateEntry(RobEntry& e) {
           auto parked = vc_->consumeParked(e.inst.addr, 8);
           if (pending) {
             if (*pending != e.execValue) {
-              stats_.inc("cpu.uoFlushes");
+              cUoFlushes_.inc();
               ++e.gen;
               e.st = St::kDispatched;
               return;
@@ -561,10 +561,10 @@ void Core::gateEntry(RobEntry& e) {
             // under RMO; resolved by a silent flush, not an error.
             ++e.gen;
             e.st = St::kDispatched;
-            stats_.inc("cpu.rmoReplayFlushes");
+            cRmoReplayFlushes_.inc();
             return;
           } else if (!parked) {
-            stats_.inc("cpu.rmoReplayNoPark");
+            cRmoReplayNoPark_.inc();
           }
         }
         e.st = St::kGateDone;
@@ -590,7 +590,7 @@ void Core::replayLoad(RobEntry& e) {
   // Verification-stage replay: VC first, then the cache hierarchy,
   // bypassing the write buffer (§4.1).
   if (auto vcHit = vc_->lookupStoreOlderThan(e.inst.addr, 8, e.seq)) {
-    stats_.inc("cpu.replayVcHit");
+    cReplayVcHit_.inc();
     TRACEW(e.inst.addr, "[%llu] n%u replay vc-hit seq=%llu val=%llx",
            (unsigned long long)sim_.now(), node_,
            (unsigned long long)e.seq, (unsigned long long)*vcHit);
@@ -603,7 +603,7 @@ void Core::replayLoad(RobEntry& e) {
   op.kind = CacheOp::Kind::kReplayLoad;
   op.addr = e.inst.addr;
   op.countsAsPerform = true;  // ordered loads perform at verification
-  stats_.inc("cpu.replayIssued");
+  cReplayIssued_.inc();
   TRACEW(e.inst.addr, "[%llu] n%u replay issued seq=%llu",
          (unsigned long long)sim_.now(), node_,
          (unsigned long long)e.seq);
@@ -625,7 +625,7 @@ void Core::onReplayDone(RobEntry& e, std::uint64_t replayValue, bool l1Hit) {
     e.squashPending = false;
     ++e.gen;
     e.st = St::kDispatched;
-    stats_.inc("cpu.loadSquashRestart");
+    cLoadSquashRestart_.inc();
     return;
   }
   if (replayValue != e.execValue) {
@@ -638,7 +638,7 @@ void Core::onReplayDone(RobEntry& e, std::uint64_t replayValue, bool l1Hit) {
     // the uoFlushes delta as the detection signal for those faults.
     ++e.gen;
     e.st = St::kDispatched;
-    stats_.inc("cpu.uoFlushes");
+    cUoFlushes_.inc();
     return;
   }
   e.st = St::kGateDone;
@@ -730,13 +730,13 @@ void Core::phaseRetire() {
           it->value = e.inst.value;
           it->seq = e.seq;
           coalesced = true;
-          stats_.inc("cpu.wbCoalesced");
+          cWbCoalesced_.inc();
           break;
         }
       }
       if (!coalesced) {
         if (wb_.size() >= cfg_.wbCapacity) {
-          stats_.inc("cpu.wbFullStalls");
+          cWbFullStalls_.inc();
           return;
         }
         WbEntry w;
@@ -748,7 +748,7 @@ void Core::phaseRetire() {
       }
     }
     ++retiredCount_;
-    stats_.inc("cpu.retired");
+    cRetired_.inc();
     rob_.pop_front();
   }
 }
@@ -765,7 +765,7 @@ void Core::drainWriteBuffer() {
     // is skipped this round, so the younger store performs first.
     wbReorderArmed_ = false;
     startIdx = 1;
-    stats_.inc("cpu.injectedWbReorders");
+    cInjectedWbReorders_.inc();
   }
   // Relaxed "optimized store issue policy" (Table 5): among drainable
   // relaxed-mode entries, ones whose block is already owned (M) issue
@@ -810,7 +810,7 @@ void Core::drainWriteBuffer() {
     op.addr = w.addr;
     op.value = w.value;
     op.countsAsPerform = true;
-    stats_.inc("cpu.wbDrains");
+    cWbDrains_.inc();
     const bool faulted = (startIdx == 1 && i == 1);
     mem_.access(op, [this, seq = w.seq,
                      rgen = restartGen_](const CacheOpResult&) {
@@ -863,12 +863,12 @@ void Core::onReadPermissionLost(Addr blk, bool remoteWrite) {
       case St::kIssued:
       case St::kGateIssued:
         e.squashPending = true;  // discard on callback
-        stats_.inc("cpu.squashes");
+        cSquashes_.inc();
         break;
       case St::kExecuted:
         ++e.gen;
         e.st = St::kDispatched;
-        stats_.inc("cpu.squashes");
+        cSquashes_.inc();
         TRACEW(e.inst.addr, "[%llu] n%u squash-exec seq=%llu",
                (unsigned long long)sim_.now(), node_,
                (unsigned long long)e.seq);
@@ -912,7 +912,7 @@ void Core::restoreState(const ArchSnapshot& snap) {
   replayQueue_.assign(snap.replay.begin(), snap.replay.end());
   lastDispatchModel_ = model_;
   tickArmed_ = false;
-  stats_.inc("cpu.restarts");
+  cRestarts_.inc();
   wake();
 }
 

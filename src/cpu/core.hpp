@@ -26,7 +26,7 @@
 
 #include "coherence/hierarchy.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "consistency/model.hpp"
 #include "consistency/ordering_table.hpp"
 #include "cpu/instr.hpp"
@@ -66,7 +66,7 @@ class Core final : public CpuNotifier {
   // --- CpuNotifier (invalidation hints for load-order speculation) ---
   void onReadPermissionLost(Addr blk, bool remoteWrite) override;
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   void debugDump() const;
   std::uint64_t retired() const { return retiredCount_; }
   std::uint64_t transactions() const {
@@ -210,7 +210,32 @@ class Core final : public CpuNotifier {
   bool wbReorderArmed_ = false;
   std::uint64_t lastRetiredAtInject_ = 0;  // pipeline-hang watchdog
 
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cDispatched_ = stats_.counter("cpu.dispatched");
+  Counter cRetired_ = stats_.counter("cpu.retired");
+  Counter cLoadIssued_ = stats_.counter("cpu.loadIssued");
+  Counter cLoadForwarded_ = stats_.counter("cpu.loadForwarded");
+  Counter cAtomics_ = stats_.counter("cpu.atomics");
+  Counter cScStores_ = stats_.counter("cpu.scStores");
+  Counter cReplayIssued_ = stats_.counter("cpu.replayIssued");
+  Counter cReplayVcHit_ = stats_.counter("cpu.replayVcHit");
+  Counter cSquashes_ = stats_.counter("cpu.squashes");
+  Counter cRestarts_ = stats_.counter("cpu.restarts");
+  Counter cUoFlushes_ = stats_.counter("cpu.uoFlushes");
+  Counter cRmoReplayFlushes_ = stats_.counter("cpu.rmoReplayFlushes");
+  Counter cRmoReplayNoPark_ = stats_.counter("cpu.rmoReplayNoPark");
+  Counter cLoadSquashRestart_ = stats_.counter("cpu.loadSquashRestart");
+  Counter cStorePrefetch_ = stats_.counter("cpu.storePrefetch");
+  Counter cWbCoalesced_ = stats_.counter("cpu.wbCoalesced");
+  Counter cWbDrains_ = stats_.counter("cpu.wbDrains");
+  Counter cWbFullStalls_ = stats_.counter("cpu.wbFullStalls");
+  Counter cRobFullStalls_ = stats_.counter("cpu.robFullStalls");
+  Counter cMembarStalls_ = stats_.counter("cpu.membarStalls");
+  Counter cVcFullStalls_ = stats_.counter("cpu.vcFullStalls");
+  Counter cHangDetections_ = stats_.counter("cpu.hangDetections");
+  Counter cInjectedLoadFaults_ = stats_.counter("cpu.injectedLoadFaults");
+  Counter cInjectedWbReorders_ = stats_.counter("cpu.injectedWbReorders");
 };
 
 }  // namespace dvmc

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/crc16.hpp"
+#include "obs/trace.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +36,7 @@ void CacheEpochChecker::onEpochBegin(Addr blk, bool readWrite,
       sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
                      "epoch begin while epoch open"});
     }
-    stats_.inc("cet.doubleBegin");
+    cDoubleBegin_.inc();
   }
   if (blk == traceBlock() && traceBlock() != 0) {
     std::fprintf(stderr, "[%llu] CET n%u begin %s ltime=%llu hash=%04x\n",
@@ -50,7 +51,9 @@ void CacheEpochChecker::onEpochBegin(Addr blk, bool readWrite,
   e.beginHash = hashBlock(data);
   e.openAnnounced = false;
   e.epochId = nextEpochId_++;
-  stats_.inc(readWrite ? "cet.beginRW" : "cet.beginRO");
+  e.beginCycle = sim_.now();
+  (readWrite ? cBeginRW_ : cBeginRO_).inc();
+  gOpenEpochs_.set(cet_.size());
 
   // Wraparound scrubbing: remember to re-check this epoch before its
   // timestamp can wrap. Entries are popped by the periodic sweep when the
@@ -62,7 +65,7 @@ void CacheEpochChecker::onEpochBegin(Addr blk, bool readWrite,
   const bool fifoWasEmpty = scrubFifo_.empty();
   scrubFifo_.push_back(ScrubRecord{blk, e.epochId, ltime});
   if (scrubFifo_.size() > cfg_.scrubFifoCapacity) {
-    stats_.inc("cet.scrubFifoOverflow");
+    cScrubOverflow_.inc();
   }
   if (fifoWasEmpty && !stopped_) {
     sim_.schedule(cfg_.scrubCheckPeriod, [this] { scrubSweep(); });
@@ -102,7 +105,11 @@ void CacheEpochChecker::announceOpen(Addr blk, CetEntry& e) {
   m.epoch.begin = e.begin16;
   m.epoch.beginHash = e.beginHash;
   send_(std::move(m));
-  stats_.inc("cet.informOpen");
+  cInformOpen_.inc();
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kInform, "cet.informOpen", node_, blk,
+               e.epochId);
+  }
 }
 
 void CacheEpochChecker::onEpochEnd(Addr blk, const DataBlock& data,
@@ -114,7 +121,7 @@ void CacheEpochChecker::onEpochEnd(Addr blk, const DataBlock& data,
       sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
                      "epoch end without open epoch"});
     }
-    stats_.inc("cet.endWithoutBegin");
+    cEndWithoutBegin_.inc();
     return;
   }
   if (blk == traceBlock() && traceBlock() != 0) {
@@ -130,7 +137,7 @@ void CacheEpochChecker::onEpochEnd(Addr blk, const DataBlock& data,
     m.type = MsgType::kInformClosedEpoch;
     m.epoch.readWrite = e.readWrite;
     m.epoch.end = ltimeTruncate(ltime);
-    stats_.inc("cet.informClosed");
+    cInformClosed_.inc();
   } else {
     m.type = MsgType::kInformEpoch;
     m.epoch.readWrite = e.readWrite;
@@ -140,9 +147,15 @@ void CacheEpochChecker::onEpochEnd(Addr blk, const DataBlock& data,
     // For Read-Only epochs the data cannot have changed; the paper omits
     // the second checksum, so we replicate the begin hash on the wire.
     m.epoch.endHash = e.readWrite ? hashBlock(data) : e.beginHash;
-    stats_.inc("cet.informEpoch");
+    cInformEpoch_.inc();
+  }
+  if (auto* t = sim_.tracer()) {
+    t->span(e.beginCycle, sim_.now(), TraceKind::kEpoch,
+            e.readWrite ? "cet.epochRW" : "cet.epochRO", node_, blk,
+            e.epochId);
   }
   cet_.erase(it);
+  gOpenEpochs_.set(cet_.size());
   send_(std::move(m));
 }
 
@@ -154,7 +167,7 @@ void CacheEpochChecker::onPerformAccess(Addr blk, bool isWrite) {
                      isWrite ? "store performed outside any epoch"
                              : "load performed outside any epoch"});
     }
-    stats_.inc("cet.accessOutsideEpoch");
+    cAccessOutsideEpoch_.inc();
     return;
   }
   if (isWrite && !it->second.readWrite) {
@@ -162,9 +175,9 @@ void CacheEpochChecker::onPerformAccess(Addr blk, bool isWrite) {
       sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
                      "store performed in Read-Only epoch"});
     }
-    stats_.inc("cet.writeInROEpoch");
+    cWriteInRO_.inc();
   }
-  stats_.inc("cet.accessChecks");
+  cAccessChecks_.inc();
 }
 
 void CacheEpochChecker::flush(std::uint64_t ltime) {
@@ -199,6 +212,7 @@ void CacheEpochChecker::flush(std::uint64_t ltime) {
     send_(std::move(m));
   }
   scrubFifo_.clear();
+  gOpenEpochs_.set(0);
 }
 
 bool CacheEpochChecker::injectEntryCorruption(std::uint64_t rand) {
@@ -215,7 +229,7 @@ bool CacheEpochChecker::injectEntryCorruption(std::uint64_t rand) {
     it->second.beginHash ^= static_cast<std::uint16_t>(
         1u << ((rand >> 8) % 16));
   }
-  stats_.inc("cet.injectedCorruption", corrupted);
+  cInjectedCorruption_.inc(corrupted);
   return corrupted > 0;
 }
 
@@ -223,6 +237,7 @@ void CacheEpochChecker::reset() {
   cet_.clear();
   scrubFifo_.clear();
   stopped_ = false;
+  gOpenEpochs_.set(0);
 }
 
 }  // namespace dvmc

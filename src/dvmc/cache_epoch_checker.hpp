@@ -22,8 +22,8 @@
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
 #include "common/wrap16.hpp"
+#include "obs/metrics.hpp"
 #include "dvmc/dvmc_config.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
@@ -59,7 +59,7 @@ class CacheEpochChecker final : public EpochObserver {
   /// compromise correctness. Returns false when the CET is empty.
   bool injectEntryCorruption(std::uint64_t rand);
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   std::size_t openEpochs() const { return cet_.size(); }
 
   /// Modeled CET storage (34 bits per cache line, Section 6.3).
@@ -73,6 +73,7 @@ class CacheEpochChecker final : public EpochObserver {
     std::uint16_t beginHash = 0;
     bool openAnnounced = false;  // Inform-Open-Epoch already sent
     std::uint64_t epochId = 0;   // matches scrub FIFO records
+    Cycle beginCycle = 0;        // wall-clock begin (event tracing)
   };
 
   struct ScrubRecord {
@@ -93,8 +94,24 @@ class CacheEpochChecker final : public EpochObserver {
   std::deque<ScrubRecord> scrubFifo_;
   std::uint64_t nextEpochId_ = 1;
   std::uint64_t lastLtime_ = 0;  // latest logical time observed
-  StatSet stats_;
   bool stopped_ = false;
+
+  // Metric registry: registered once here, plain slot increments on the
+  // hot path (stats_ must precede the handles — initialization order).
+  MetricSet stats_;
+  Counter cBeginRO_ = stats_.counter("cet.beginRO");
+  Counter cBeginRW_ = stats_.counter("cet.beginRW");
+  Counter cDoubleBegin_ = stats_.counter("cet.doubleBegin");
+  Counter cScrubOverflow_ = stats_.counter("cet.scrubFifoOverflow");
+  Counter cInformOpen_ = stats_.counter("cet.informOpen");
+  Counter cInformClosed_ = stats_.counter("cet.informClosed");
+  Counter cInformEpoch_ = stats_.counter("cet.informEpoch");
+  Counter cEndWithoutBegin_ = stats_.counter("cet.endWithoutBegin");
+  Counter cAccessOutsideEpoch_ = stats_.counter("cet.accessOutsideEpoch");
+  Counter cWriteInRO_ = stats_.counter("cet.writeInROEpoch");
+  Counter cAccessChecks_ = stats_.counter("cet.accessChecks");
+  Counter cInjectedCorruption_ = stats_.counter("cet.injectedCorruption");
+  Gauge gOpenEpochs_ = stats_.gauge("cet.openEpochs");
 };
 
 }  // namespace dvmc

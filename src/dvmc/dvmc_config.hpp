@@ -9,10 +9,20 @@ namespace dvmc {
 
 struct DvmcConfig {
   // Which checkers are active (the paper's SN / SN+DVCC / SN+DVUO / full
-  // DVMC configurations toggle these).
-  bool uniprocOrdering = true;
-  bool allowableReordering = true;
-  bool cacheCoherence = true;
+  // DVMC configurations toggle these). This is the single source of truth
+  // for the enables — SystemConfig carries no duplicate flags; a
+  // default-constructed system is unprotected, and the withDvmc factory
+  // turns all three on.
+  bool uniprocOrdering = false;
+  bool allowableReordering = false;
+  bool cacheCoherence = false;
+
+  bool anyChecker() const {
+    return uniprocOrdering || allowableReordering || cacheCoherence;
+  }
+  void enableAll() {
+    uniprocOrdering = allowableReordering = cacheCoherence = true;
+  }
 
   // Uniprocessor Ordering checker.
   std::size_t vcWordCapacity = 64;  // Verification Cache entries (words)

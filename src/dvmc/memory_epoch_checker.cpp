@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,8 +44,8 @@ void MemoryEpochChecker::onHomeRequest(Addr blk, const DataBlock& memData) {
   e.lastRWEndHash = hashBlock(memData);
   e.hashValid = true;
   met_.emplace(blk, e);
-  if (met_.size() > peakEntries_) peakEntries_ = met_.size();
-  stats_.inc("met.entryCreated");
+  gEntries_.set(met_.size());
+  cEntryCreated_.inc();
 }
 
 void MemoryEpochChecker::onBlockUncached(Addr blk) {
@@ -61,17 +62,18 @@ void MemoryEpochChecker::maybeEvict(Addr blk, MetEntry& e) {
   // announced open epoch references it; eviction retries after each
   // processed inform.
   if (e.openRO != 0 || e.openRW != kInvalidNode) {
-    stats_.inc("met.evictDeferred");
+    cEvictDeferred_.inc();
     return;
   }
   for (const QueuedInform& q : queue_) {
     if (blockAddr(q.msg.addr) == blk) {
-      stats_.inc("met.evictDeferred");
+      cEvictDeferred_.inc();
       return;
     }
   }
   met_.erase(blk);
-  stats_.inc("met.entryEvicted");
+  gEntries_.set(met_.size());
+  cEntryEvicted_.inc();
 }
 
 void MemoryEpochChecker::onInform(const Message& msg) {
@@ -108,7 +110,7 @@ void MemoryEpochChecker::enqueue(const Message& msg) {
                    }
                    return a.arrival > b.arrival;
                  });
-  stats_.inc("met.informsQueued");
+  cInformsQueued_.inc();
   while (queue_.size() > cfg_.informQueueCapacity) {
     processOldest();
   }
@@ -141,6 +143,7 @@ void MemoryEpochChecker::processOldest() {
                   }
                   return a.arrival > b.arrival;
                 });
+  hSortResidence_.add(sim_.now() - queue_.back().arrivalCycle);
   const Message msg = queue_.back().msg;
   queue_.pop_back();
   processInform(msg);
@@ -154,7 +157,7 @@ void MemoryEpochChecker::reportViolation(Addr blk, const char* what) {
   if (sink_ != nullptr) {
     sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
   }
-  stats_.inc("met.violations");
+  cViolations_.inc();
 }
 
 void MemoryEpochChecker::processInform(const Message& msg) {
@@ -164,7 +167,7 @@ void MemoryEpochChecker::processInform(const Message& msg) {
     // An inform for a block the home never saw requested: either a fault
     // (fabricated / misrouted message) or an inform that outlived its MET
     // entry. Create a fresh entry conservatively and continue.
-    stats_.inc("met.informWithoutEntry");
+    cInformWithoutEntry_.inc();
     e = &met_[blk];
     e->lastROEnd = 0;
     e->lastRWEnd = 0;
@@ -180,7 +183,12 @@ void MemoryEpochChecker::processInform(const Message& msg) {
                  ep.beginHash, ep.endHash, e->lastRWEnd, e->lastROEnd,
                  e->lastRWEndHash, e->hashValid);
   }
-  stats_.inc("met.informsProcessed");
+  cInformsProcessed_.inc();
+  if (auto* t = sim_.tracer()) {
+    t->instant(sim_.now(), TraceKind::kInform,
+               ep.readWrite ? "met.informRW" : "met.informRO", node_, blk,
+               msg.src);
+  }
 
   // (a) overlap checks.
   if (ep.readWrite) {
@@ -214,7 +222,7 @@ void MemoryEpochChecker::processInform(const Message& msg) {
     } else {
       e->openRO |= (1ull << (msg.src % 64));
     }
-    stats_.inc("met.openEpochs");
+    cOpenEpochs_.inc();
     return;
   }
 
@@ -237,13 +245,13 @@ void MemoryEpochChecker::processClosed(const Message& msg) {
   const Addr blk = blockAddr(msg.addr);
   MetEntry* e = entryFor(blk);
   if (e == nullptr) {
-    stats_.inc("met.closedWithoutEntry");
+    cClosedWithoutEntry_.inc();
     return;
   }
-  stats_.inc("met.closedEpochs");
+  cClosedEpochs_.inc();
   if (msg.epoch.readWrite) {
     if (e->openRW != msg.src) {
-      stats_.inc("met.closedWithoutOpen");
+      cClosedWithoutOpen_.inc();
     }
     e->openRW = kInvalidNode;
     if (ltimeBefore(e->lastRWEnd, msg.epoch.end)) {
@@ -264,6 +272,7 @@ void MemoryEpochChecker::processClosed(const Message& msg) {
 void MemoryEpochChecker::reset() {
   met_.clear();
   queue_.clear();
+  gEntries_.set(0);
 }
 
 }  // namespace dvmc

@@ -24,8 +24,8 @@
 #include "coherence/logical_clock.hpp"
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
 #include "common/wrap16.hpp"
+#include "obs/metrics.hpp"
 #include "dvmc/dvmc_config.hpp"
 #include "net/message.hpp"
 #include "sim/simulator.hpp"
@@ -50,9 +50,11 @@ class MemoryEpochChecker final : public HomeObserver {
   /// Clears all state (BER recovery).
   void reset();
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   std::size_t metEntries() const { return met_.size(); }
-  std::size_t peakMetEntries() const { return peakEntries_; }
+  std::size_t peakMetEntries() const {
+    return static_cast<std::size_t>(gEntries_.peak());
+  }
   std::size_t queuedInforms() const { return queue_.size(); }
 
   /// Modeled MET storage (48 bits per entry, Section 6.3).
@@ -92,8 +94,22 @@ class MemoryEpochChecker final : public HomeObserver {
   std::unordered_map<Addr, MetEntry> met_;
   std::vector<QueuedInform> queue_;  // heap ordered by wrapping begin time
   std::uint64_t arrivalCounter_ = 0;
-  std::size_t peakEntries_ = 0;
-  StatSet stats_;
+
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cEntryCreated_ = stats_.counter("met.entryCreated");
+  Counter cEntryEvicted_ = stats_.counter("met.entryEvicted");
+  Counter cEvictDeferred_ = stats_.counter("met.evictDeferred");
+  Counter cInformsQueued_ = stats_.counter("met.informsQueued");
+  Counter cInformsProcessed_ = stats_.counter("met.informsProcessed");
+  Counter cInformWithoutEntry_ = stats_.counter("met.informWithoutEntry");
+  Counter cViolations_ = stats_.counter("met.violations");
+  Counter cOpenEpochs_ = stats_.counter("met.openEpochs");
+  Counter cClosedEpochs_ = stats_.counter("met.closedEpochs");
+  Counter cClosedWithoutEntry_ = stats_.counter("met.closedWithoutEntry");
+  Counter cClosedWithoutOpen_ = stats_.counter("met.closedWithoutOpen");
+  Gauge gEntries_ = stats_.gauge("met.entries");
+  Histogram hSortResidence_ = stats_.histogram("met.informSortResidence");
 };
 
 }  // namespace dvmc

@@ -14,7 +14,7 @@ void ReorderChecker::reportViolation(SeqNum seq, const char* what) {
     sink_->report({CheckerKind::kAllowableReordering, sim_.now(), node_, seq,
                    what});
   }
-  stats_.inc("ar.violations");
+  cViolations_.inc();
 }
 
 void ReorderChecker::checkAgainst(OpClass cls, std::uint8_t instMask,
@@ -60,7 +60,7 @@ void ReorderChecker::removeOutstanding(OpType type, SeqNum seq) {
 
 void ReorderChecker::onPerform(OpType type, std::uint8_t mask, SeqNum seq,
                                const OrderingTable& table) {
-  stats_.inc("ar.performs");
+  cPerforms_.inc();
   switch (type) {
     case OpType::kLoad:
       checkAgainst(OpClass::kLoad, membar::kAll, seq, table,
@@ -86,7 +86,7 @@ void ReorderChecker::onPerform(OpType type, std::uint8_t mask, SeqNum seq,
 }
 
 void ReorderChecker::injectCheckpointMembar() {
-  stats_.inc("ar.injectedMembars");
+  cInjectedMembars_.inc();
   const SeqNum oldestLoad =
       outstandingLoads_.empty() ? 0 : *outstandingLoads_.begin();
   const SeqNum oldestStore =
@@ -100,14 +100,14 @@ void ReorderChecker::injectCheckpointMembar() {
         sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
                        snapshotLoad_, "load never performed"});
       }
-      stats_.inc("ar.lostLoads");
+      cLostLoads_.inc();
     }
     if (snapshotStore_ != 0 && oldestStore == snapshotStore_) {
       if (sink_ != nullptr) {
         sink_->report({CheckerKind::kLostOperation, sim_.now(), node_,
                        snapshotStore_, "store never performed"});
       }
-      stats_.inc("ar.lostStores");
+      cLostStores_.inc();
     }
   }
   snapshotLoad_ = oldestLoad;

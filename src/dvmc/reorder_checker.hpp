@@ -23,8 +23,8 @@
 #include <set>
 
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "consistency/ordering_table.hpp"
 #include "sim/simulator.hpp"
 
@@ -50,7 +50,7 @@ class ReorderChecker {
   /// reports operations that failed to perform for a whole period.
   void injectCheckpointMembar();
 
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
   SeqNum maxLoad() const { return maxLoad_; }
   SeqNum maxStore() const { return maxStore_; }
   void reset();
@@ -76,7 +76,13 @@ class ReorderChecker {
   SeqNum snapshotStore_ = 0;  // oldest outstanding store at last injection
   bool snapshotValid_ = false;
 
-  StatSet stats_;
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cPerforms_ = stats_.counter("ar.performs");
+  Counter cViolations_ = stats_.counter("ar.violations");
+  Counter cInjectedMembars_ = stats_.counter("ar.injectedMembars");
+  Counter cLostLoads_ = stats_.counter("ar.lostLoads");
+  Counter cLostStores_ = stats_.counter("ar.lostStores");
 };
 
 }  // namespace dvmc

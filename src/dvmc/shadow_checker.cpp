@@ -10,7 +10,7 @@ void ShadowCacheChecker::report(Addr blk, const char* what) {
   if (sink_ != nullptr) {
     sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
   }
-  stats_.inc("shadow.violations");
+  cViolations_.inc();
 }
 
 void ShadowCacheChecker::onEpochBegin(Addr blk, bool readWrite,
@@ -23,7 +23,7 @@ void ShadowCacheChecker::onEpochBegin(Addr blk, bool readWrite,
     report(blk, "shadow: permission granted while already held");
     it->second = readWrite;
   }
-  stats_.inc(readWrite ? "shadow.beginRW" : "shadow.beginRO");
+  (readWrite ? cBeginRW_ : cBeginRO_).inc();
 }
 
 void ShadowCacheChecker::onEpochEnd(Addr blk, const DataBlock& data,
@@ -45,7 +45,7 @@ void ShadowCacheChecker::onPerformAccess(Addr blk, bool isWrite) {
   if (isWrite && !it->second) {
     report(blk, "shadow: store under read-only permission");
   }
-  stats_.inc("shadow.accessChecks");
+  cAccessChecks_.inc();
 }
 
 // ---------------------------------------------------------------------------
@@ -56,7 +56,7 @@ void ShadowHomeChecker::report(Addr blk, const char* what) {
   if (sink_ != nullptr) {
     sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk, what});
   }
-  stats_.inc("shadow.violations");
+  cViolations_.inc();
 }
 
 void ShadowHomeChecker::onHomeRequest(Addr blk, const DataBlock& memData) {
@@ -65,13 +65,13 @@ void ShadowHomeChecker::onHomeRequest(Addr blk, const DataBlock& memData) {
     it->second.memHash = hashBlock(memData);
     it->second.hashValid = true;
     it->second.memClean = true;
-    stats_.inc("shadow.entryCreated");
+    cEntryCreated_.inc();
   }
 }
 
 void ShadowHomeChecker::onBlockUncached(Addr blk) {
   entries_.erase(blk);
-  stats_.inc("shadow.entryEvicted");
+  cEntryEvicted_.inc();
 }
 
 void ShadowHomeChecker::onHomeGrant(Addr blk, NodeId to, bool readWrite,
@@ -80,10 +80,10 @@ void ShadowHomeChecker::onHomeGrant(Addr blk, NodeId to, bool readWrite,
   if (it == entries_.end()) {
     // Requests always precede grants; tolerate (fault paths) and re-seed.
     it = entries_.try_emplace(blk).first;
-    stats_.inc("shadow.grantWithoutEntry");
+    cGrantWithoutEntry_.inc();
   }
   Entry& e = it->second;
-  stats_.inc(readWrite ? "shadow.grantRW" : "shadow.grantRO");
+  (readWrite ? cGrantRW_ : cGrantRO_).inc();
 
   if (fromMemory) {
     // The home served the memory image. If any cache has held write
@@ -109,7 +109,7 @@ void ShadowHomeChecker::onHomeWriteback(Addr blk, NodeId from,
                                         std::uint16_t hash, bool accepted) {
   auto it = entries_.find(blk);
   if (it == entries_.end()) {
-    stats_.inc("shadow.wbWithoutEntry");
+    cWbWithoutEntry_.inc();
     return;
   }
   Entry& e = it->second;
@@ -121,12 +121,12 @@ void ShadowHomeChecker::onHomeWriteback(Addr blk, NodeId from,
     e.memHash = hash;
     e.hashValid = true;
     e.memClean = true;
-    stats_.inc("shadow.wbAccepted");
+    cWbAccepted_.inc();
   } else {
     if (e.owner == from) {
       report(blk, "shadow: writeback from the current owner rejected");
     }
-    stats_.inc("shadow.wbRejected");
+    cWbRejected_.inc();
   }
 }
 

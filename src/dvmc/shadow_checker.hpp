@@ -30,7 +30,7 @@
 #include "coherence/interfaces.hpp"
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace dvmc {
@@ -49,7 +49,7 @@ class ShadowCacheChecker final : public EpochObserver {
 
   void reset() { shadow_.clear(); }
   std::size_t entries() const { return shadow_.size(); }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
   /// Modeled storage: 2 bits per cached block (valid + RW).
   static std::size_t modeledBitsPerLine() { return 2; }
@@ -61,7 +61,13 @@ class ShadowCacheChecker final : public EpochObserver {
   NodeId node_;
   ErrorSink* sink_;
   std::unordered_map<Addr, bool> shadow_;  // present -> readWrite?
-  StatSet stats_;
+
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cBeginRO_ = stats_.counter("shadow.beginRO");
+  Counter cBeginRW_ = stats_.counter("shadow.beginRW");
+  Counter cAccessChecks_ = stats_.counter("shadow.accessChecks");
+  Counter cViolations_ = stats_.counter("shadow.violations");
 };
 
 /// Home-side simplified-directory replay (the MET replacement). Fed by the
@@ -83,7 +89,7 @@ class ShadowHomeChecker final : public HomeObserver {
 
   void reset() { entries_.clear(); }
   std::size_t entries() const { return entries_.size(); }
-  const StatSet& stats() const { return stats_; }
+  const MetricSet& stats() const { return stats_; }
 
  private:
   struct Entry {
@@ -100,7 +106,18 @@ class ShadowHomeChecker final : public HomeObserver {
   NodeId node_;
   ErrorSink* sink_;
   std::unordered_map<Addr, Entry> entries_;
-  StatSet stats_;
+
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cViolations_ = stats_.counter("shadow.violations");
+  Counter cEntryCreated_ = stats_.counter("shadow.entryCreated");
+  Counter cEntryEvicted_ = stats_.counter("shadow.entryEvicted");
+  Counter cGrantRO_ = stats_.counter("shadow.grantRO");
+  Counter cGrantRW_ = stats_.counter("shadow.grantRW");
+  Counter cGrantWithoutEntry_ = stats_.counter("shadow.grantWithoutEntry");
+  Counter cWbWithoutEntry_ = stats_.counter("shadow.wbWithoutEntry");
+  Counter cWbAccepted_ = stats_.counter("shadow.wbAccepted");
+  Counter cWbRejected_ = stats_.counter("shadow.wbRejected");
 };
 
 }  // namespace dvmc

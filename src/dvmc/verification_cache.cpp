@@ -20,7 +20,8 @@ void VerificationCache::storeCommit(Addr addr, std::size_t size,
   DVMC_ASSERT(size == 8, "VC is word (8-byte) granular");
   WordEntry& e = words_[wordAlign(addr)];
   e.stores.push_back(PendingStore{seq, value});
-  stats_.inc("vc.storeCommit");
+  cStoreCommit_.inc();
+  gEntries_.set(words_.size());
 }
 
 void VerificationCache::storePerformed(Addr addr, std::size_t size,
@@ -36,7 +37,7 @@ void VerificationCache::storePerformed(Addr addr, std::size_t size,
       sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
                      "store performed without VC entry"});
     }
-    stats_.inc("vc.performWithoutEntry");
+    cPerformWithoutEntry_.inc();
     return;
   }
   WordEntry& e = it->second;
@@ -48,11 +49,12 @@ void VerificationCache::storePerformed(Addr addr, std::size_t size,
       sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
                      "write-buffer value mismatch at VC deallocation"});
     }
-    stats_.inc("vc.deallocMismatch");
+    cDeallocMismatch_.inc();
   }
   e.stores.erase(e.stores.begin());
   if (e.stores.empty() && !e.parkedLoad) words_.erase(it);
-  stats_.inc("vc.storePerformed");
+  gEntries_.set(words_.size());
+  cStorePerformed_.inc();
 }
 
 void VerificationCache::storeSuperseded(Addr addr, std::size_t size,
@@ -63,7 +65,7 @@ void VerificationCache::storeSuperseded(Addr addr, std::size_t size,
   const Addr w = wordAlign(addr);
   auto it = words_.find(w);
   if (it == words_.end()) {
-    stats_.inc("vc.performWithoutEntry");
+    cPerformWithoutEntry_.inc();
     return;
   }
   auto& stores = it->second.stores;
@@ -74,14 +76,15 @@ void VerificationCache::storeSuperseded(Addr addr, std::size_t size,
         sink_->report({CheckerKind::kUniprocessorOrdering, now, node_, addr,
                        "write-buffer value mismatch at coalesce"});
       }
-      stats_.inc("vc.deallocMismatch");
+      cDeallocMismatch_.inc();
     }
     stores.erase(sit);
     if (stores.empty() && !it->second.parkedLoad) words_.erase(it);
-    stats_.inc("vc.storeSuperseded");
+    gEntries_.set(words_.size());
+    cStoreSuperseded_.inc();
     return;
   }
-  stats_.inc("vc.performWithoutEntry");
+  cPerformWithoutEntry_.inc();
 }
 
 std::optional<std::uint64_t> VerificationCache::lookupStoreOlderThan(
@@ -120,7 +123,8 @@ void VerificationCache::parkLoadValue(Addr addr, std::size_t size,
   WordEntry& e = words_[wordAlign(addr)];
   e.parkedValue = value;
   e.parkedLoad = true;
-  stats_.inc("vc.parkLoad");
+  cParkLoad_.inc();
+  gEntries_.set(words_.size());
 }
 
 std::optional<std::uint64_t> VerificationCache::consumeParked(
@@ -132,7 +136,8 @@ std::optional<std::uint64_t> VerificationCache::consumeParked(
   const std::uint64_t v = it->second.parkedValue;
   it->second.parkedLoad = false;
   if (it->second.stores.empty()) words_.erase(it);
-  stats_.inc("vc.consumeParked");
+  gEntries_.set(words_.size());
+  cConsumeParked_.inc();
   return v;
 }
 

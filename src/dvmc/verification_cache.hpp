@@ -26,8 +26,8 @@
 #include <vector>
 
 #include "common/error_sink.hpp"
-#include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace dvmc {
 
@@ -78,8 +78,11 @@ class VerificationCache {
   std::optional<std::uint64_t> consumeParked(Addr addr, std::size_t size);
 
   std::size_t entries() const { return words_.size(); }
-  const StatSet& stats() const { return stats_; }
-  void clear() { words_.clear(); }
+  const MetricSet& stats() const { return stats_; }
+  void clear() {
+    words_.clear();
+    gEntries_.set(0);
+  }
 
  private:
   struct PendingStore {
@@ -98,7 +101,17 @@ class VerificationCache {
   std::size_t capacity_;
   ErrorSink* sink_;
   std::unordered_map<Addr, WordEntry> words_;
-  StatSet stats_;
+
+  // Metric registry (stats_ must precede the handles).
+  MetricSet stats_;
+  Counter cStoreCommit_ = stats_.counter("vc.storeCommit");
+  Counter cStorePerformed_ = stats_.counter("vc.storePerformed");
+  Counter cStoreSuperseded_ = stats_.counter("vc.storeSuperseded");
+  Counter cPerformWithoutEntry_ = stats_.counter("vc.performWithoutEntry");
+  Counter cDeallocMismatch_ = stats_.counter("vc.deallocMismatch");
+  Counter cParkLoad_ = stats_.counter("vc.parkLoad");
+  Counter cConsumeParked_ = stats_.counter("vc.consumeParked");
+  Gauge gEntries_ = stats_.gauge("vc.entries");
 };
 
 }  // namespace dvmc

@@ -1,0 +1,124 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace dvmc {
+
+Json& Json::set(std::string key, Json v) {
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  elements_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void writeString(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void newlineIndent(std::ostream& os, int depth) {
+  os << '\n';
+  for (int i = 0; i < depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write(std::ostream& os, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      return;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Type::kUint:
+      os << uint_;
+      return;
+    case Type::kInt:
+      os << int_;
+      return;
+    case Type::kDouble: {
+      if (!std::isfinite(dbl_)) {  // JSON has no inf/nan
+        os << "null";
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", dbl_);
+      os << buf;
+      return;
+    }
+    case Type::kString:
+      writeString(os, str_);
+      return;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << '[';
+      bool first = true;
+      for (const Json& e : elements_) {
+        if (!first) os << ',';
+        first = false;
+        if (indent > 0) newlineIndent(os, indent + 2);
+        e.write(os, indent > 0 ? indent + 2 : 0);
+      }
+      if (indent > 0) newlineIndent(os, indent);
+      os << ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) os << ',';
+        first = false;
+        if (indent > 0) newlineIndent(os, indent + 2);
+        writeString(os, key);
+        os << ':';
+        if (indent > 0) os << ' ';
+        value.write(os, indent > 0 ? indent + 2 : 0);
+      }
+      if (indent > 0) newlineIndent(os, indent);
+      os << '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace dvmc

@@ -1,0 +1,76 @@
+// Minimal ordered JSON value builder (observability subsystem).
+//
+// Just enough JSON to serialize run reports and config summaries without
+// an external dependency: objects preserve insertion order (reports stay
+// diffable), numbers are emitted losslessly for uint64 and with enough
+// digits to round-trip for doubles, and strings are escaped. This is a
+// writer only — parsing/validation lives in the CI check (python).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvmc {
+
+class Json {
+ public:
+  Json() : type_(Type::kNull) {}
+
+  static Json object() { return Json(Type::kObject); }
+  static Json array() { return Json(Type::kArray); }
+  static Json str(std::string s) {
+    Json j(Type::kString);
+    j.str_ = std::move(s);
+    return j;
+  }
+  static Json num(std::uint64_t v) {
+    Json j(Type::kUint);
+    j.uint_ = v;
+    return j;
+  }
+  static Json num(std::int64_t v) {
+    Json j(Type::kInt);
+    j.int_ = v;
+    return j;
+  }
+  static Json num(int v) { return num(static_cast<std::int64_t>(v)); }
+  static Json num(double v) {
+    Json j(Type::kDouble);
+    j.dbl_ = v;
+    return j;
+  }
+  static Json boolean(bool v) {
+    Json j(Type::kBool);
+    j.bool_ = v;
+    return j;
+  }
+
+  /// Object member (insertion-ordered). Returns *this for chaining.
+  Json& set(std::string key, Json v);
+  /// Array element. Returns *this for chaining.
+  Json& push(Json v);
+
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+ private:
+  enum class Type : std::uint8_t {
+    kNull, kBool, kUint, kInt, kDouble, kString, kArray, kObject
+  };
+  explicit Json(Type t) : type_(t) {}
+
+  Type type_;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  std::vector<std::pair<std::string, Json>> members_;  // object
+  std::vector<Json> elements_;                         // array
+};
+
+}  // namespace dvmc

@@ -1,0 +1,150 @@
+#include "obs/run_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dvmc::obs {
+
+namespace {
+
+struct Collector {
+  std::mutex mu;
+  std::vector<Json> runs;
+  std::unique_ptr<EventTracer> tracer;
+};
+
+Collector& collector() {
+  static Collector c;
+  return c;
+}
+
+}  // namespace
+
+ObsOptions& options() {
+  static ObsOptions opts;
+  return opts;
+}
+
+int parseObsFlags(int argc, char** argv) {
+  ObsOptions& opts = options();
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    std::string* target = nullptr;
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      value = arg + 8;
+      target = &opts.traceFile;
+    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
+      value = argv[++i];
+      target = &opts.traceFile;
+    } else if (std::strncmp(arg, "--report-json=", 14) == 0) {
+      value = arg + 14;
+      target = &opts.reportJsonFile;
+    } else if (std::strcmp(arg, "--report-json") == 0 && i + 1 < argc) {
+      value = argv[++i];
+      target = &opts.reportJsonFile;
+    } else if (std::strncmp(arg, "--trace-capacity=", 17) == 0) {
+      const long long cap = std::atoll(arg + 17);
+      if (cap > 0) opts.traceCapacity = static_cast<std::size_t>(cap);
+      continue;
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    *target = value;
+  }
+  argv[out] = nullptr;
+  return out;
+}
+
+EventTracer* activeTracer() {
+  Collector& c = collector();
+  if (options().traceFile.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (!c.tracer) {
+    c.tracer = std::make_unique<EventTracer>(options().traceCapacity);
+  }
+  return c.tracer.get();
+}
+
+bool reportingActive() { return !options().reportJsonFile.empty(); }
+
+void addReportRun(Json run) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.runs.push_back(std::move(run));
+}
+
+std::size_t reportRunCount() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.runs.size();
+}
+
+void resetObs() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.runs.clear();
+  c.tracer.reset();
+  options() = ObsOptions{};
+}
+
+Json reportEnvelope(Json runs) {
+  Json root = Json::object();
+  root.set("schema", Json::str(kReportSchemaName));
+  root.set("version", Json::num(std::uint64_t{kReportSchemaVersion}));
+  root.set("generator",
+           Json::str("dvmc (Dynamic Verification of Memory Consistency)"));
+  root.set("runs", std::move(runs));
+  return root;
+}
+
+int finalizeObs() {
+  int rc = 0;
+  const ObsOptions& opts = options();
+  Collector& c = collector();
+
+  if (!opts.traceFile.empty()) {
+    std::ofstream os(opts.traceFile);
+    EventTracer* t = activeTracer();
+    if (!os || t == nullptr) {
+      std::fprintf(stderr, "obs: cannot write trace file %s\n",
+                   opts.traceFile.c_str());
+      rc = 1;
+    } else {
+      t->writeChromeJson(os);
+      std::fprintf(stderr, "obs: wrote %zu trace events to %s (%llu dropped)\n",
+                   t->size(), opts.traceFile.c_str(),
+                   static_cast<unsigned long long>(t->dropped()));
+    }
+  }
+
+  if (!opts.reportJsonFile.empty()) {
+    std::ofstream os(opts.reportJsonFile);
+    if (!os) {
+      std::fprintf(stderr, "obs: cannot write report file %s\n",
+                   opts.reportJsonFile.c_str());
+      rc = 1;
+    } else {
+      Json runs = Json::array();
+      {
+        std::lock_guard<std::mutex> lock(c.mu);
+        for (Json& r : c.runs) runs.push(std::move(r));
+        c.runs.clear();
+      }
+      reportEnvelope(std::move(runs)).write(os, 2);
+      os << "\n";
+      std::fprintf(stderr, "obs: wrote run report to %s\n",
+                   opts.reportJsonFile.c_str());
+    }
+  }
+  return rc;
+}
+
+}  // namespace dvmc::obs

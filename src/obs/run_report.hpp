@@ -1,0 +1,69 @@
+// Machine-readable run reports + shared observability CLI (obs subsystem).
+//
+// Every bench/example binary exposes the same two flags:
+//
+//   --trace=FILE        record an event trace of the run (Chrome
+//                       trace_event JSON; open in chrome://tracing)
+//   --report-json=FILE  write every experiment result as a versioned JSON
+//                       run report (schema "dvmc-run-report", version 1)
+//
+// parseObsFlags strips them from argv (like parseJobsFlag). While a report
+// file is armed, the system layer records each runSeeds/runOnce result
+// into the process-global collector here; finalizeObs() writes both files
+// at the end of main. The collector is mutex-guarded because bench
+// harnesses launch perturbation runs from a thread pool.
+//
+// Report schema (validated by the CI json check):
+//   { "schema": "dvmc-run-report", "version": 1,
+//     "generator": "...", "runs": [ {...}, ... ] }
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace dvmc::obs {
+
+/// Current run-report schema version. Bump on any breaking layout change.
+inline constexpr int kReportSchemaVersion = 1;
+inline constexpr const char* kReportSchemaName = "dvmc-run-report";
+
+struct ObsOptions {
+  std::string traceFile;       // empty = tracing off
+  std::string reportJsonFile;  // empty = no report
+  std::size_t traceCapacity = 1u << 16;
+};
+
+ObsOptions& options();
+
+/// Strips --trace[=FILE], --report-json[=FILE] and --trace-capacity=N from
+/// argv and stores them in options(). Returns the new argc.
+int parseObsFlags(int argc, char** argv);
+
+/// The process-global tracer when --trace was given, else nullptr. Feed
+/// this into SystemConfig::tracer (benchConfig does it automatically).
+EventTracer* activeTracer();
+
+/// True while a --report-json file is armed; the system layer uses this to
+/// skip report serialization entirely on untracked runs.
+bool reportingActive();
+
+/// Appends one run entry (an arbitrary JSON object, typically built by
+/// runner.cpp's serializers) to the global report. Thread-safe.
+void addReportRun(Json run);
+
+/// Number of collected report entries (tests).
+std::size_t reportRunCount();
+
+/// Drops all collected entries and disarms both files (tests).
+void resetObs();
+
+/// Writes the armed trace and report files. Returns 0 on success, 1 if a
+/// file could not be written. Call once at the end of main.
+int finalizeObs();
+
+/// Builds the versioned report envelope around `runs` (exposed for tests).
+Json reportEnvelope(Json runs);
+
+}  // namespace dvmc::obs

@@ -1,0 +1,79 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace dvmc {
+
+const char* traceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kCoherence: return "coherence";
+    case TraceKind::kEpoch: return "epoch";
+    case TraceKind::kInform: return "inform";
+    case TraceKind::kDetection: return "detection";
+    case TraceKind::kCheckpoint: return "checkpoint";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kCpu: return "cpu";
+  }
+  return "?";
+}
+
+EventTracer::EventTracer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void EventTracer::push(const TraceEvent& e) {
+  if (count_ < ring_.size()) {
+    ring_[(head_ + count_) % ring_.size()] = e;
+    ++count_;
+  } else {
+    ring_[head_] = e;  // overwrite the oldest record
+    head_ = (head_ + 1) % ring_.size();
+  }
+  ++recorded_;
+}
+
+void EventTracer::clear() {
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+namespace {
+
+void writeEscaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void EventTracer::writeChromeJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceEvent& e = at(i);
+    if (i != 0) os << ",";
+    os << "\n{\"name\":\"";
+    writeEscaped(os, e.name);
+    os << "\",\"cat\":\"" << traceKindName(e.kind) << "\"";
+    if (e.dur > 0) {
+      os << ",\"ph\":\"X\",\"dur\":" << e.dur;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"ts\":" << e.ts << ",\"pid\":0,\"tid\":" << e.node
+       << ",\"args\":{\"addr\":" << e.addr << ",\"arg\":" << e.arg << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+     << "\"generator\":\"dvmc\",\"timeUnit\":\"cycles\",\"dropped\":"
+     << dropped() << "}}\n";
+}
+
+}  // namespace dvmc

@@ -1,0 +1,95 @@
+// Event tracer (observability subsystem).
+//
+// A bounded ring buffer of cycle-stamped simulation events: coherence
+// transactions, CET/MET epoch begin/end, Inform messages, checker
+// detections, SafetyNet checkpoints and rollbacks. When the ring fills,
+// the oldest events are overwritten (the tail of a run is what the
+// detection-latency and availability analyses need); the dropped count is
+// kept so truncation is never silent.
+//
+// Cost model: a disabled tracer is a null pointer at every instrumentation
+// site (`if (auto* t = sim.tracer())` — one predictable branch), so the
+// Fig. 3/4 performance numbers are unchanged when tracing is off. An
+// enabled tracer appends a fixed-size POD record: no allocation, no
+// formatting. Formatting happens once, at export time, as Chrome
+// `trace_event` JSON loadable in chrome://tracing or Perfetto.
+//
+// Event names must be string literals (or otherwise outlive the tracer):
+// records store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dvmc {
+
+enum class TraceKind : std::uint8_t {
+  kCoherence,   // coherence transactions (miss issue, data supply, ...)
+  kEpoch,       // CET epoch spans / MET epoch-table activity
+  kInform,      // Inform-Epoch / Open / Closed messages
+  kDetection,   // checker detections (via the ErrorSink observer)
+  kCheckpoint,  // SafetyNet checkpoint taken
+  kRollback,    // SafetyNet recovery
+  kCpu,         // pipeline-level events (squashes, restarts)
+};
+
+const char* traceKindName(TraceKind k);
+
+struct TraceEvent {
+  Cycle ts = 0;            // begin cycle
+  Cycle dur = 0;           // span length; 0 = instantaneous event
+  const char* name = "";   // static string (not owned)
+  TraceKind kind = TraceKind::kCoherence;
+  std::uint16_t node = 0;
+  Addr addr = 0;
+  std::uint64_t arg = 0;   // kind-specific payload (epoch id, distance, ...)
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(std::size_t capacity = 1u << 16);
+
+  /// Records an instantaneous event.
+  void instant(Cycle ts, TraceKind kind, const char* name, NodeId node,
+               Addr addr = 0, std::uint64_t arg = 0) {
+    push(TraceEvent{ts, 0, name, kind, static_cast<std::uint16_t>(node), addr,
+                    arg});
+  }
+
+  /// Records a [begin, end] span (emitted as a Chrome complete event).
+  void span(Cycle begin, Cycle end, TraceKind kind, const char* name,
+            NodeId node, Addr addr = 0, std::uint64_t arg = 0) {
+    push(TraceEvent{begin, end >= begin ? end - begin : 0, name, kind,
+                    static_cast<std::uint16_t>(node), addr, arg});
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Events overwritten after the ring filled.
+  std::uint64_t dropped() const { return recorded_ - count_; }
+  std::uint64_t recorded() const { return recorded_; }
+  void clear();
+
+  /// Oldest-first access (test introspection).
+  const TraceEvent& at(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  /// Writes the buffered events as a Chrome trace_event JSON object
+  /// (JSON-object format: {"traceEvents": [...], ...}). Spans become "X"
+  /// (complete) events, instants "i" events; tid = node, pid = 0.
+  void writeChromeJson(std::ostream& os) const;
+
+ private:
+  void push(const TraceEvent& e);
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;       // index of the oldest live record
+  std::size_t count_ = 0;      // live records
+  std::uint64_t recorded_ = 0; // total ever recorded
+};
+
+}  // namespace dvmc

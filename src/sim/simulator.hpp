@@ -25,6 +25,8 @@
 
 namespace dvmc {
 
+class EventTracer;
+
 class Simulator {
  public:
   using Action = std::function<void()>;
@@ -56,6 +58,14 @@ class Simulator {
   std::uint64_t eventsExecuted() const { return executed_; }
   bool empty() const { return size_ == 0; }
   std::size_t pendingEvents() const { return size_; }
+
+  /// Event tracer attached to this simulation, or nullptr (the default:
+  /// tracing off costs one null check per instrumentation site). The
+  /// tracer is owned by the caller (System wires SystemConfig::tracer in);
+  /// it hangs off the kernel so every component that can schedule events
+  /// can also trace them without extra constructor plumbing.
+  EventTracer* tracer() const { return tracer_; }
+  void setTracer(EventTracer* t) { tracer_ = t; }
 
  private:
   struct Event {
@@ -90,6 +100,7 @@ class Simulator {
   std::uint64_t nextOrder_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t size_ = 0;
+  EventTracer* tracer_ = nullptr;  // non-owning; see tracer()
 };
 
 }  // namespace dvmc

@@ -14,6 +14,8 @@
 #include "dvmc/dvmc_config.hpp"
 #include "net/broadcast_tree.hpp"
 #include "net/torus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/params.hpp"
 
 namespace dvmc {
@@ -36,12 +38,10 @@ struct SystemConfig {
   BroadcastTreeConfig tree;
   CpuConfig cpu;
 
-  // DVMC: the three checker enables live in `dvmc`. An unprotected system
-  // disables all three and BER.
+  // DVMC: the three checker enables live in `dvmc` (DvmcConfig is the
+  // single source of truth — see dvmc/dvmc_config.hpp). An unprotected
+  // system disables all three and BER.
   DvmcConfig dvmc;
-  bool dvmcUniproc = false;
-  bool dvmcReorder = false;
-  bool dvmcCoherence = false;
 
   /// Which coherence-checking mechanism to plug in (the framework is
   /// modular — Section 8): the paper's epoch/CET/MET scheme, or the
@@ -71,6 +71,12 @@ struct SystemConfig {
   /// this wins over `workload`.
   std::function<std::unique_ptr<ThreadProgram>(NodeId)> programFactory;
 
+  /// Event tracer for this run (non-owning; nullptr = tracing off, which
+  /// costs one null check per instrumentation site). The System wires it
+  /// into the simulator kernel, the error sink, and SafetyNet. A tracer is
+  /// single-threaded: runSeeds hands it to the first seed's run only.
+  EventTracer* tracer = nullptr;
+
   /// Global stop target: total transactions across all processors (barnes:
   /// phases per processor, run to completion).
   std::uint64_t targetTransactions = 400;
@@ -89,9 +95,7 @@ struct SystemConfig {
   }
   static SystemConfig withDvmc(Protocol p, ConsistencyModel m) {
     SystemConfig c = unprotected(p, m);
-    c.dvmcUniproc = true;
-    c.dvmcReorder = true;
-    c.dvmcCoherence = true;
+    c.dvmc.enableAll();
     c.berEnabled = true;
     return c;
   }
@@ -122,6 +126,10 @@ struct RunResult {
   std::uint64_t unrecoverable = 0;  // detections past the recovery window
   std::uint64_t squashes = 0;
   std::uint64_t uoFlushes = 0;
+
+  /// Aggregated (cross-node) component metrics at end of run — the typed
+  /// registry's snapshot, merged deterministically by runSeeds.
+  MetricSnapshot metrics;
 };
 
 }  // namespace dvmc

@@ -7,13 +7,115 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/run_report.hpp"
 #include "system/system.hpp"
 
 namespace dvmc {
 
+namespace {
+
+Json statJson(const RunningStat& s) {
+  return Json::object()
+      .set("mean", Json::num(s.mean()))
+      .set("stddev", Json::num(s.stddev()))
+      .set("min", Json::num(s.min()))
+      .set("max", Json::num(s.max()))
+      .set("count", Json::num(s.count()));
+}
+
+Json snapshotJson(const MetricSnapshot& m) {
+  Json counters = Json::object();
+  for (const auto& [name, v] : m.counters) counters.set(name, Json::num(v));
+  Json histos = Json::object();
+  for (const auto& [name, h] : m.histograms) {
+    Json buckets = Json::array();
+    for (std::uint64_t b : h.buckets()) buckets.push(Json::num(b));
+    histos.set(name, Json::object()
+                         .set("count", Json::num(h.count()))
+                         .set("sum", Json::num(h.sum()))
+                         .set("max", Json::num(h.maxValue()))
+                         .set("buckets", std::move(buckets)));
+  }
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("histograms", std::move(histos));
+}
+
+/// One entry of the report's "runs" array.
+void recordReport(const char* kind, const SystemConfig& cfg, Json result) {
+  Json run = Json::object();
+  run.set("kind", Json::str(kind));
+  run.set("config", configJson(cfg));
+  run.set("result", std::move(result));
+  obs::addReportRun(std::move(run));
+}
+
+}  // namespace
+
+Json toJson(const RunResult& r) {
+  return Json::object()
+      .set("completed", Json::boolean(r.completed))
+      .set("cycles", Json::num(r.cycles))
+      .set("transactions", Json::num(r.transactions))
+      .set("retiredInstructions", Json::num(r.retiredInstructions))
+      .set("memOps", Json::num(r.memOps))
+      .set("memOps32", Json::num(r.memOps32))
+      .set("peakLinkBytesPerCycle", Json::num(r.peakLinkBytesPerCycle))
+      .set("totalNetBytes", Json::num(r.totalNetBytes))
+      .set("coherenceBytes", Json::num(r.coherenceBytes))
+      .set("informBytes", Json::num(r.informBytes))
+      .set("ckptBytes", Json::num(r.ckptBytes))
+      .set("regularL1Misses", Json::num(r.regularL1Misses))
+      .set("replayL1Misses", Json::num(r.replayL1Misses))
+      .set("detections", Json::num(r.detections))
+      .set("recoveries", Json::num(r.recoveries))
+      .set("unrecoverable", Json::num(r.unrecoverable))
+      .set("squashes", Json::num(r.squashes))
+      .set("uoFlushes", Json::num(r.uoFlushes))
+      .set("metrics", snapshotJson(r.metrics));
+}
+
+Json toJson(const MultiRunResult& r) {
+  return Json::object()
+      .set("allCompleted", Json::boolean(r.allCompleted))
+      .set("cycles", statJson(r.cycles))
+      .set("peakLinkBytesPerCycle", statJson(r.peakLinkBytesPerCycle))
+      .set("replayMissRatio", statJson(r.replayMissRatio))
+      .set("frac32", statJson(r.frac32))
+      .set("detections", Json::num(r.detections))
+      .set("squashes", Json::num(r.squashes))
+      .set("metrics", snapshotJson(r.metrics));
+}
+
+Json configJson(const SystemConfig& cfg) {
+  return Json::object()
+      .set("numNodes", Json::num(static_cast<std::uint64_t>(cfg.numNodes)))
+      .set("protocol", Json::str(protocolName(cfg.protocol)))
+      .set("model", Json::str(modelName(cfg.model)))
+      .set("dvmc",
+           Json::object()
+               .set("uniprocOrdering",
+                    Json::boolean(cfg.dvmc.uniprocOrdering))
+               .set("allowableReordering",
+                    Json::boolean(cfg.dvmc.allowableReordering))
+               .set("cacheCoherence", Json::boolean(cfg.dvmc.cacheCoherence)))
+      .set("coherenceChecker",
+           Json::str(cfg.coherenceChecker ==
+                             SystemConfig::CoherenceCheckerKind::kEpoch
+                         ? "epoch"
+                         : "shadow"))
+      .set("berEnabled", Json::boolean(cfg.berEnabled))
+      .set("autoRecover", Json::boolean(cfg.autoRecover))
+      .set("workload", Json::str(workloadName(cfg.workload)))
+      .set("seed", Json::num(cfg.seed))
+      .set("targetTransactions", Json::num(cfg.targetTransactions));
+}
+
 RunResult runOnce(const SystemConfig& cfg) {
   System sys(cfg);
-  return sys.run();
+  RunResult r = sys.run();
+  if (obs::reportingActive()) recordReport("runOnce", cfg, toJson(r));
+  return r;
 }
 
 namespace {
@@ -84,7 +186,12 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
       [&](std::size_t s) {
         SystemConfig c = cfg;
         c.seed = seedBase + static_cast<std::uint64_t>(s);
-        results[s] = runOnce(c);
+        // A tracer is single-threaded state: only the first seed records.
+        if (s != 0) c.tracer = nullptr;
+        // Per-seed results are folded into one report entry below, not
+        // recorded individually — build the System directly.
+        System sys(c);
+        results[s] = sys.run();
       });
 
   MultiRunResult out;
@@ -102,6 +209,13 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
     out.detections += r.detections;
     out.squashes += r.squashes;
     out.allCompleted = out.allCompleted && r.completed;
+    out.metrics.merge(r.metrics);
+  }
+  if (obs::reportingActive()) {
+    Json merged = toJson(out);
+    merged.set("seedBase", Json::num(seedBase));
+    merged.set("seedCount", Json::num(static_cast<std::int64_t>(seedCount)));
+    recordReport("runSeeds", cfg, std::move(merged));
   }
   return out;
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "obs/json.hpp"
 #include "system/config.hpp"
 
 namespace dvmc {
@@ -24,6 +25,10 @@ struct MultiRunResult {
   std::uint64_t detections = 0;  // summed across runs (0 in error-free runs)
   std::uint64_t squashes = 0;
   bool allCompleted = true;
+
+  /// Per-seed metric snapshots merged in seed order (bit-identical to a
+  /// sequential run regardless of the worker count).
+  MetricSnapshot metrics;
 
   std::string summary() const;
 };
@@ -50,6 +55,16 @@ int resolveJobs(const SystemConfig& cfg);
 /// and feeds it to setDefaultJobs. Returns the new argc. Shared by the
 /// bench and example mains so every binary exposes the same knob.
 int parseJobsFlag(int argc, char** argv);
+
+// --- run-report serialization (the --report-json machinery) ---
+// runOnce/runSeeds feed these into the obs collector automatically while a
+// report file is armed; they are public so tools can build custom reports.
+
+/// Scalar run measurements plus the merged metric snapshot.
+Json toJson(const RunResult& r);
+Json toJson(const MultiRunResult& r);
+/// The configuration knobs that identify an experiment.
+Json configJson(const SystemConfig& cfg);
 
 /// Number of perturbation runs for benches: DVMC_BENCH_SEEDS env override,
 /// default 3 (the paper uses 10; 3 keeps the full harness fast).

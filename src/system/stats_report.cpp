@@ -8,8 +8,8 @@ namespace dvmc {
 
 namespace {
 
-void printStatSet(std::ostream& os, const std::string& prefix,
-                  const StatSet& stats, bool includeZero) {
+void printMetricSet(std::ostream& os, const std::string& prefix,
+                    const MetricSet& stats, bool includeZero) {
   for (const auto& [name, value] : stats.all()) {
     if (value == 0 && !includeZero) continue;
     os << "  " << std::left << std::setw(44) << (prefix + name) << " "
@@ -20,7 +20,7 @@ void printStatSet(std::ostream& os, const std::string& prefix,
 /// Sums same-named counters across nodes.
 class Aggregate {
  public:
-  void add(const StatSet& s) {
+  void add(const MetricSet& s) {
     for (const auto& [name, value] : s.all()) sums_[name] += value;
   }
   void print(std::ostream& os, const std::string& prefix,
@@ -149,7 +149,7 @@ void printStatsReport(System& sys, std::ostream& os,
   // --- BER ---
   if (sys.ber() != nullptr) {
     os << "\n[safetynet]\n";
-    printStatSet(os, "ber/", sys.ber()->stats(), opts.includeZero);
+    printMetricSet(os, "ber/", sys.ber()->stats(), opts.includeZero);
     os << "  " << std::left << std::setw(44) << "ber/checkpointsHeld" << " "
        << sys.ber()->checkpointCount() << "\n";
     os << "  " << std::left << std::setw(44) << "ber/recoveryWindow" << " "

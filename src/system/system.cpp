@@ -1,6 +1,7 @@
 #include "system/system.hpp"
 
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace dvmc {
 
@@ -11,8 +12,8 @@ namespace {
 class DirNodeRouter final : public NetworkEndpoint {
  public:
   DirNodeRouter(DirectoryHome* home, DirectoryCacheController* cache,
-                MemoryEpochChecker* met, StatSet* ckptStats)
-      : home_(home), cache_(cache), met_(met), ckpt_(ckptStats) {}
+                MemoryEpochChecker* met, Counter* ckptMsgs)
+      : home_(home), cache_(cache), met_(met), ckpt_(ckptMsgs) {}
 
   void onMessage(const Message& msg) override {
     switch (msg.type) {
@@ -29,7 +30,7 @@ class DirNodeRouter final : public NetworkEndpoint {
         return;
       case MsgType::kCkptSync:
       case MsgType::kCkptLog:
-        if (ckpt_ != nullptr) ckpt_->inc("ber.msgsReceived");
+        if (ckpt_ != nullptr) ckpt_->inc();
         return;
       default:
         cache_->onMessage(msg);
@@ -41,7 +42,7 @@ class DirNodeRouter final : public NetworkEndpoint {
   DirectoryHome* home_;
   DirectoryCacheController* cache_;
   MemoryEpochChecker* met_;
-  StatSet* ckpt_;
+  Counter* ckpt_;
 };
 
 /// Snooping address-network endpoint: every broadcast reaches both the
@@ -65,8 +66,8 @@ class SnoopAddrRouter final : public NetworkEndpoint {
 class SnoopDataRouter final : public NetworkEndpoint {
  public:
   SnoopDataRouter(SnoopCacheController* cache, SnoopMemoryController* mem,
-                  MemoryEpochChecker* met, StatSet* ckptStats)
-      : cache_(cache), mem_(mem), met_(met), ckpt_(ckptStats) {}
+                  MemoryEpochChecker* met, Counter* ckptMsgs)
+      : cache_(cache), mem_(mem), met_(met), ckpt_(ckptMsgs) {}
   void onMessage(const Message& msg) override {
     switch (msg.type) {
       case MsgType::kSnpWbData:
@@ -79,7 +80,7 @@ class SnoopDataRouter final : public NetworkEndpoint {
         return;
       case MsgType::kCkptSync:
       case MsgType::kCkptLog:
-        if (ckpt_ != nullptr) ckpt_->inc("ber.msgsReceived");
+        if (ckpt_ != nullptr) ckpt_->inc();
         return;
       default:
         cache_->onMessage(msg);
@@ -91,7 +92,7 @@ class SnoopDataRouter final : public NetworkEndpoint {
   SnoopCacheController* cache_;
   SnoopMemoryController* mem_;
   MemoryEpochChecker* met_;
-  StatSet* ckpt_;
+  Counter* ckpt_;
 };
 
 }  // namespace
@@ -102,6 +103,20 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.protocol == Protocol::kSnooping) {
     tree_ = std::make_unique<BroadcastTree>(sim_, cfg_.numNodes, cfg_.tree);
   }
+  // Event tracing: hand the run's tracer to the simulator kernel so every
+  // component reaches it through sim_.tracer() (one null check per site
+  // when tracing is off), and mirror checker detections into the trace
+  // through the sink's observer API.
+  sim_.setTracer(cfg_.tracer);
+  if (cfg_.tracer != nullptr) {
+    sink_.addObserver([this](const Detection& d) {
+      if (auto* t = sim_.tracer()) {
+        t->instant(d.cycle, TraceKind::kDetection, checkerKindName(d.kind),
+                   d.node, d.addr, 0);
+      }
+    });
+  }
+
   nodes_.resize(cfg_.numNodes);
   for (NodeId n = 0; n < cfg_.numNodes; ++n) buildNode(n);
 
@@ -153,7 +168,7 @@ void System::buildNode(NodeId n) {
   node.hierarchy = std::make_unique<CacheHierarchy>(
       sim_, *node.l2, cfg_.l1, cfg_.timings, &sink_, n);
 
-  if (cfg_.dvmcCoherence &&
+  if (cfg_.dvmc.cacheCoherence &&
       cfg_.coherenceChecker == SystemConfig::CoherenceCheckerKind::kEpoch) {
     node.cet = std::make_unique<CacheEpochChecker>(
         sim_, n, cfg_.dvmc, &sink_, [this, n](Message m) {
@@ -174,7 +189,7 @@ void System::buildNode(NodeId n) {
           sim_, n, cfg_.dvmc, &sink_, node.snoopMem->clock());
       node.snoopMem->setHomeObserver(node.met.get());
     }
-  } else if (cfg_.dvmcCoherence) {
+  } else if (cfg_.dvmc.cacheCoherence) {
     // Cantin-style shadow-replay coherence checker: no inform traffic.
     node.shadowCache = std::make_unique<ShadowCacheChecker>(sim_, n, &sink_);
     node.l2->setEpochObserver(node.shadowCache.get());
@@ -186,11 +201,11 @@ void System::buildNode(NodeId n) {
     }
   }
 
-  if (cfg_.dvmcUniproc) {
+  if (cfg_.dvmc.uniprocOrdering) {
     node.vc = std::make_unique<VerificationCache>(
         n, cfg_.dvmc.vcWordCapacity, &sink_);
   }
-  if (cfg_.dvmcReorder) {
+  if (cfg_.dvmc.allowableReordering) {
     node.ar = std::make_unique<ReorderChecker>(sim_, n, &sink_);
   }
 
@@ -214,11 +229,13 @@ void System::buildNode(NodeId n) {
 
   if (cfg_.protocol == Protocol::kDirectory) {
     node.dataRouter = std::make_unique<DirNodeRouter>(
-        node.home.get(), node.dirCache, node.met.get(), &ckptMsgStats_);
+        node.home.get(), node.dirCache, node.met.get(),
+        &cCkptMsgsReceived_);
     torus_->attach(n, node.dataRouter.get());
   } else {
     node.dataRouter = std::make_unique<SnoopDataRouter>(
-        node.snpCache, node.snoopMem.get(), node.met.get(), &ckptMsgStats_);
+        node.snpCache, node.snoopMem.get(), node.met.get(),
+        &cCkptMsgsReceived_);
     torus_->attach(n, node.dataRouter.get());
     node.addrRouter = std::make_unique<SnoopAddrRouter>(node.snpCache,
                                                         node.snoopMem.get());
@@ -292,7 +309,38 @@ RunResult System::collectResult(bool completed, Cycle cycles) const {
       r.memOps32 += wl->memOps32Emitted();
     }
   }
+  r.metrics = metricsSnapshot();
   return r;
+}
+
+MetricSnapshot System::metricsSnapshot(bool perNode) const {
+  MetricSnapshot snap;
+  auto collect = [&snap](const Node& n, const std::string& prefix) {
+    n.core->stats().snapshotInto(snap, prefix);
+    n.hierarchy->stats().snapshotInto(snap, prefix);
+    if (n.dirCache) n.dirCache->stats().snapshotInto(snap, prefix);
+    if (n.snpCache) n.snpCache->stats().snapshotInto(snap, prefix);
+    if (n.home) n.home->stats().snapshotInto(snap, prefix);
+    if (n.snoopMem) n.snoopMem->stats().snapshotInto(snap, prefix);
+    if (n.cet) n.cet->stats().snapshotInto(snap, prefix);
+    if (n.met) n.met->stats().snapshotInto(snap, prefix);
+    if (n.shadowCache) n.shadowCache->stats().snapshotInto(snap, prefix);
+    if (n.shadowHome) n.shadowHome->stats().snapshotInto(snap, prefix);
+    if (n.vc) n.vc->stats().snapshotInto(snap, prefix);
+    if (n.ar) n.ar->stats().snapshotInto(snap, prefix);
+  };
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    collect(nodes_[i], {});
+    if (perNode) collect(nodes_[i], "node" + std::to_string(i) + "/");
+  }
+  if (ber_) ber_->stats().snapshotInto(snap);
+  ckptMsgStats_.snapshotInto(snap);
+  snap.counters["net.totalBytes"] += torus_->totalBytes();
+  snap.counters["net.coherenceBytes"] +=
+      torus_->classBytes(TrafficClass::kCoherence);
+  snap.counters["net.informBytes"] += torus_->classBytes(TrafficClass::kInform);
+  snap.counters["net.ckptBytes"] += torus_->classBytes(TrafficClass::kCkpt);
+  return snap;
 }
 
 void System::resetNetStats() {
@@ -357,19 +405,26 @@ bool System::recover(Cycle errorCycle) {
 }
 
 void System::armAutoRecovery() {
-  // Polls the error sink each cycle-granular event window; a detection
-  // triggers rollback to the newest checkpoint predating it. Detections
-  // raised by the squashed timeline are consumed so one error does not
-  // cause recovery loops.
-  sim_.schedule(64, [this] {
-    if (sink_.count() > handledDetections_) {
-      const Detection& d = sink_.detections()[handledDetections_];
-      handledDetections_ = sink_.count();
-      if (!ber_->recoverBefore(d.cycle)) {
-        ++unrecoverable_;
+  // Reacts to detections through the ErrorSink observer API (this used to
+  // be a 64-cycle polling loop that ran for the whole simulation). The
+  // first detection of a burst schedules one recovery event a short drain
+  // gap later; that event consumes the entire burst — detections raised by
+  // the squashed timeline included — so one error does not cause recovery
+  // loops. The observer itself only schedules: reacting inline would
+  // re-enter component code mid-report.
+  sink_.addObserver([this](const Detection&) {
+    if (recoveryPending_) return;
+    recoveryPending_ = true;
+    sim_.schedule(64, [this] {
+      recoveryPending_ = false;
+      if (sink_.count() > handledDetections_) {
+        const Detection& d = sink_.detections()[handledDetections_];
+        handledDetections_ = sink_.count();
+        if (!ber_->recoverBefore(d.cycle)) {
+          ++unrecoverable_;
+        }
       }
-    }
-    if (!allCoresDone()) armAutoRecovery();
+    });
   });
 }
 

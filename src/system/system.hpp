@@ -87,6 +87,11 @@ class System {
   /// Collects a RunResult from the current counters (run() calls this).
   RunResult collectResult(bool completed, Cycle cycles) const;
 
+  /// Snapshot of every component's metric registry. Aggregated across
+  /// nodes by default; with `perNode` each node's metrics additionally
+  /// appear under a "nodeN/" prefix.
+  MetricSnapshot metricsSnapshot(bool perNode = false) const;
+
  private:
   struct Node {
     // Directory flavor.
@@ -119,7 +124,8 @@ class System {
   ErrorSink sink_;
   // Checkpoint messages are absorbed at the endpoint and only counted.
   // Per-system (not global): parallel runSeeds runs Systems concurrently.
-  StatSet ckptMsgStats_;
+  MetricSet ckptMsgStats_;
+  Counter cCkptMsgsReceived_ = ckptMsgStats_.counter("ber.msgsReceived");
   MemoryMap map_;
   std::unique_ptr<TorusNetwork> torus_;
   std::unique_ptr<BroadcastTree> tree_;
@@ -135,6 +141,7 @@ class System {
   std::uint64_t storesSinceCkpt_ = 0;
   std::size_t handledDetections_ = 0;
   std::uint64_t unrecoverable_ = 0;
+  bool recoveryPending_ = false;  // a burst-consuming check is scheduled
   bool started_ = false;
 };
 

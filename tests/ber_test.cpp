@@ -124,9 +124,7 @@ TEST(SafetyNet, SnapshotRestoreRoundTripPreservesMemory) {
 
 TEST(SafetyNet, CheckpointTrafficIsVisible) {
   SystemConfig cfg = berConfig();
-  cfg.dvmcCoherence = false;  // isolate BER traffic
-  cfg.dvmcUniproc = false;
-  cfg.dvmcReorder = false;
+  cfg.dvmc = DvmcConfig{};  // isolate BER traffic (all checkers off)
   System sysWith(cfg);
   sysWith.runUntil([&] { return sysWith.sim().now() >= 30'000; });
   const std::uint64_t with = sysWith.dataNet().totalBytes();

@@ -260,7 +260,7 @@ TEST_P(StatsReportSweep, PrintsEverySectionWithoutDetections) {
   EXPECT_NE(out.find("[detections] count=0"), std::string::npos) << rc.name;
   EXPECT_NE(out.find("node 3"), std::string::npos)
       << rc.name << ": perNode lines missing";
-  const bool hasDvmc = rc.cfg.dvmcCoherence;
+  const bool hasDvmc = rc.cfg.dvmc.cacheCoherence;
   EXPECT_EQ(out.find("cet/") != std::string::npos ||
                 out.find("shadow/") != std::string::npos,
             hasDvmc)

@@ -135,6 +135,13 @@ TEST(RunSeedsParallel, MatchesSequentialBitForBit) {
   EXPECT_EQ(seq.squashes, par.squashes);
   EXPECT_EQ(seq.allCompleted, par.allCompleted);
   EXPECT_TRUE(seq.allCompleted);
+
+  // The merged metric snapshot (typed registry) obeys the same contract:
+  // seed-order merging makes the parallel fan-out bit-identical.
+  EXPECT_FALSE(seq.metrics.counters.empty());
+  EXPECT_GT(seq.metrics.value("cpu.retired"), 0u);
+  EXPECT_GT(seq.metrics.value("cet.accessChecks"), 0u);
+  EXPECT_TRUE(seq.metrics == par.metrics);
 }
 
 TEST(RunSeedsParallel, OversubscribedJobsStillDeterministic) {

@@ -5,11 +5,14 @@
 //
 //   ./dvmc_debug [dir|snoop] [sc|tso|pso|rmo] [workload]
 #include <cstdio>
+
+#include "obs/run_report.hpp"
 #include "system/system.hpp"
 
 using namespace dvmc;
 
 int main(int argc, char** argv) {
+  argc = obs::parseObsFlags(argc, argv);
   Protocol proto = (argc > 1 && std::string(argv[1]) == "snoop")
                        ? Protocol::kSnooping : Protocol::kDirectory;
   ConsistencyModel model = ConsistencyModel::kSC;
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   cfg.workload = wl;
   cfg.targetTransactions = 60;
   cfg.maxCycles = 30'000'000;
+  cfg.tracer = obs::activeTracer();
   System sys(cfg);
   RunResult r = sys.run();
   printf("completed=%d cycles=%llu txns=%llu detections=%llu\n",
@@ -40,5 +44,5 @@ int main(int argc, char** argv) {
            (unsigned long long)d.addr, d.what.c_str());
     if (i > 10) break;
   }
-  return 0;
+  return obs::finalizeObs();
 }
