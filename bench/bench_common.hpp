@@ -48,8 +48,12 @@ inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
   cfg.targetTransactions = targetFor(wl);
   cfg.maxCycles = 200'000'000;
   // --trace=FILE arms a process-global tracer; runSeeds/runCyclesPerSeed
-  // hand it to the first seed's run only.
+  // hand it to the first seed's run only. The forensics recorder is
+  // mutex-guarded, so every seed shares it.
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
   return cfg;
 }
 

@@ -30,6 +30,9 @@ int runDemo(int argc, char** argv) {
   cfg.ber.maxCheckpoints = 10;
   cfg.maxCycles = 100'000'000;
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
 
   System sys(cfg);
   FaultInjector injector(sys, 0xBEEF);

@@ -39,6 +39,9 @@ Outcome runDekker(ConsistencyModel model, int jitter) {
   SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory, model);
   cfg.numNodes = 2;
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
   cfg.berEnabled = false;
   cfg.maxCycles = 2'000'000;
   // Thread 0: X = 1; r0 = Y.   Thread 1: Y = 1; r1 = X.

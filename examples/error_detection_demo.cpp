@@ -16,6 +16,7 @@
 #include <string>
 
 #include "faults/injector.hpp"
+#include "system/runner.hpp"
 #include "system/system.hpp"
 #include "obs/run_report.hpp"
 
@@ -46,6 +47,9 @@ int runDemo(int argc, char** argv) {
   cfg.ber.interval = 10'000;
   cfg.ber.maxCheckpoints = 10;
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
   if (!faultApplicable(fault, cfg.model, cfg.protocol)) {
     std::fprintf(stderr, "fault %s is not an error under %s/%s\n",
                  faultTypeName(fault), protocolName(cfg.protocol),
@@ -134,6 +138,13 @@ int runDemo(int argc, char** argv) {
   std::printf("[phase 5] continuing to completion...\n");
   sys.sink().clear();
   RunResult r = sys.runUntil([] { return false; });
+  if (obs::reportingActive()) {
+    Json run = Json::object();
+    run.set("kind", Json::str("error_detection_demo"));
+    run.set("config", configJson(cfg));
+    run.set("result", toJson(r));
+    obs::addReportRun(std::move(run));
+  }
   std::printf("          %s: %llu transactions in %llu cycles, "
               "%llu post-recovery detections\n",
               r.completed ? "done" : "INCOMPLETE",

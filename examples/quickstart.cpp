@@ -39,6 +39,9 @@ int runQuickstart(int argc, char** argv) {
   cfg.workload = wl;
   cfg.targetTransactions = 400;
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
 
   std::printf("DVMC quickstart: %zu-node %s system, %s, workload '%s'\n",
               cfg.numNodes, protocolName(protocol), modelName(model),
@@ -97,6 +100,13 @@ int runQuickstart(int argc, char** argv) {
     if (std::string(argv[i]) == "--stats") {
       printStatsReport(sys, std::cout);
     }
+  }
+  if (obs::reportingActive()) {
+    Json run = Json::object();
+    run.set("kind", Json::str("quickstart"));
+    run.set("config", configJson(cfg));
+    run.set("result", toJson(r));
+    obs::addReportRun(std::move(run));
   }
   return r.detections == 0 && r.completed ? 0 : 1;
 }

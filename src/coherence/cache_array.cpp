@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/crc16.hpp"
 
 namespace dvmc {
 
@@ -121,6 +122,30 @@ std::optional<std::pair<Addr, MosiState>> CacheArray::injectStateFlip(
 void CacheArray::forEachValid(const std::function<void(CacheLine&)>& fn) {
   for (auto& line : lines_) {
     if (line.valid) fn(line);
+  }
+}
+
+void CacheArray::dumpForensics(Json& out, Addr focus) const {
+  std::size_t valid = 0;
+  const CacheLine* hit = nullptr;
+  for (const auto& line : lines_) {
+    if (!line.valid) continue;
+    ++valid;
+    if (line.tag == blockAddr(focus)) hit = &line;
+  }
+  out.set("sets", Json::num(static_cast<std::uint64_t>(geom_.sets)))
+      .set("ways", Json::num(static_cast<std::uint64_t>(geom_.ways)))
+      .set("validLines", Json::num(static_cast<std::uint64_t>(valid)))
+      .set("eccCorrections", Json::num(eccCorrections_))
+      .set("focusResident", Json::boolean(hit != nullptr));
+  if (hit != nullptr) {
+    Json line = Json::object();
+    line.set("state", Json::str(mosiName(hit->state)))
+        .set("dataCrc16", Json::num(std::uint64_t{hashBlock(hit->data)}))
+        .set("lastUse", Json::num(hit->lastUse))
+        .set("pendingEccFlips",
+             Json::num(static_cast<std::uint64_t>(hit->pendingFlips.size())));
+    out.set("focusLine", std::move(line));
   }
 }
 

@@ -15,6 +15,7 @@
 #include "common/data_block.hpp"
 #include "common/error_sink.hpp"
 #include "common/types.hpp"
+#include "obs/json.hpp"
 
 namespace dvmc {
 
@@ -84,6 +85,11 @@ class CacheArray {
   std::size_t numWays() const { return geom_.ways; }
   std::size_t capacityBytes() const { return geom_.capacityBytes(); }
   std::uint64_t eccCorrections() const { return eccCorrections_; }
+
+  /// Forensics dump: valid-line occupancy and, when the focus block is
+  /// resident, its MOSI state, data CRC-16, LRU stamp, and pending ECC
+  /// flips — the cache-side evidence behind a coherence detection.
+  void dumpForensics(Json& out, Addr focus) const;
 
  private:
   std::size_t setIndex(Addr blk) const {

@@ -28,6 +28,24 @@ void LatencyHistogram::merge(const LatencyHistogram& o) {
   if (o.max_ > max_) max_ = o.max_;
 }
 
+std::uint64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based: ceil(p * count), at least 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  std::uint64_t bound = 1;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bound;
+    bound <<= 1;
+  }
+  return max_;  // unreachable when the invariants hold
+}
+
 std::string LatencyHistogram::toString() const {
   std::ostringstream os;
   std::uint64_t bound = 1;

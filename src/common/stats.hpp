@@ -5,7 +5,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -62,6 +61,17 @@ class LatencyHistogram {
   /// Per-bucket count of values <= 2^i (exposed for report serialization).
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
 
+  /// Percentile estimate from the power-of-two buckets: the upper bound
+  /// (2^i) of the first bucket whose cumulative count reaches
+  /// ceil(p * count). Deterministic and conservative — the true value lies
+  /// in (2^(i-1), 2^i] — so p50/p90/p99 readouts in reports are upper
+  /// bounds, never underestimates. `p` is clamped to [0, 1]; an empty
+  /// histogram reads as 0.
+  std::uint64_t percentile(double p) const;
+  std::uint64_t p50() const { return percentile(0.50); }
+  std::uint64_t p90() const { return percentile(0.90); }
+  std::uint64_t p99() const { return percentile(0.99); }
+
   bool operator==(const LatencyHistogram& o) const {
     return buckets_ == o.buckets_ && count_ == o.count_ && sum_ == o.sum_ &&
            max_ == o.max_;
@@ -72,28 +82,6 @@ class LatencyHistogram {
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;
   std::uint64_t max_ = 0;
-};
-
-/// Named counter bag; used for per-component event statistics.
-///
-/// DEPRECATED: superseded by MetricSet (obs/metrics.hpp), which registers
-/// typed metrics once at component construction and makes the hot path a
-/// plain slot increment instead of a per-event map lookup. This shim stays
-/// for one PR so out-of-tree tests keep compiling; new code must not use
-/// it.
-class [[deprecated("use MetricSet from obs/metrics.hpp")]] StatSet {
- public:
-  void inc(const std::string& name, std::uint64_t by = 1) {
-    counters_[name] += by;
-  }
-  std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
-  }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
-
- private:
-  std::map<std::string, std::uint64_t> counters_;
 };
 
 }  // namespace dvmc

@@ -240,4 +240,25 @@ void CacheEpochChecker::reset() {
   gOpenEpochs_.set(0);
 }
 
+void CacheEpochChecker::dumpForensics(Json& out, Addr focus) const {
+  out.set("openEpochs", Json::num(static_cast<std::uint64_t>(cet_.size())))
+      .set("scrubFifoDepth",
+           Json::num(static_cast<std::uint64_t>(scrubFifo_.size())))
+      .set("lastLtime", Json::num(lastLtime_));
+  const Addr blk = blockAddr(focus);
+  auto it = cet_.find(blk);
+  out.set("focusResident", Json::boolean(it != cet_.end()));
+  if (it == cet_.end()) return;
+  const CetEntry& e = it->second;
+  Json row = Json::object();
+  row.set("type", Json::str(e.readWrite ? "RW" : "RO"))
+      .set("begin16", Json::num(std::uint64_t{e.begin16}))
+      .set("beginWide", Json::num(e.beginWide))
+      .set("beginHash", Json::num(std::uint64_t{e.beginHash}))
+      .set("openAnnounced", Json::boolean(e.openAnnounced))
+      .set("epochId", Json::num(e.epochId))
+      .set("beginCycle", Json::num(e.beginCycle));
+  out.set("focusEpoch", std::move(row));
+}
+
 }  // namespace dvmc

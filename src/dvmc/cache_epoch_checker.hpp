@@ -23,6 +23,7 @@
 #include "coherence/logical_clock.hpp"
 #include "common/error_sink.hpp"
 #include "common/wrap16.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "dvmc/dvmc_config.hpp"
 #include "net/message.hpp"
@@ -61,6 +62,10 @@ class CacheEpochChecker final : public EpochObserver {
 
   const MetricSet& stats() const { return stats_; }
   std::size_t openEpochs() const { return cet_.size(); }
+
+  /// Forensics dump: CET occupancy, scrub-FIFO depth, and the focus
+  /// block's epoch row (type, begin times, begin CRC-16 hash, epoch id).
+  void dumpForensics(Json& out, Addr focus) const;
 
   /// Modeled CET storage (34 bits per cache line, Section 6.3).
   static std::size_t modeledBitsPerLine() { return 34; }

@@ -275,4 +275,25 @@ void MemoryEpochChecker::reset() {
   gEntries_.set(0);
 }
 
+void MemoryEpochChecker::dumpForensics(Json& out, Addr focus) const {
+  out.set("metEntries", Json::num(static_cast<std::uint64_t>(met_.size())))
+      .set("queuedInforms",
+           Json::num(static_cast<std::uint64_t>(queue_.size())));
+  const Addr blk = blockAddr(focus);
+  auto it = met_.find(blk);
+  out.set("focusResident", Json::boolean(it != met_.end()));
+  if (it == met_.end()) return;
+  const MetEntry& e = it->second;
+  Json row = Json::object();
+  row.set("lastROEnd", Json::num(std::uint64_t{e.lastROEnd}))
+      .set("lastRWEnd", Json::num(std::uint64_t{e.lastRWEnd}))
+      .set("lastRWEndHash", Json::num(std::uint64_t{e.lastRWEndHash}))
+      .set("hashValid", Json::boolean(e.hashValid))
+      .set("openROMask", Json::num(e.openRO))
+      .set("openRWNode",
+           e.openRW == kInvalidNode ? Json() : Json::num(std::uint64_t{e.openRW}))
+      .set("evictPending", Json::boolean(e.evictPending));
+  out.set("focusEpochRow", std::move(row));
+}
+
 }  // namespace dvmc

@@ -25,6 +25,7 @@
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
 #include "common/wrap16.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "dvmc/dvmc_config.hpp"
 #include "net/message.hpp"
@@ -59,6 +60,12 @@ class MemoryEpochChecker final : public HomeObserver {
 
   /// Modeled MET storage (48 bits per entry, Section 6.3).
   static std::size_t modeledBitsPerEntry() { return 48; }
+
+  /// Forensics dump: MET occupancy, inform-queue depth, and the focus
+  /// block's epoch row (latest RO/RW end times, end-of-RW CRC-16 hash,
+  /// open-epoch sharers/owner) — the state a DVCC violation is judged
+  /// against.
+  void dumpForensics(Json& out, Addr focus) const;
 
  private:
   struct MetEntry {

@@ -124,4 +124,24 @@ void ReorderChecker::reset() {
   snapshotValid_ = false;
 }
 
+void ReorderChecker::dumpForensics(Json& out) const {
+  out.set("maxLoad", Json::num(maxLoad_)).set("maxStore", Json::num(maxStore_));
+  Json membar = Json::array();
+  for (SeqNum m : maxMembarBit_) membar.push(Json::num(m));
+  out.set("maxMembarBit", std::move(membar))
+      .set("outstandingLoads",
+           Json::num(static_cast<std::uint64_t>(outstandingLoads_.size())))
+      .set("outstandingStores",
+           Json::num(static_cast<std::uint64_t>(outstandingStores_.size())));
+  if (!outstandingLoads_.empty())
+    out.set("oldestOutstandingLoad", Json::num(*outstandingLoads_.begin()));
+  if (!outstandingStores_.empty())
+    out.set("oldestOutstandingStore", Json::num(*outstandingStores_.begin()));
+  out.set("snapshotValid", Json::boolean(snapshotValid_));
+  if (snapshotValid_) {
+    out.set("snapshotLoad", Json::num(snapshotLoad_))
+        .set("snapshotStore", Json::num(snapshotStore_));
+  }
+}
+
 }  // namespace dvmc

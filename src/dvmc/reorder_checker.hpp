@@ -24,6 +24,7 @@
 
 #include "common/error_sink.hpp"
 #include "common/types.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "consistency/ordering_table.hpp"
 #include "sim/simulator.hpp"
@@ -54,6 +55,12 @@ class ReorderChecker {
   SeqNum maxLoad() const { return maxLoad_; }
   SeqNum maxStore() const { return maxStore_; }
   void reset();
+
+  /// Forensics dump: the per-class max{OP} sequence registers (including
+  /// the four per-mask-bit membar counters), outstanding-operation
+  /// watermarks, and the lost-op snapshot — the state an AR violation is
+  /// judged against.
+  void dumpForensics(Json& out) const;
 
  private:
   void checkAgainst(OpClass cls, std::uint8_t instMask, SeqNum seq,

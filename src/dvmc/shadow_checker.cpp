@@ -130,4 +130,31 @@ void ShadowHomeChecker::onHomeWriteback(Addr blk, NodeId from,
   }
 }
 
+void ShadowCacheChecker::dumpForensics(Json& out, Addr focus) const {
+  out.set("entries", Json::num(static_cast<std::uint64_t>(shadow_.size())));
+  auto it = shadow_.find(blockAddr(focus));
+  out.set("focusResident", Json::boolean(it != shadow_.end()));
+  if (it != shadow_.end()) {
+    out.set("focusPermission", Json::str(it->second ? "RW" : "RO"));
+  }
+}
+
+void ShadowHomeChecker::dumpForensics(Json& out, Addr focus) const {
+  out.set("entries", Json::num(static_cast<std::uint64_t>(entries_.size())));
+  auto it = entries_.find(blockAddr(focus));
+  out.set("focusResident", Json::boolean(it != entries_.end()));
+  if (it == entries_.end()) return;
+  const Entry& e = it->second;
+  Json sharers = Json::array();
+  for (NodeId n : e.sharers) sharers.push(Json::num(std::uint64_t{n}));
+  Json row = Json::object();
+  row.set("owner",
+          e.owner == kInvalidNode ? Json() : Json::num(std::uint64_t{e.owner}))
+      .set("sharers", std::move(sharers))
+      .set("memHash", Json::num(std::uint64_t{e.memHash}))
+      .set("hashValid", Json::boolean(e.hashValid))
+      .set("memClean", Json::boolean(e.memClean));
+  out.set("focusRow", std::move(row));
+}
+
 }  // namespace dvmc

@@ -30,6 +30,7 @@
 #include "coherence/interfaces.hpp"
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -53,6 +54,10 @@ class ShadowCacheChecker final : public EpochObserver {
 
   /// Modeled storage: 2 bits per cached block (valid + RW).
   static std::size_t modeledBitsPerLine() { return 2; }
+
+  /// Forensics dump: shadow-table occupancy and the focus block's
+  /// permission row.
+  void dumpForensics(Json& out, Addr focus) const;
 
  private:
   void report(Addr blk, const char* what);
@@ -90,6 +95,10 @@ class ShadowHomeChecker final : public HomeObserver {
   void reset() { entries_.clear(); }
   std::size_t entries() const { return entries_.size(); }
   const MetricSet& stats() const { return stats_; }
+
+  /// Forensics dump: simplified-directory occupancy and the focus block's
+  /// owner/sharers/memory-hash row.
+  void dumpForensics(Json& out, Addr focus) const;
 
  private:
   struct Entry {

@@ -141,4 +141,24 @@ std::optional<std::uint64_t> VerificationCache::consumeParked(
   return v;
 }
 
+void VerificationCache::dumpForensics(Json& out, Addr focus) const {
+  out.set("entries", Json::num(static_cast<std::uint64_t>(words_.size())))
+      .set("capacityWords", Json::num(static_cast<std::uint64_t>(capacity_)));
+  const Addr w = wordAlign(focus);
+  out.set("focusWord", Json::num(w));
+  auto it = words_.find(w);
+  out.set("focusResident", Json::boolean(it != words_.end()));
+  if (it == words_.end()) return;
+  const WordEntry& e = it->second;
+  Json chain = Json::array();
+  for (const PendingStore& s : e.stores) {
+    Json rec = Json::object();
+    rec.set("seq", Json::num(s.seq)).set("value", Json::num(s.value));
+    chain.push(std::move(rec));
+  }
+  out.set("pendingStores", std::move(chain))
+      .set("parkedLoad", Json::boolean(e.parkedLoad));
+  if (e.parkedLoad) out.set("parkedValue", Json::num(e.parkedValue));
+}
+
 }  // namespace dvmc

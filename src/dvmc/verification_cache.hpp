@@ -27,6 +27,7 @@
 
 #include "common/error_sink.hpp"
 #include "common/types.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 
 namespace dvmc {
@@ -79,6 +80,11 @@ class VerificationCache {
 
   std::size_t entries() const { return words_.size(); }
   const MetricSet& stats() const { return stats_; }
+
+  /// Forensics dump: occupancy plus the focus word's full pending-store
+  /// chain (sequence numbers and verification copies) and parked-load
+  /// state — the evidence behind a UO deallocation-mismatch detection.
+  void dumpForensics(Json& out, Addr focus) const;
   void clear() {
     words_.clear();
     gEntries_.set(0);

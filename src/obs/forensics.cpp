@@ -1,0 +1,51 @@
+#include "obs/forensics.hpp"
+
+#include <ostream>
+#include <utility>
+
+namespace dvmc {
+
+void ForensicsRecorder::addBundle(Json bundle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bundles_.size() >= cfg_.maxBundles) {
+    ++dropped_;
+    return;
+  }
+  bundles_.push_back(std::move(bundle));
+}
+
+std::size_t ForensicsRecorder::bundleCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bundles_.size();
+}
+
+std::uint64_t ForensicsRecorder::droppedBundles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ForensicsRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bundles_.clear();
+  dropped_ = 0;
+}
+
+Json ForensicsRecorder::toJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json bundles = Json::array();
+  for (const Json& b : bundles_) bundles.push(b);
+  return Json::object()
+      .set("schema", Json::str(kForensicsSchemaName))
+      .set("version", Json::num(std::uint64_t{kForensicsSchemaVersion}))
+      .set("generator",
+           Json::str("dvmc (Dynamic Verification of Memory Consistency)"))
+      .set("droppedBundles", Json::num(dropped_))
+      .set("bundles", std::move(bundles));
+}
+
+void ForensicsRecorder::writeTo(std::ostream& os) const {
+  toJson().write(os, 2);
+  os << "\n";
+}
+
+}  // namespace dvmc

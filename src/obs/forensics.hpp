@@ -1,0 +1,80 @@
+// Detection forensics flight recorder (observability subsystem).
+//
+// A checker detection used to be a single trace instant plus an aggregate
+// counter; diagnosing *why* the Uniprocessor Ordering, Allowable
+// Reordering, or epoch checkers tripped meant re-running under a debugger.
+// The flight recorder captures a versioned JSON forensics bundle at the
+// moment each ErrorSink detection fires:
+//
+//   * the detection itself (checker kind, cycle, node, address, message);
+//   * the last-K TraceEvent window around the detection cycle (from the
+//     run's tracer — forensics arms an internal tracer when --trace is
+//     not given, so the window is always populated);
+//   * a structured dump of every checker's state on the detecting node —
+//     VC pending-store chains, per-optype max{OP} sequence registers,
+//     the violating address's CET/MET epoch rows with their CRC hashes —
+//     via dumpForensics(Json&, Addr) hooks on each checker;
+//   * the violating address's recent operation history (the trace window
+//     filtered to the address) and its cache-line state at every node;
+//   * the active SafetyNet checkpoint epoch (oldest/newest checkpoint,
+//     recovery window).
+//
+// The recorder itself only stores finished bundles: the System layer
+// builds them (it owns the components), appends under a mutex (bench
+// harnesses run perturbation seeds from a thread pool), and finalizeObs()
+// writes the bundle file at the end of main. Bundle capture is bounded —
+// the first `maxBundles` detections are kept, later ones only counted —
+// because one fault typically raises a burst of downstream detections and
+// the first bundle is the diagnostic one.
+//
+// Bundle schema ("dvmc-forensics", version 1):
+//   { "schema": "dvmc-forensics", "version": 1, "generator": "...",
+//     "droppedBundles": N, "bundles": [ {...}, ... ] }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dvmc {
+
+inline constexpr int kForensicsSchemaVersion = 1;
+inline constexpr const char* kForensicsSchemaName = "dvmc-forensics";
+
+struct ForensicsConfig {
+  /// Trace events kept around each detection (the last-K window).
+  std::size_t windowEvents = 256;
+  /// Bundles kept per recorder; later detections are counted, not dumped.
+  std::size_t maxBundles = 16;
+};
+
+class ForensicsRecorder {
+ public:
+  explicit ForensicsRecorder(ForensicsConfig cfg = {}) : cfg_(cfg) {}
+
+  const ForensicsConfig& config() const { return cfg_; }
+
+  /// Appends one finished bundle (thread-safe). Beyond maxBundles the
+  /// bundle is dropped and only counted, keeping capture cost bounded
+  /// under detection bursts.
+  void addBundle(Json bundle);
+
+  std::size_t bundleCount() const;
+  std::uint64_t droppedBundles() const;
+  void clear();
+
+  /// The versioned envelope around every collected bundle.
+  Json toJson() const;
+  void writeTo(std::ostream& os) const;
+
+ private:
+  ForensicsConfig cfg_;
+  mutable std::mutex mu_;
+  std::vector<Json> bundles_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dvmc

@@ -1,7 +1,10 @@
 #include "obs/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -119,6 +122,313 @@ std::string Json::dump(int indent) const {
   std::ostringstream os;
   write(os, indent);
   return os.str();
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::size_t i) const {
+  static const Json kNullValue;
+  if (type_ != Type::kArray || i >= elements_.size()) return kNullValue;
+  return elements_[i];
+}
+
+std::uint64_t Json::asUint(std::uint64_t fallback) const {
+  switch (type_) {
+    case Type::kUint: return uint_;
+    case Type::kInt: return int_ >= 0 ? static_cast<std::uint64_t>(int_)
+                                      : fallback;
+    case Type::kDouble:
+      return dbl_ >= 0 ? static_cast<std::uint64_t>(dbl_) : fallback;
+    default: return fallback;
+  }
+}
+
+std::int64_t Json::asInt(std::int64_t fallback) const {
+  switch (type_) {
+    case Type::kUint:
+      return uint_ <= static_cast<std::uint64_t>(
+                          std::numeric_limits<std::int64_t>::max())
+                 ? static_cast<std::int64_t>(uint_)
+                 : fallback;
+    case Type::kInt: return int_;
+    case Type::kDouble: return static_cast<std::int64_t>(dbl_);
+    default: return fallback;
+  }
+}
+
+double Json::asDouble(double fallback) const {
+  switch (type_) {
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kDouble: return dbl_;
+    default: return fallback;
+  }
+}
+
+bool Json::asBool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent JSON parser over a string_view. Depth-limited so a
+/// hostile "[[[[..." input cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool parseDocument(Json* out, std::string* err) {
+    skipWs();
+    if (!parseValue(out, 0)) {
+      if (err != nullptr) *err = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skipWs();
+    if (pos_ != text_.size()) {
+      if (err != nullptr) {
+        *err = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  bool fail(const char* what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"': {
+        std::string s;
+        if (!parseString(&s)) return false;
+        *out = Json::str(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return fail("invalid literal");
+        *out = Json::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return fail("invalid literal");
+        *out = Json::boolean(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return fail("invalid literal");
+        *out = Json();
+        return true;
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseObject(Json* out, int depth) {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skipWs();
+    if (consume('}')) {
+      *out = std::move(obj);
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (!parseString(&key)) return fail("expected object key");
+      skipWs();
+      if (!consume(':')) return fail("expected ':'");
+      skipWs();
+      Json value;
+      if (!parseValue(&value, depth + 1)) return false;
+      obj.set(std::move(key), std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}'");
+    }
+    *out = std::move(obj);
+    return true;
+  }
+
+  bool parseArray(Json* out, int depth) {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skipWs();
+    if (consume(']')) {
+      *out = std::move(arr);
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Json value;
+      if (!parseValue(&value, depth + 1)) return false;
+      arr.push(std::move(value));
+      skipWs();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']'");
+    }
+    *out = std::move(arr);
+    return true;
+  }
+
+  bool parseString(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parseHex4(&cp)) return false;
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+    }
+    *out = v;
+    return true;
+  }
+
+  static void appendUtf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parseNumber(Json* out) {
+    const std::size_t start = pos_;
+    const bool negative = consume('-');
+    bool isDouble = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start + (negative ? 1u : 0u)) return fail("invalid number");
+    const std::string token(text_.substr(start, pos_ - start));
+    if (!isDouble) {
+      errno = 0;
+      char* end = nullptr;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          *out = Json::num(static_cast<std::int64_t>(v));
+          return true;
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end != nullptr && *end == '\0') {
+          *out = Json::num(static_cast<std::uint64_t>(v));
+          return true;
+        }
+      }
+      // Integral but out of 64-bit range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    *out = Json::num(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* err) {
+  Json out;
+  Parser p(text);
+  if (!p.parseDocument(&out, err)) return std::nullopt;
+  return out;
 }
 
 }  // namespace dvmc

@@ -1,16 +1,20 @@
-// Minimal ordered JSON value builder (observability subsystem).
+// Minimal ordered JSON value builder and parser (observability subsystem).
 //
 // Just enough JSON to serialize run reports and config summaries without
 // an external dependency: objects preserve insertion order (reports stay
 // diffable), numbers are emitted losslessly for uint64 and with enough
-// digits to round-trip for doubles, and strings are escaped. This is a
-// writer only — parsing/validation lives in the CI check (python).
+// digits to round-trip for doubles, and strings are escaped. The parser
+// (Json::parse) reads everything the writer emits — and plain standard
+// JSON generally — so dvmc_inspect and the forensics tests can consume
+// trace/report/forensics files without python.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -56,6 +60,46 @@ class Json {
 
   void write(std::ostream& os, int indent = 0) const;
   std::string dump(int indent = 0) const;
+
+  // --- read side (parser output / introspection) ---
+
+  /// Parses a complete JSON document. On error returns nullopt and, when
+  /// `err` is non-null, stores a message with the byte offset.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* err = nullptr);
+
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isBool() const { return type_ == Type::kBool; }
+  bool isNumber() const {
+    return type_ == Type::kUint || type_ == Type::kInt ||
+           type_ == Type::kDouble;
+  }
+  bool isString() const { return type_ == Type::kString; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isObject() const { return type_ == Type::kObject; }
+
+  /// Object lookup by key (first match); nullptr when absent or not an
+  /// object.
+  const Json* find(std::string_view key) const;
+  /// Array element accessor; a shared null value for out-of-range indices
+  /// (and non-arrays) keeps lookup chains abort-free.
+  const Json& at(std::size_t i) const;
+  /// Array length (0 for non-arrays).
+  std::size_t size() const {
+    return type_ == Type::kArray ? elements_.size() : 0;
+  }
+  const std::vector<Json>& items() const { return elements_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Numeric/string/bool readers with defaults (no throwing, no aborts):
+  /// wrong-typed reads return the fallback.
+  std::uint64_t asUint(std::uint64_t fallback = 0) const;
+  std::int64_t asInt(std::int64_t fallback = 0) const;
+  double asDouble(double fallback = 0.0) const;
+  bool asBool(bool fallback = false) const;
+  const std::string& asString() const { return str_; }
 
  private:
   enum class Type : std::uint8_t {

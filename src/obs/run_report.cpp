@@ -16,6 +16,7 @@ struct Collector {
   std::mutex mu;
   std::vector<Json> runs;
   std::unique_ptr<EventTracer> tracer;
+  std::unique_ptr<ForensicsRecorder> forensics;
 };
 
 Collector& collector() {
@@ -30,36 +31,101 @@ ObsOptions& options() {
   return opts;
 }
 
+bool parsePositiveCount(std::string_view s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;  // 19 digits < 2^63
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v == 0) return false;
+  *out = v;
+  return true;
+}
+
+std::string validateWritablePath(const std::string& path) {
+  if (path.empty()) return "empty output path";
+  // Append mode: verifies writability (creating the file if absent)
+  // without clobbering existing content before finalizeObs truncates it.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) return "cannot open '" + path + "' for writing";
+  return {};
+}
+
+namespace {
+
+[[noreturn]] void obsUsageError(const char* flag, const std::string& detail) {
+  std::fprintf(stderr, "obs: invalid %s: %s\n", flag, detail.c_str());
+  std::exit(2);
+}
+
+/// Parses `--flag=V` / `--flag V` forms; returns the value or nullptr.
+const char* flagValue(const char* flag, int argc, char** argv, int* i) {
+  const std::size_t len = std::strlen(flag);
+  const char* arg = argv[*i];
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') return arg + len + 1;
+  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+}  // namespace
+
 int parseObsFlags(int argc, char** argv) {
   ObsOptions& opts = options();
+  struct PathFlag {
+    const char* flag;
+    std::string* target;
+  };
+  struct CountFlag {
+    const char* flag;
+    std::uint64_t* target;
+  };
+  std::uint64_t traceCapacity = opts.traceCapacity;
+  std::uint64_t forensicsWindow = opts.forensicsWindow;
+  std::uint64_t sampleEvery = 0;
+  std::uint64_t sampleCapacity = opts.sampleCapacity;
+  const PathFlag pathFlags[] = {
+      {"--trace", &opts.traceFile},
+      {"--report-json", &opts.reportJsonFile},
+      {"--forensics", &opts.forensicsFile},
+  };
+  const CountFlag countFlags[] = {
+      {"--trace-capacity", &traceCapacity},
+      {"--forensics-window", &forensicsWindow},
+      {"--sample-every", &sampleEvery},
+      {"--sample-capacity", &sampleCapacity},
+  };
+
   int out = 1;
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    std::string* target = nullptr;
-    if (std::strncmp(arg, "--trace=", 8) == 0) {
-      value = arg + 8;
-      target = &opts.traceFile;
-    } else if (std::strcmp(arg, "--trace") == 0 && i + 1 < argc) {
-      value = argv[++i];
-      target = &opts.traceFile;
-    } else if (std::strncmp(arg, "--report-json=", 14) == 0) {
-      value = arg + 14;
-      target = &opts.reportJsonFile;
-    } else if (std::strcmp(arg, "--report-json") == 0 && i + 1 < argc) {
-      value = argv[++i];
-      target = &opts.reportJsonFile;
-    } else if (std::strncmp(arg, "--trace-capacity=", 17) == 0) {
-      const long long cap = std::atoll(arg + 17);
-      if (cap > 0) opts.traceCapacity = static_cast<std::size_t>(cap);
-      continue;
-    } else {
-      argv[out++] = argv[i];
-      continue;
+    bool matched = false;
+    for (const PathFlag& f : pathFlags) {
+      if (const char* value = flagValue(f.flag, argc, argv, &i)) {
+        const std::string err = validateWritablePath(value);
+        if (!err.empty()) obsUsageError(f.flag, err);
+        *f.target = value;
+        matched = true;
+        break;
+      }
     }
-    *target = value;
+    if (matched) continue;
+    for (const CountFlag& f : countFlags) {
+      if (const char* value = flagValue(f.flag, argc, argv, &i)) {
+        if (!parsePositiveCount(value, f.target)) {
+          obsUsageError(f.flag, "'" + std::string(value) +
+                                    "' is not a positive integer");
+        }
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) argv[out++] = argv[i];
   }
   argv[out] = nullptr;
+  opts.traceCapacity = static_cast<std::size_t>(traceCapacity);
+  opts.forensicsWindow = static_cast<std::size_t>(forensicsWindow);
+  opts.sampleEvery = sampleEvery;
+  opts.sampleCapacity = static_cast<std::size_t>(sampleCapacity);
   return out;
 }
 
@@ -71,6 +137,18 @@ EventTracer* activeTracer() {
     c.tracer = std::make_unique<EventTracer>(options().traceCapacity);
   }
   return c.tracer.get();
+}
+
+ForensicsRecorder* activeForensics() {
+  Collector& c = collector();
+  if (options().forensicsFile.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(c.mu);
+  if (!c.forensics) {
+    ForensicsConfig cfg;
+    cfg.windowEvents = options().forensicsWindow;
+    c.forensics = std::make_unique<ForensicsRecorder>(cfg);
+  }
+  return c.forensics.get();
 }
 
 bool reportingActive() { return !options().reportJsonFile.empty(); }
@@ -92,6 +170,7 @@ void resetObs() {
   std::lock_guard<std::mutex> lock(c.mu);
   c.runs.clear();
   c.tracer.reset();
+  c.forensics.reset();
   options() = ObsOptions{};
 }
 
@@ -142,6 +221,22 @@ int finalizeObs() {
       os << "\n";
       std::fprintf(stderr, "obs: wrote run report to %s\n",
                    opts.reportJsonFile.c_str());
+    }
+  }
+
+  if (!opts.forensicsFile.empty()) {
+    std::ofstream os(opts.forensicsFile);
+    ForensicsRecorder* f = activeForensics();
+    if (!os || f == nullptr) {
+      std::fprintf(stderr, "obs: cannot write forensics file %s\n",
+                   opts.forensicsFile.c_str());
+      rc = 1;
+    } else {
+      f->writeTo(os);
+      std::fprintf(stderr,
+                   "obs: wrote %zu forensics bundle(s) to %s (%llu dropped)\n",
+                   f->bundleCount(), opts.forensicsFile.c_str(),
+                   static_cast<unsigned long long>(f->droppedBundles()));
     }
   }
   return rc;

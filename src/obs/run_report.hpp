@@ -1,17 +1,27 @@
 // Machine-readable run reports + shared observability CLI (obs subsystem).
 //
-// Every bench/example binary exposes the same two flags:
+// Every bench/example binary exposes the same observability flags:
 //
-//   --trace=FILE        record an event trace of the run (Chrome
-//                       trace_event JSON; open in chrome://tracing)
-//   --report-json=FILE  write every experiment result as a versioned JSON
-//                       run report (schema "dvmc-run-report", version 1)
+//   --trace=FILE          record an event trace of the run (Chrome
+//                         trace_event JSON; open in chrome://tracing)
+//   --trace-capacity=N    trace ring size in events (default 65536)
+//   --report-json=FILE    write every experiment result as a versioned
+//                         JSON run report ("dvmc-run-report", version 1)
+//   --forensics=FILE      capture a forensics bundle on every checker
+//                         detection ("dvmc-forensics", version 1)
+//   --forensics-window=K  trace events kept around each detection
+//   --sample-every=N      snapshot telemetry counters every N cycles into
+//                         the run report's "series" section
+//   --sample-capacity=M   telemetry ring size in rows (default 4096)
 //
-// parseObsFlags strips them from argv (like parseJobsFlag). While a report
-// file is armed, the system layer records each runSeeds/runOnce result
-// into the process-global collector here; finalizeObs() writes both files
-// at the end of main. The collector is mutex-guarded because bench
-// harnesses launch perturbation runs from a thread pool.
+// parseObsFlags strips them from argv (like parseJobsFlag) and validates
+// them eagerly: a zero or non-numeric count, or an unwritable output
+// path, is a clear error on stderr and exit(2) — not a silent no-op
+// discovered after an hour-long run. While a report file is armed, the
+// system layer records each runSeeds/runOnce result into the
+// process-global collector here; finalizeObs() writes every armed file at
+// the end of main. The collector is mutex-guarded because bench harnesses
+// launch perturbation runs from a thread pool.
 //
 // Report schema (validated by the CI json check):
 //   { "schema": "dvmc-run-report", "version": 1,
@@ -19,7 +29,10 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
+#include "common/types.hpp"
+#include "obs/forensics.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
@@ -32,18 +45,39 @@ inline constexpr const char* kReportSchemaName = "dvmc-run-report";
 struct ObsOptions {
   std::string traceFile;       // empty = tracing off
   std::string reportJsonFile;  // empty = no report
+  std::string forensicsFile;   // empty = no forensics capture
   std::size_t traceCapacity = 1u << 16;
+  std::size_t forensicsWindow = 256;   // last-K events per bundle
+  Cycle sampleEvery = 0;               // 0 = time-series sampling off
+  std::size_t sampleCapacity = 4096;   // telemetry ring rows
 };
 
 ObsOptions& options();
 
-/// Strips --trace[=FILE], --report-json[=FILE] and --trace-capacity=N from
-/// argv and stores them in options(). Returns the new argc.
+/// Strips the observability flags from argv, validates them (exit(2) with
+/// a message on a zero/non-numeric count or an unwritable path), and
+/// stores them in options(). Returns the new argc.
 int parseObsFlags(int argc, char** argv);
+
+/// Strict positive-count parser for flag values: accepts decimal digits
+/// only, rejects empty, non-numeric, zero, and overflowing input.
+/// (Exposed for tests; parseObsFlags uses it for every numeric flag.)
+bool parsePositiveCount(std::string_view s, std::uint64_t* out);
+
+/// Returns an empty string when `path` can be opened for writing (the
+/// probe opens in append mode, so an existing file's content is kept
+/// until finalizeObs truncates it), else a human-readable error.
+std::string validateWritablePath(const std::string& path);
 
 /// The process-global tracer when --trace was given, else nullptr. Feed
 /// this into SystemConfig::tracer (benchConfig does it automatically).
 EventTracer* activeTracer();
+
+/// The process-global forensics recorder when --forensics was given, else
+/// nullptr. Feed this into SystemConfig::forensics (benchConfig does it
+/// automatically). Thread-safe: unlike the tracer, every perturbation
+/// seed may share it.
+ForensicsRecorder* activeForensics();
 
 /// True while a --report-json file is armed; the system layer uses this to
 /// skip report serialization entirely on untracked runs.
@@ -56,11 +90,12 @@ void addReportRun(Json run);
 /// Number of collected report entries (tests).
 std::size_t reportRunCount();
 
-/// Drops all collected entries and disarms both files (tests).
+/// Drops all collected entries and disarms every file (tests).
 void resetObs();
 
-/// Writes the armed trace and report files. Returns 0 on success, 1 if a
-/// file could not be written. Call once at the end of main.
+/// Writes the armed trace, report, and forensics files. Returns 0 on
+/// success, 1 if a file could not be written. Call once at the end of
+/// main.
 int finalizeObs();
 
 /// Builds the versioned report envelope around `runs` (exposed for tests).

@@ -1,0 +1,70 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+const std::vector<std::string>& defaultSampleColumns() {
+  static const std::vector<std::string> kColumns = {
+      "net.totalBytes",        // interconnect load (Fig. 7 family)
+      "net.informBytes",       // DVCC Inform-Epoch traffic
+      "net.ckptBytes",         // SafetyNet logging/coordination traffic
+      "cpu.retired",           // forward progress
+      "l1.hit",                // locality proxy
+      "cet.accessChecks",      // rule-1 checker work
+      "cet.openEpochs",        // cache-side epoch occupancy (gauge)
+      "met.informsProcessed",  // memory-side checker throughput
+      "met.entries",           // MET occupancy (gauge)
+      "ber.checkpoints",       // SafetyNet progress
+  };
+  return kColumns;
+}
+
+TimeSeries::TimeSeries(std::vector<std::string> columns, std::size_t capacity)
+    : columns_(std::move(columns)),
+      capacity_(std::max<std::size_t>(capacity, 1)),
+      cycles_(capacity_, 0),
+      rows_(capacity_ * columns_.size(), 0) {}
+
+void TimeSeries::sample(Cycle now, const std::vector<std::uint64_t>& row) {
+  DVMC_ASSERT(row.size() == columns_.size(), "sample row width mismatch");
+  std::size_t slot;
+  if (count_ < capacity_) {
+    slot = (head_ + count_) % capacity_;
+    ++count_;
+  } else {
+    slot = head_;  // overwrite the oldest row
+    head_ = (head_ + 1) % capacity_;
+  }
+  cycles_[slot] = now;
+  std::copy(row.begin(), row.end(), rows_.begin() + slot * columns_.size());
+  ++recorded_;
+}
+
+void TimeSeries::clear() {
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+Json TimeSeries::toJson() const {
+  Json columns = Json::array();
+  for (const std::string& c : columns_) columns.push(Json::str(c));
+  Json samples = Json::array();
+  for (std::size_t i = 0; i < count_; ++i) {
+    Json row = Json::array();
+    row.push(Json::num(cycleAt(i)));
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      row.push(Json::num(valueAt(i, c)));
+    }
+    samples.push(std::move(row));
+  }
+  return Json::object()
+      .set("columns", std::move(columns))
+      .set("samples", std::move(samples))
+      .set("dropped", Json::num(dropped()));
+}
+
+}  // namespace dvmc

@@ -1,0 +1,69 @@
+// Time-series telemetry (observability subsystem).
+//
+// End-of-run aggregates hide everything transient: a bandwidth spike, an
+// epoch-rate collapse, a checker queue filling up right before a
+// detection. The interval sampler snapshots a fixed set of counters and
+// gauges every N cycles into a bounded ring of rows; the ring rides along
+// in the RunResult and is exported inside the --report-json run report
+// (and queried with `dvmc-inspect series --metric=NAME`).
+//
+// Rows are plain uint64 vectors over a column list fixed at start — no
+// maps or string hashing per sample — and when the ring fills the oldest
+// rows are overwritten (like the event tracer, the tail of a run is what
+// detection analyses need); the dropped count keeps truncation visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/json.hpp"
+
+namespace dvmc {
+
+/// Default sampled metrics: interconnect load, epoch/checker activity, and
+/// SafetyNet progress — the signals the paper's Figures 3-9 aggregate.
+/// Names must match the MetricSnapshot keys System::metricsSnapshot emits.
+const std::vector<std::string>& defaultSampleColumns();
+
+class TimeSeries {
+ public:
+  TimeSeries(std::vector<std::string> columns, std::size_t capacity);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return count_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - count_; }
+
+  /// Appends one row; `row` must have columns().size() entries.
+  void sample(Cycle now, const std::vector<std::uint64_t>& row);
+
+  /// Oldest-first access.
+  Cycle cycleAt(std::size_t i) const { return cycles_[index(i)]; }
+  std::uint64_t valueAt(std::size_t i, std::size_t col) const {
+    return rows_[index(i) * columns_.size() + col];
+  }
+
+  void clear();
+
+  /// {"columns": [...], "samples": [[cycle, v0, v1, ...], ...],
+  ///  "dropped": N} — samples oldest-first, each row led by its cycle.
+  Json toJson() const;
+
+ private:
+  std::size_t index(std::size_t i) const {
+    return (head_ + i) % capacity_;
+  }
+
+  std::vector<std::string> columns_;
+  std::size_t capacity_;
+  std::vector<Cycle> cycles_;          // ring, capacity_ entries
+  std::vector<std::uint64_t> rows_;    // ring, capacity_ * columns rows
+  std::size_t head_ = 0;               // oldest live row
+  std::size_t count_ = 0;              // live rows
+  std::uint64_t recorded_ = 0;         // total ever recorded
+};
+
+}  // namespace dvmc

@@ -14,7 +14,9 @@
 #include "dvmc/dvmc_config.hpp"
 #include "net/broadcast_tree.hpp"
 #include "net/torus.hpp"
+#include "obs/forensics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "workload/params.hpp"
 
@@ -77,6 +79,21 @@ struct SystemConfig {
   /// single-threaded: runSeeds hands it to the first seed's run only.
   EventTracer* tracer = nullptr;
 
+  /// Forensics recorder (non-owning; nullptr = forensics off). When set,
+  /// every ErrorSink detection captures a bundle: the last-K trace window
+  /// around the detection, the firing checker's state dump, the violating
+  /// address's cache-line state at every node, and the SafetyNet checkpoint
+  /// epoch. If no tracer is configured, the System creates a private one
+  /// sized to the recorder's window so the event context is still there.
+  /// The recorder is mutex-guarded, so runSeeds shares it across all seeds.
+  ForensicsRecorder* forensics = nullptr;
+
+  /// Time-series sampling: every `sampleEvery` cycles (0 = off) a row of
+  /// the default counter columns is appended to a bounded ring carried in
+  /// RunResult::series (and serialized into the run report).
+  Cycle sampleEvery = 0;
+  std::size_t sampleCapacity = 4096;
+
   /// Global stop target: total transactions across all processors (barnes:
   /// phases per processor, run to completion).
   std::uint64_t targetTransactions = 400;
@@ -130,6 +147,11 @@ struct RunResult {
   /// Aggregated (cross-node) component metrics at end of run — the typed
   /// registry's snapshot, merged deterministically by runSeeds.
   MetricSnapshot metrics;
+
+  /// Interval samples (null unless SystemConfig::sampleEvery > 0). Shared
+  /// so RunResult copies stay cheap; the series is immutable once the run
+  /// finishes.
+  std::shared_ptr<const TimeSeries> series;
 };
 
 }  // namespace dvmc

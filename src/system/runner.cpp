@@ -34,6 +34,9 @@ Json snapshotJson(const MetricSnapshot& m) {
                          .set("count", Json::num(h.count()))
                          .set("sum", Json::num(h.sum()))
                          .set("max", Json::num(h.maxValue()))
+                         .set("p50", Json::num(h.p50()))
+                         .set("p90", Json::num(h.p90()))
+                         .set("p99", Json::num(h.p99()))
                          .set("buckets", std::move(buckets)));
   }
   return Json::object()
@@ -53,7 +56,7 @@ void recordReport(const char* kind, const SystemConfig& cfg, Json result) {
 }  // namespace
 
 Json toJson(const RunResult& r) {
-  return Json::object()
+  Json j = Json::object()
       .set("completed", Json::boolean(r.completed))
       .set("cycles", Json::num(r.cycles))
       .set("transactions", Json::num(r.transactions))
@@ -73,6 +76,8 @@ Json toJson(const RunResult& r) {
       .set("squashes", Json::num(r.squashes))
       .set("uoFlushes", Json::num(r.uoFlushes))
       .set("metrics", snapshotJson(r.metrics));
+  if (r.series) j.set("series", r.series->toJson());
+  return j;
 }
 
 Json toJson(const MultiRunResult& r) {
@@ -215,6 +220,11 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
     Json merged = toJson(out);
     merged.set("seedBase", Json::num(seedBase));
     merged.set("seedCount", Json::num(static_cast<std::int64_t>(seedCount)));
+    // Interval samples are a per-run signal, not a mergeable statistic:
+    // the report carries the first seed's series (the traced run).
+    if (!results.empty() && results[0].series) {
+      merged.set("series", results[0].series->toJson());
+    }
     recordReport("runSeeds", cfg, std::move(merged));
   }
   return out;

@@ -108,11 +108,33 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
   // when tracing is off), and mirror checker detections into the trace
   // through the sink's observer API.
   sim_.setTracer(cfg_.tracer);
-  if (cfg_.tracer != nullptr) {
+  if (cfg_.forensics != nullptr && sim_.tracer() == nullptr) {
+    // Forensics needs the last-K event window even when no --trace tracer
+    // was configured: arm a private one sized to the recorder's window.
+    ownedTracer_ =
+        std::make_unique<EventTracer>(cfg_.forensics->config().windowEvents);
+    sim_.setTracer(ownedTracer_.get());
+  }
+  if (sim_.tracer() != nullptr) {
     sink_.addObserver([this](const Detection& d) {
       if (auto* t = sim_.tracer()) {
         t->instant(d.cycle, TraceKind::kDetection, checkerKindName(d.kind),
                    d.node, d.addr, 0);
+      }
+    });
+  }
+  if (cfg_.forensics != nullptr) {
+    // Registered after the trace mirror so the detection instant itself is
+    // part of the captured window. Building a bundle only reads component
+    // state (no report() re-entry); skip the work once the recorder is
+    // full — a fault burst raises many downstream detections and only the
+    // first few bundles carry diagnostic value.
+    sink_.addObserver([this](const Detection& d) {
+      if (cfg_.forensics->bundleCount() <
+          cfg_.forensics->config().maxBundles) {
+        cfg_.forensics->addBundle(buildForensicsBundle(d));
+      } else {
+        cfg_.forensics->addBundle(Json::object());  // counted, then dropped
       }
     });
   }
@@ -266,6 +288,11 @@ RunResult System::runUntil(const std::function<bool()>& extraPred) {
     for (Node& n : nodes_) n.core->start();
     if (ber_) ber_->start();
     if (cfg_.autoRecover && ber_) armAutoRecovery();
+    if (cfg_.sampleEvery > 0) {
+      series_ = std::make_shared<TimeSeries>(defaultSampleColumns(),
+                                             cfg_.sampleCapacity);
+      scheduleSampleTick();
+    }
   }
   const WorkloadParams p = cfg_.workloadOverride
                                ? *cfg_.workloadOverride
@@ -310,7 +337,135 @@ RunResult System::collectResult(bool completed, Cycle cycles) const {
     }
   }
   r.metrics = metricsSnapshot();
+  r.series = series_;
   return r;
+}
+
+void System::scheduleSampleTick() {
+  sim_.schedule(cfg_.sampleEvery, [this] {
+    const MetricSnapshot snap = metricsSnapshot();
+    std::vector<std::uint64_t> row;
+    row.reserve(series_->columns().size());
+    for (const std::string& c : series_->columns()) row.push_back(snap.value(c));
+    series_->sample(sim_.now(), row);
+    scheduleSampleTick();
+  });
+}
+
+Json System::buildForensicsBundle(const Detection& d) {
+  Json b = Json::object();
+  b.set("seed", Json::num(cfg_.seed));
+
+  Json det = Json::object();
+  det.set("checker", Json::str(checkerKindName(d.kind)))
+      .set("cycle", Json::num(d.cycle))
+      .set("node", Json::num(std::uint64_t{d.node}))
+      .set("addr", Json::num(d.addr))
+      .set("what", Json::str(d.what));
+  b.set("detection", std::move(det));
+
+  // Last-K event window leading up to the detection, plus the violating
+  // address's slice of it (its recent operation history).
+  if (const EventTracer* t = sim_.tracer()) {
+    const Addr blk = blockAddr(d.addr);
+    Json window = Json::array();
+    Json history = Json::array();
+    for (std::size_t i = 0; i < t->size(); ++i) {
+      const TraceEvent& e = t->at(i);
+      Json ev = Json::object();
+      ev.set("ts", Json::num(e.ts));
+      if (e.dur != 0) ev.set("dur", Json::num(e.dur));
+      ev.set("kind", Json::str(traceKindName(e.kind)))
+          .set("name", Json::str(e.name))
+          .set("node", Json::num(std::uint64_t{e.node}))
+          .set("addr", Json::num(e.addr));
+      if (e.arg != 0) ev.set("arg", Json::num(e.arg));
+      if (e.addr != 0 && blockAddr(e.addr) == blk) history.push(ev);
+      window.push(std::move(ev));
+    }
+    Json tw = Json::object();
+    tw.set("droppedEvents", Json::num(t->dropped()))
+        .set("events", std::move(window));
+    b.set("traceWindow", std::move(tw));
+    b.set("addrHistory", std::move(history));
+  }
+
+  // The firing node's checker state; the MET/home-side row lives at the
+  // violating address's home node, which need not be the detecting one.
+  Json checkers = Json::object();
+  if (d.node < nodes_.size()) {
+    const Node& fn = nodes_[d.node];
+    if (fn.vc) {
+      Json j = Json::object();
+      fn.vc->dumpForensics(j, d.addr);
+      checkers.set("verificationCache", std::move(j));
+    }
+    if (fn.ar) {
+      Json j = Json::object();
+      fn.ar->dumpForensics(j);
+      checkers.set("reorderChecker", std::move(j));
+    }
+    if (fn.cet) {
+      Json j = Json::object();
+      fn.cet->dumpForensics(j, d.addr);
+      checkers.set("cacheEpochTable", std::move(j));
+    }
+    if (fn.shadowCache) {
+      Json j = Json::object();
+      fn.shadowCache->dumpForensics(j, d.addr);
+      checkers.set("shadowCache", std::move(j));
+    }
+  }
+  const NodeId home = map_.homeOf(d.addr);
+  if (home < nodes_.size()) {
+    const Node& hn = nodes_[home];
+    if (hn.met) {
+      Json j = Json::object();
+      j.set("homeNode", Json::num(std::uint64_t{home}));
+      hn.met->dumpForensics(j, d.addr);
+      checkers.set("memoryEpochTable", std::move(j));
+    }
+    if (hn.shadowHome) {
+      Json j = Json::object();
+      j.set("homeNode", Json::num(std::uint64_t{home}));
+      hn.shadowHome->dumpForensics(j, d.addr);
+      checkers.set("shadowHome", std::move(j));
+    }
+  }
+  b.set("checkers", std::move(checkers));
+
+  // The violating block's cache-line state at every node (L1 and L2):
+  // which caches hold it, in what MOSI state, with what data hash.
+  Json caches = Json::array();
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    Node& nd = nodes_[n];
+    Json entry = Json::object();
+    entry.set("node", Json::num(std::uint64_t{n}));
+    Json l1 = Json::object();
+    nd.hierarchy->l1().dumpForensics(l1, d.addr);
+    entry.set("l1", std::move(l1));
+    Json l2 = Json::object();
+    if (nd.dirCache != nullptr) {
+      nd.dirCache->array().dumpForensics(l2, d.addr);
+    } else if (nd.snpCache != nullptr) {
+      nd.snpCache->array().dumpForensics(l2, d.addr);
+    }
+    entry.set("l2", std::move(l2));
+    caches.push(std::move(entry));
+  }
+  b.set("cacheLines", std::move(caches));
+
+  // The recovery options available at detection time.
+  if (ber_) {
+    Json sn = Json::object();
+    sn.set("checkpoints",
+           Json::num(static_cast<std::uint64_t>(ber_->checkpointCount())))
+        .set("oldestCheckpoint", Json::num(ber_->oldestCheckpoint()))
+        .set("newestCheckpoint", Json::num(ber_->newestCheckpoint()))
+        .set("recoveryWindow", Json::num(ber_->recoveryWindow()));
+    b.set("safetyNet", std::move(sn));
+  }
+  return b;
 }
 
 MetricSnapshot System::metricsSnapshot(bool perNode) const {

@@ -118,6 +118,8 @@ class System {
   void buildNode(NodeId n);
   std::unique_ptr<ThreadProgram> makeProgram(NodeId n) const;
   void sendCheckpointTraffic();
+  Json buildForensicsBundle(const Detection& d);
+  void scheduleSampleTick();
 
   SystemConfig cfg_;
   Simulator sim_;
@@ -127,6 +129,11 @@ class System {
   MetricSet ckptMsgStats_;
   Counter cCkptMsgsReceived_ = ckptMsgStats_.counter("ber.msgsReceived");
   MemoryMap map_;
+  // Private tracer backing the forensics last-K window when the run has no
+  // --trace tracer of its own (sized to the recorder's window).
+  std::unique_ptr<EventTracer> ownedTracer_;
+  // Interval sampler output (null unless cfg_.sampleEvery > 0).
+  std::shared_ptr<TimeSeries> series_;
   std::unique_ptr<TorusNetwork> torus_;
   std::unique_ptr<BroadcastTree> tree_;
   std::vector<Node> nodes_;

@@ -225,20 +225,6 @@ TEST(RunningStat, SingleSample) {
   EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
-// The deprecated shim keeps working until out-of-tree users migrate.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(StatSet, CountersAccumulate) {
-  StatSet s;
-  s.inc("a");
-  s.inc("a", 4);
-  s.inc("b");
-  EXPECT_EQ(s.get("a"), 5u);
-  EXPECT_EQ(s.get("b"), 1u);
-  EXPECT_EQ(s.get("missing"), 0u);
-}
-#pragma GCC diagnostic pop
-
 TEST(LatencyHistogram, BucketsAndMean) {
   LatencyHistogram h;
   h.add(1);
@@ -248,6 +234,56 @@ TEST(LatencyHistogram, BucketsAndMean) {
   EXPECT_EQ(h.maxValue(), 1000u);
   EXPECT_NEAR(h.mean(), (1 + 2 + 1000) / 3.0, 0.01);
   EXPECT_FALSE(h.toString().empty());
+}
+
+TEST(LatencyHistogram, PercentilesOnKnownDistribution) {
+  // 100 samples of 1 (bucket <=1), 100 of 3 (bucket <=4): p50 falls exactly
+  // on the last sample of the first bucket, everything above is in <=4.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(1);
+  for (int i = 0; i < 100; ++i) h.add(3);
+  EXPECT_EQ(h.percentile(0.50), 1u);
+  EXPECT_EQ(h.percentile(0.51), 4u);
+  EXPECT_EQ(h.p90(), 4u);
+  EXPECT_EQ(h.p99(), 4u);
+  EXPECT_EQ(h.percentile(1.0), 4u);
+  EXPECT_EQ(h.percentile(0.0), 1u);  // clamped: first sample's bucket
+}
+
+TEST(LatencyHistogram, PercentilesSpanBuckets) {
+  // 90 fast samples (<=16), 9 medium (<=128), 1 slow (<=1024): the classic
+  // long-tail shape that p50/p90/p99 are meant to separate.
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(16);
+  for (int i = 0; i < 9; ++i) h.add(100);
+  h.add(1000);
+  EXPECT_EQ(h.p50(), 16u);
+  EXPECT_EQ(h.p90(), 16u);   // rank 90 is the last fast sample
+  EXPECT_EQ(h.percentile(0.91), 128u);
+  EXPECT_EQ(h.p99(), 128u);
+  EXPECT_EQ(h.percentile(1.0), 1024u);
+}
+
+TEST(LatencyHistogram, PercentileEmptyAndSingle) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.p50(), 0u);
+  EXPECT_EQ(empty.p99(), 0u);
+  LatencyHistogram one;
+  one.add(5);  // lands in the <=8 bucket
+  EXPECT_EQ(one.p50(), 8u);
+  EXPECT_EQ(one.p99(), 8u);
+  LatencyHistogram zero;
+  zero.add(0);  // value 0 lands in the <=1 bucket
+  EXPECT_EQ(zero.p50(), 1u);
+}
+
+TEST(LatencyHistogram, PercentileSurvivesMerge) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 50; ++i) a.add(2);
+  for (int i = 0; i < 50; ++i) b.add(200);
+  a.merge(b);
+  EXPECT_EQ(a.p50(), 2u);
+  EXPECT_EQ(a.p99(), 256u);
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// Forensics flight-recorder tests: recorder bounds and envelope schema,
+// the end-to-end capture path (injected coherence fault -> detection ->
+// bundle), and the JSON shape dvmc_inspect consumes — checker dumps with
+// epoch rows, the per-node cache-line states, the trace window, and the
+// SafetyNet checkpoint epoch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "faults/injector.hpp"
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
+#include "obs/timeseries.hpp"
+#include "system/system.hpp"
+
+namespace dvmc {
+namespace {
+
+// --- recorder bounds ------------------------------------------------------
+
+TEST(ForensicsRecorder, KeepsFirstBundlesCountsRest) {
+  ForensicsRecorder rec({/*windowEvents=*/16, /*maxBundles=*/2});
+  for (int i = 0; i < 5; ++i) {
+    Json b = Json::object();
+    b.set("i", Json::num(static_cast<std::uint64_t>(i)));
+    rec.addBundle(std::move(b));
+  }
+  EXPECT_EQ(rec.bundleCount(), 2u);
+  EXPECT_EQ(rec.droppedBundles(), 3u);
+
+  const Json env = rec.toJson();
+  EXPECT_EQ(env.find("schema")->asString(), kForensicsSchemaName);
+  EXPECT_EQ(env.find("version")->asUint(),
+            static_cast<std::uint64_t>(kForensicsSchemaVersion));
+  EXPECT_EQ(env.find("droppedBundles")->asUint(), 3u);
+  ASSERT_EQ(env.find("bundles")->size(), 2u);
+  // The kept bundles are the first two, in detection order.
+  EXPECT_EQ(env.find("bundles")->at(0).find("i")->asUint(), 0u);
+  EXPECT_EQ(env.find("bundles")->at(1).find("i")->asUint(), 1u);
+}
+
+TEST(ForensicsRecorder, SerializedEnvelopeParsesBack) {
+  ForensicsRecorder rec;
+  rec.addBundle(Json::object().set("x", Json::num(std::uint64_t{7})));
+  std::ostringstream os;
+  rec.writeTo(os);
+  std::string err;
+  std::optional<Json> parsed = Json::parse(os.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find("schema")->asString(), kForensicsSchemaName);
+  EXPECT_EQ(parsed->find("bundles")->at(0).find("x")->asUint(), 7u);
+}
+
+// --- end-to-end capture ---------------------------------------------------
+
+/// Runs a DVMC-protected system, injects coherence-state faults until a
+/// checker fires, and returns the recorder's serialized+reparsed envelope.
+Json captureBundle(ForensicsRecorder& rec, Protocol protocol) {
+  SystemConfig cfg = SystemConfig::withDvmc(protocol, ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 1'000'000;  // effectively unbounded
+  cfg.maxCycles = 20'000'000;
+  cfg.ber.interval = 20'000;
+  cfg.forensics = &rec;  // no cfg.tracer: the System must arm its own
+  System sys(cfg);
+  FaultInjector inj(sys, 0xF0F0);
+
+  sys.runUntil([&] { return sys.sim().now() >= 30'000; });
+  EXPECT_EQ(sys.sink().count(), 0u);
+  for (int attempt = 0; attempt < 50 && !sys.sink().any(); ++attempt) {
+    inj.inject(FaultType::kCacheStateFlip);
+    sys.runUntil([&, until = sys.sim().now() + 100'000] {
+      return sys.sink().any() || sys.sim().now() >= until;
+    });
+  }
+  EXPECT_TRUE(sys.sink().any()) << "cache-state flips never manifested";
+
+  std::ostringstream os;
+  rec.writeTo(os);
+  std::string err;
+  std::optional<Json> parsed = Json::parse(os.str(), &err);
+  EXPECT_TRUE(parsed.has_value()) << err;
+  return parsed ? *parsed : Json();
+}
+
+TEST(ForensicsCapture, InjectedCoherenceFaultProducesParseableBundle) {
+  ForensicsRecorder rec;
+  const Json env = captureBundle(rec, Protocol::kDirectory);
+  ASSERT_GE(rec.bundleCount(), 1u);
+
+  const Json* bundles = env.find("bundles");
+  ASSERT_NE(bundles, nullptr);
+  ASSERT_GE(bundles->size(), 1u);
+  const Json& b = bundles->at(0);
+
+  // The detection block names the firing checker and violating address.
+  const Json* det = b.find("detection");
+  ASSERT_NE(det, nullptr);
+  EXPECT_FALSE(det->find("checker")->asString().empty());
+  EXPECT_NE(det->find("addr"), nullptr);
+  EXPECT_FALSE(det->find("what")->asString().empty());
+  EXPECT_GT(det->find("cycle")->asUint(), 0u);
+
+  // The checker state dump carries the CET/MET epoch rows for the address.
+  const Json* checkers = b.find("checkers");
+  ASSERT_NE(checkers, nullptr);
+  const Json* cet = checkers->find("cacheEpochTable");
+  ASSERT_NE(cet, nullptr);
+  EXPECT_NE(cet->find("openEpochs"), nullptr);
+  const Json* met = checkers->find("memoryEpochTable");
+  ASSERT_NE(met, nullptr);
+  EXPECT_NE(met->find("metEntries"), nullptr);
+  if (const Json* row = met->find("focusEpochRow")) {
+    EXPECT_NE(row->find("lastRWEnd"), nullptr);
+    EXPECT_NE(row->find("lastRWEndHash"), nullptr);
+  }
+  // UO and AR checkers were enabled, so their dumps ride along.
+  EXPECT_NE(checkers->find("verificationCache"), nullptr);
+  EXPECT_NE(checkers->find("reorderChecker"), nullptr);
+
+  // Cache-line state at every node, L1 and L2.
+  const Json* caches = b.find("cacheLines");
+  ASSERT_NE(caches, nullptr);
+  ASSERT_EQ(caches->size(), 4u);
+  for (std::size_t n = 0; n < caches->size(); ++n) {
+    EXPECT_NE(caches->at(n).find("l1"), nullptr);
+    EXPECT_NE(caches->at(n).find("l2"), nullptr);
+  }
+
+  // The last-K window came from the internally-armed tracer, and the
+  // detection instant itself is part of it.
+  const Json* tw = b.find("traceWindow");
+  ASSERT_NE(tw, nullptr);
+  const Json* events = tw->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  bool sawDetection = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    if (events->at(i).find("kind")->asString() == "detection") {
+      sawDetection = true;
+    }
+  }
+  EXPECT_TRUE(sawDetection);
+
+  // SafetyNet checkpoint epoch: recovery was possible at detection time.
+  const Json* sn = b.find("safetyNet");
+  ASSERT_NE(sn, nullptr);
+  EXPECT_GT(sn->find("checkpoints")->asUint(), 0u);
+  EXPECT_GT(sn->find("recoveryWindow")->asUint(), 0u);
+}
+
+TEST(ForensicsCapture, SnoopingProtocolCapturesToo) {
+  ForensicsRecorder rec;
+  const Json env = captureBundle(rec, Protocol::kSnooping);
+  const Json* bundles = env.find("bundles");
+  ASSERT_NE(bundles, nullptr);
+  ASSERT_GE(bundles->size(), 1u);
+  EXPECT_FALSE(
+      bundles->at(0).find("detection")->find("checker")->asString().empty());
+}
+
+// --- interval sampler -----------------------------------------------------
+
+TEST(TimeSeriesSampling, RunResultCarriesSampledSeries) {
+  SystemConfig cfg =
+      SystemConfig::withDvmc(Protocol::kDirectory, ConsistencyModel::kTSO);
+  cfg.numNodes = 2;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 50;
+  cfg.maxCycles = 5'000'000;
+  cfg.sampleEvery = 1'000;
+  cfg.sampleCapacity = 64;
+  System sys(cfg);
+  const RunResult r = sys.run();
+
+  ASSERT_NE(r.series, nullptr);
+  EXPECT_EQ(r.series->columns(), defaultSampleColumns());
+  ASSERT_GT(r.series->size(), 1u);
+  // Cycles ascend in sample steps; counters are monotone non-decreasing.
+  const std::size_t last = r.series->size() - 1;
+  EXPECT_GT(r.series->cycleAt(last), r.series->cycleAt(0));
+  for (std::size_t c = 0; c < r.series->columns().size(); ++c) {
+    EXPECT_GE(r.series->valueAt(last, c), r.series->valueAt(0, c))
+        << r.series->columns()[c];
+  }
+  // The ring bound held.
+  EXPECT_LE(r.series->size(), 64u);
+
+  // The serialized series round-trips through the JSON parser.
+  const Json j = r.series->toJson();
+  std::string err;
+  std::optional<Json> parsed = Json::parse(j.dump(2), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find("columns")->size(), r.series->columns().size());
+  EXPECT_EQ(parsed->find("samples")->size(), r.series->size());
+}
+
+TEST(TimeSeriesSampling, OffByDefault) {
+  SystemConfig cfg =
+      SystemConfig::unprotected(Protocol::kDirectory, ConsistencyModel::kTSO);
+  cfg.numNodes = 2;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 20;
+  System sys(cfg);
+  EXPECT_EQ(sys.run().series, nullptr);
+}
+
+}  // namespace
+}  // namespace dvmc

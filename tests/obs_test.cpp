@@ -4,12 +4,17 @@
 // through a real System run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <optional>
 #include <sstream>
 #include <vector>
 
+#include "obs/forensics.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
@@ -203,6 +208,68 @@ TEST(Json, BuilderShapesAndEscaping) {
             "\"d\":0.5,\"b\":true,\"a\":[1,null]}");
 }
 
+TEST(Json, ParserRoundTripsWriterOutput) {
+  Json o = Json::object();
+  o.set("s", Json::str("a\"b\\c\n"));
+  o.set("u", Json::num(std::uint64_t{18446744073709551615ull}));
+  o.set("i", Json::num(std::int64_t{-42}));
+  o.set("d", Json::num(0.5));
+  o.set("b", Json::boolean(true));
+  o.set("n", Json());
+  Json arr = Json::array();
+  arr.push(Json::num(1));
+  arr.push(Json::object().set("k", Json::str("v")));
+  o.set("a", std::move(arr));
+
+  std::string err;
+  std::optional<Json> back = Json::parse(o.dump(2), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  // Re-dumping the parsed value reproduces the original byte-for-byte:
+  // order, number formatting, and escapes all survive.
+  EXPECT_EQ(back->dump(), o.dump());
+  EXPECT_EQ(back->find("s")->asString(), "a\"b\\c\n");
+  EXPECT_EQ(back->find("u")->asUint(), 18446744073709551615ull);
+  EXPECT_EQ(back->find("i")->asInt(), -42);
+  EXPECT_EQ(back->find("d")->asDouble(), 0.5);
+  EXPECT_TRUE(back->find("b")->asBool());
+  EXPECT_TRUE(back->find("n")->isNull());
+  EXPECT_EQ(back->find("a")->at(1).find("k")->asString(), "v");
+}
+
+TEST(Json, ParserAcceptsStandardJson) {
+  std::optional<Json> j = Json::parse(
+      " { \"x\" : [ 1 , 2.5e2 , \"\\u0041\\t\" , false ] } ");
+  ASSERT_TRUE(j.has_value());
+  const Json* x = j->find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->at(0).asUint(), 1u);
+  EXPECT_EQ(x->at(1).asDouble(), 250.0);
+  EXPECT_EQ(x->at(2).asString(), "A\t");
+  EXPECT_FALSE(x->at(3).asBool(true));
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("", &err).has_value());
+  EXPECT_FALSE(Json::parse("{", &err).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1,}", &err).has_value());
+  EXPECT_FALSE(Json::parse("[1 2]", &err).has_value());
+  EXPECT_FALSE(Json::parse("nul", &err).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", &err).has_value());
+  // Trailing garbage after a complete document is an error, with offset.
+  EXPECT_FALSE(Json::parse("{} x", &err).has_value());
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(Json, SafeAccessorsNeverAbort) {
+  const Json j = Json::object();
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_TRUE(j.at(99).isNull());   // out-of-range -> shared null
+  EXPECT_EQ(j.at(99).asUint(7), 7u);
+  EXPECT_EQ(Json::str("abc").asUint(3), 3u);  // wrong type -> fallback
+  EXPECT_EQ(Json().size(), 0u);
+}
+
 TEST(RunReport, EnvelopeCarriesSchemaAndVersion) {
   Json runs = Json::array();
   runs.push(Json::object().set("kind", Json::str("test")));
@@ -246,6 +313,98 @@ TEST(RunReport, ParseObsFlagsStripsAndStores) {
   EXPECT_NE(obs::activeTracer(), nullptr);
   obs::resetObs();
   EXPECT_FALSE(obs::reportingActive());
+}
+
+TEST(RunReport, ParseObsFlagsStoresForensicsAndSampling) {
+  obs::resetObs();
+  const char* raw[] = {"prog",
+                       "--forensics=/tmp/f.json",
+                       "--forensics-window=32",
+                       "--sample-every=500",
+                       "--sample-capacity=16",
+                       nullptr};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = obs::parseObsFlags(5, argv.data());
+  EXPECT_EQ(argc, 1);
+  EXPECT_EQ(obs::options().forensicsFile, "/tmp/f.json");
+  EXPECT_EQ(obs::options().forensicsWindow, 32u);
+  EXPECT_EQ(obs::options().sampleEvery, 500u);
+  EXPECT_EQ(obs::options().sampleCapacity, 16u);
+  ForensicsRecorder* rec = obs::activeForensics();
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->config().windowEvents, 32u);
+  obs::resetObs();
+  EXPECT_EQ(obs::options().forensicsFile, "");
+}
+
+TEST(RunReport, ParsePositiveCountRejectsBadInput) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(obs::parsePositiveCount("1", &v));
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(obs::parsePositiveCount("65536", &v));
+  EXPECT_EQ(v, 65536u);
+  EXPECT_FALSE(obs::parsePositiveCount("0", &v));      // zero capacity
+  EXPECT_FALSE(obs::parsePositiveCount("", &v));       // empty
+  EXPECT_FALSE(obs::parsePositiveCount("12x", &v));    // non-numeric tail
+  EXPECT_FALSE(obs::parsePositiveCount("-5", &v));     // sign
+  EXPECT_FALSE(obs::parsePositiveCount("1e4", &v));    // not plain decimal
+  EXPECT_FALSE(obs::parsePositiveCount("99999999999999999999", &v));  // 2^64+
+}
+
+TEST(RunReport, ValidateWritablePathReportsUnwritable) {
+  EXPECT_EQ(obs::validateWritablePath("/tmp/dvmc_obs_path_probe.json"), "");
+  const std::string err =
+      obs::validateWritablePath("/nonexistent-dir/x/y/z.json");
+  EXPECT_NE(err, "");
+  EXPECT_NE(err.find("/nonexistent-dir/x/y/z.json"), std::string::npos);
+  std::remove("/tmp/dvmc_obs_path_probe.json");
+}
+
+// --- time-series ring -----------------------------------------------------
+
+TEST(TimeSeries, RingKeepsNewestRows) {
+  TimeSeries ts({"a", "b"}, /*capacity=*/3);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ts.sample(i * 100, {i, i * 10});
+  }
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.recorded(), 5u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  // Oldest-first access sees rows 3, 4, 5.
+  EXPECT_EQ(ts.cycleAt(0), 300u);
+  EXPECT_EQ(ts.cycleAt(2), 500u);
+  EXPECT_EQ(ts.valueAt(0, 0), 3u);
+  EXPECT_EQ(ts.valueAt(2, 1), 50u);
+
+  const std::string j = ts.toJson().dump();
+  EXPECT_NE(j.find("\"columns\":[\"a\",\"b\"]"), std::string::npos);
+  EXPECT_NE(j.find("[300,3,30]"), std::string::npos);
+  EXPECT_NE(j.find("\"dropped\":2"), std::string::npos);
+}
+
+TEST(TimeSeries, DefaultColumnsAreStable) {
+  const std::vector<std::string>& cols = defaultSampleColumns();
+  EXPECT_GE(cols.size(), 5u);
+  // The report schema and dvmc_inspect lean on these names.
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "net.totalBytes"),
+            cols.end());
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "cpu.retired"), cols.end());
+}
+
+// --- histogram percentiles in reports -------------------------------------
+
+TEST(RunReport, HistogramSerializationIncludesPercentiles) {
+  RunResult r;
+  MetricSet s;
+  Histogram h = s.histogram("lat");
+  for (int i = 0; i < 99; ++i) h.add(4);
+  h.add(1000);
+  s.snapshotInto(r.metrics);
+  const std::string j = toJson(r).dump();
+  EXPECT_NE(j.find("\"p50\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"p90\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"p99\":4"), std::string::npos);
 }
 
 // --- end-to-end wiring through a System run -------------------------------

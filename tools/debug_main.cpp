@@ -29,6 +29,9 @@ int main(int argc, char** argv) {
   cfg.targetTransactions = 60;
   cfg.maxCycles = 30'000'000;
   cfg.tracer = obs::activeTracer();
+  cfg.forensics = obs::activeForensics();
+  cfg.sampleEvery = obs::options().sampleEvery;
+  cfg.sampleCapacity = obs::options().sampleCapacity;
   System sys(cfg);
   RunResult r = sys.run();
   printf("completed=%d cycles=%llu txns=%llu detections=%llu\n",

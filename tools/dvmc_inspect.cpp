@@ -1,0 +1,519 @@
+// dvmc-inspect: query tool for DVMC observability artifacts.
+//
+// Loads the JSON files the simulator emits — run reports (--report-json),
+// forensics bundles (--forensics), and Chrome event traces (--trace) — and
+// answers the questions a detection post-mortem starts with, without
+// loading anything into a browser or writing throwaway scripts:
+//
+//   dvmc_inspect summary FILE...            what is in this artifact?
+//   dvmc_inspect detections FILE...         every detection, with the
+//                                           firing checker's state dump
+//   dvmc_inspect timeline --addr=A FILE...  events touching a block
+//   dvmc_inspect series --metric=M FILE...  one sampled telemetry column
+//
+// File types are auto-detected from the content ("schema" field for
+// reports/forensics, "traceEvents" for traces). Exit codes: 0 on success,
+// 1 on a parse/schema error, 2 on a usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/forensics.hpp"
+#include "obs/json.hpp"
+#include "obs/run_report.hpp"
+
+using dvmc::Addr;
+using dvmc::Json;
+
+namespace {
+
+enum class ArtifactKind { kReport, kForensics, kTrace };
+
+struct Artifact {
+  std::string path;
+  ArtifactKind kind;
+  Json root;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dvmc_inspect <command> [options] FILE...\n"
+      "  summary FILE...              what each artifact contains\n"
+      "  detections FILE...           every detection with checker state\n"
+      "  timeline --addr=A FILE...    events touching block A (hex ok)\n"
+      "  series --metric=M FILE...    sampled values of telemetry column M\n");
+  return 2;
+}
+
+/// Loads and classifies one artifact; prints the reason and returns false
+/// on unreadable input, malformed JSON, or an unrecognized/newer schema.
+bool load(const std::string& path, Artifact* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "dvmc_inspect: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  std::optional<Json> parsed = Json::parse(ss.str(), &err);
+  if (!parsed) {
+    std::fprintf(stderr, "dvmc_inspect: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  out->path = path;
+  out->root = std::move(*parsed);
+  if (const Json* schema = out->root.find("schema")) {
+    const std::string& name = schema->asString();
+    const std::uint64_t version =
+        out->root.find("version") ? out->root.find("version")->asUint() : 0;
+    if (name == dvmc::obs::kReportSchemaName) {
+      out->kind = ArtifactKind::kReport;
+      if (version > dvmc::obs::kReportSchemaVersion) {
+        std::fprintf(stderr, "dvmc_inspect: %s: report version %llu is newer "
+                             "than this tool understands\n",
+                     path.c_str(), static_cast<unsigned long long>(version));
+        return false;
+      }
+      return true;
+    }
+    if (name == dvmc::kForensicsSchemaName) {
+      out->kind = ArtifactKind::kForensics;
+      if (version > dvmc::kForensicsSchemaVersion) {
+        std::fprintf(stderr, "dvmc_inspect: %s: forensics version %llu is "
+                             "newer than this tool understands\n",
+                     path.c_str(), static_cast<unsigned long long>(version));
+        return false;
+      }
+      return true;
+    }
+    std::fprintf(stderr, "dvmc_inspect: %s: unknown schema '%s'\n",
+                 path.c_str(), name.c_str());
+    return false;
+  }
+  if (out->root.find("traceEvents") != nullptr) {
+    out->kind = ArtifactKind::kTrace;
+    return true;
+  }
+  std::fprintf(stderr,
+               "dvmc_inspect: %s: not a dvmc artifact (no schema field "
+               "and no traceEvents)\n",
+               path.c_str());
+  return false;
+}
+
+const char* kindName(ArtifactKind k) {
+  switch (k) {
+    case ArtifactKind::kReport: return "run report";
+    case ArtifactKind::kForensics: return "forensics";
+    case ArtifactKind::kTrace: return "event trace";
+  }
+  return "?";
+}
+
+std::uint64_t uintField(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->asUint() : 0;
+}
+
+std::string strField(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return v != nullptr ? v->asString() : std::string("?");
+}
+
+const Json* objField(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return (v != nullptr && v->isObject()) ? v : nullptr;
+}
+
+const Json* arrField(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return (v != nullptr && v->isArray()) ? v : nullptr;
+}
+
+// --- summary ---------------------------------------------------------------
+
+void summarizeReport(const Artifact& a) {
+  const Json* runs = arrField(a.root, "runs");
+  const std::size_t n = runs ? runs->size() : 0;
+  std::printf("%s: run report, %zu run%s\n", a.path.c_str(), n,
+              n == 1 ? "" : "s");
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& run = runs->at(i);
+    const Json* cfg = objField(run, "config");
+    const Json* res = objField(run, "result");
+    std::printf("  [%zu] %s", i, strField(run, "kind").c_str());
+    if (cfg != nullptr) {
+      std::printf(" %s/%s/%s", strField(*cfg, "protocol").c_str(),
+                  strField(*cfg, "model").c_str(),
+                  strField(*cfg, "workload").c_str());
+    }
+    if (res != nullptr) {
+      std::printf("  detections=%llu",
+                  static_cast<unsigned long long>(uintField(*res, "detections")));
+      if (const Json* series = objField(*res, "series")) {
+        const Json* samples = arrField(*series, "samples");
+        std::printf("  series=%zu samples",
+                    samples != nullptr ? samples->size() : std::size_t{0});
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void summarizeForensics(const Artifact& a) {
+  const Json* bundles = arrField(a.root, "bundles");
+  const std::size_t n = bundles ? bundles->size() : 0;
+  std::printf("%s: forensics, %zu bundle%s (%llu dropped)\n", a.path.c_str(),
+              n, n == 1 ? "" : "s",
+              static_cast<unsigned long long>(
+                  uintField(a.root, "droppedBundles")));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json* det = objField(bundles->at(i), "detection");
+    if (det == nullptr) continue;
+    std::printf("  [%zu] %s at cycle %llu  node %llu  addr 0x%llx\n", i,
+                strField(*det, "checker").c_str(),
+                static_cast<unsigned long long>(uintField(*det, "cycle")),
+                static_cast<unsigned long long>(uintField(*det, "node")),
+                static_cast<unsigned long long>(uintField(*det, "addr")));
+  }
+}
+
+void summarizeTrace(const Artifact& a) {
+  const Json* events = arrField(a.root, "traceEvents");
+  const std::size_t n = events ? events->size() : 0;
+  std::uint64_t first = 0, last = 0, detections = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& e = events->at(i);
+    const std::uint64_t ts = uintField(e, "ts");
+    if (i == 0 || ts < first) first = ts;
+    if (ts > last) last = ts;
+    if (strField(e, "cat") == "detection") ++detections;
+  }
+  std::printf("%s: event trace, %zu events, cycles %llu..%llu, "
+              "%llu detection instants\n",
+              a.path.c_str(), n, static_cast<unsigned long long>(first),
+              static_cast<unsigned long long>(last),
+              static_cast<unsigned long long>(detections));
+}
+
+// --- detections ------------------------------------------------------------
+
+void printCheckerDump(const char* label, const Json& dump, int indent) {
+  std::printf("%*s%s:", indent, "", label);
+  for (const auto& [key, value] : dump.members()) {
+    if (value.isObject() || value.isArray() || value.isNull()) continue;
+    if (value.isString()) {
+      std::printf(" %s=%s", key.c_str(), value.asString().c_str());
+    } else if (value.isBool()) {
+      std::printf(" %s=%s", key.c_str(), value.asBool() ? "true" : "false");
+    } else {
+      std::printf(" %s=%llu", key.c_str(),
+                  static_cast<unsigned long long>(value.asUint()));
+    }
+  }
+  std::printf("\n");
+  // One nested level: the focus rows (focusEpoch, focusEpochRow, ...).
+  for (const auto& [key, value] : dump.members()) {
+    if (!value.isObject()) continue;
+    printCheckerDump(key.c_str(), value, indent + 2);
+  }
+}
+
+int detectionsForensics(const Artifact& a) {
+  const Json* bundles = arrField(a.root, "bundles");
+  if (bundles == nullptr) {
+    std::fprintf(stderr, "dvmc_inspect: %s: no bundles array\n",
+                 a.path.c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < bundles->size(); ++i) {
+    const Json& b = bundles->at(i);
+    const Json* det = objField(b, "detection");
+    if (det == nullptr) {
+      std::fprintf(stderr, "dvmc_inspect: %s: bundle %zu has no detection\n",
+                   a.path.c_str(), i);
+      return 1;
+    }
+    std::printf("bundle %zu (seed %llu)\n", i,
+                static_cast<unsigned long long>(uintField(b, "seed")));
+    std::printf("  checker: %s\n", strField(*det, "checker").c_str());
+    std::printf("  cycle:   %llu\n",
+                static_cast<unsigned long long>(uintField(*det, "cycle")));
+    std::printf("  node:    %llu\n",
+                static_cast<unsigned long long>(uintField(*det, "node")));
+    std::printf("  addr:    0x%llx\n",
+                static_cast<unsigned long long>(uintField(*det, "addr")));
+    std::printf("  what:    %s\n", strField(*det, "what").c_str());
+    if (const Json* checkers = objField(b, "checkers")) {
+      for (const auto& [name, dump] : checkers->members()) {
+        printCheckerDump(name.c_str(), dump, 2);
+      }
+    }
+    if (const Json* history = arrField(b, "addrHistory")) {
+      std::printf("  addr history: %zu events\n", history->size());
+    }
+    if (const Json* sn = objField(b, "safetyNet")) {
+      std::printf("  safetynet: %llu checkpoints, cycles %llu..%llu, "
+                  "window %llu\n",
+                  static_cast<unsigned long long>(
+                      uintField(*sn, "checkpoints")),
+                  static_cast<unsigned long long>(
+                      uintField(*sn, "oldestCheckpoint")),
+                  static_cast<unsigned long long>(
+                      uintField(*sn, "newestCheckpoint")),
+                  static_cast<unsigned long long>(
+                      uintField(*sn, "recoveryWindow")));
+    }
+  }
+  std::printf("%zu bundle%s, %llu dropped\n", bundles->size(),
+              bundles->size() == 1 ? "" : "s",
+              static_cast<unsigned long long>(
+                  uintField(a.root, "droppedBundles")));
+  return 0;
+}
+
+int detectionsTrace(const Artifact& a) {
+  const Json* events = arrField(a.root, "traceEvents");
+  std::size_t n = 0;
+  for (std::size_t i = 0; events != nullptr && i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    if (strField(e, "cat") != "detection") continue;
+    const Json* args = objField(e, "args");
+    std::printf("cycle %-10llu node %-3llu %-24s addr 0x%llx\n",
+                static_cast<unsigned long long>(uintField(e, "ts")),
+                static_cast<unsigned long long>(uintField(e, "tid")),
+                strField(e, "name").c_str(),
+                static_cast<unsigned long long>(
+                    args != nullptr ? uintField(*args, "addr") : 0));
+    ++n;
+  }
+  std::printf("%zu detection instant%s\n", n, n == 1 ? "" : "s");
+  return 0;
+}
+
+int detectionsReport(const Artifact& a) {
+  const Json* runs = arrField(a.root, "runs");
+  for (std::size_t i = 0; runs != nullptr && i < runs->size(); ++i) {
+    const Json* res = objField(runs->at(i), "result");
+    std::printf("run %zu: %llu detection%s\n", i,
+                static_cast<unsigned long long>(
+                    res != nullptr ? uintField(*res, "detections") : 0),
+                (res != nullptr && uintField(*res, "detections") == 1) ? ""
+                                                                       : "s");
+  }
+  return 0;
+}
+
+// --- timeline --------------------------------------------------------------
+
+void printTraceEventLine(std::uint64_t ts, const std::string& cat,
+                         const std::string& name, std::uint64_t node,
+                         std::uint64_t addr) {
+  std::printf("cycle %-10llu node %-3llu %-10s %-24s addr 0x%llx\n",
+              static_cast<unsigned long long>(ts),
+              static_cast<unsigned long long>(node), cat.c_str(),
+              name.c_str(), static_cast<unsigned long long>(addr));
+}
+
+int timeline(const Artifact& a, Addr addr) {
+  const Addr blk = dvmc::blockAddr(addr);
+  std::size_t n = 0;
+  if (a.kind == ArtifactKind::kTrace) {
+    const Json* events = arrField(a.root, "traceEvents");
+    for (std::size_t i = 0; events != nullptr && i < events->size(); ++i) {
+      const Json& e = events->at(i);
+      const Json* args = objField(e, "args");
+      const Addr ea = args != nullptr ? uintField(*args, "addr") : 0;
+      if (ea == 0 || dvmc::blockAddr(ea) != blk) continue;
+      printTraceEventLine(uintField(e, "ts"), strField(e, "cat"),
+                          strField(e, "name"), uintField(e, "tid"), ea);
+      ++n;
+    }
+  } else if (a.kind == ArtifactKind::kForensics) {
+    const Json* bundles = arrField(a.root, "bundles");
+    for (std::size_t i = 0; bundles != nullptr && i < bundles->size(); ++i) {
+      const Json* tw = objField(bundles->at(i), "traceWindow");
+      const Json* events = tw != nullptr ? arrField(*tw, "events") : nullptr;
+      for (std::size_t j = 0; events != nullptr && j < events->size(); ++j) {
+        const Json& e = events->at(j);
+        const Addr ea = uintField(e, "addr");
+        if (ea == 0 || dvmc::blockAddr(ea) != blk) continue;
+        printTraceEventLine(uintField(e, "ts"), strField(e, "kind"),
+                            strField(e, "name"), uintField(e, "node"), ea);
+        ++n;
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "dvmc_inspect: %s: timeline needs a trace or forensics "
+                 "file, not a %s\n",
+                 a.path.c_str(), kindName(a.kind));
+    return 1;
+  }
+  std::printf("%zu event%s on block 0x%llx\n", n, n == 1 ? "" : "s",
+              static_cast<unsigned long long>(blk));
+  return 0;
+}
+
+// --- series ----------------------------------------------------------------
+
+int seriesFromRun(const Json& series, const std::string& metric,
+                  std::size_t* printed) {
+  const Json* columns = arrField(series, "columns");
+  const Json* samples = arrField(series, "samples");
+  if (columns == nullptr || samples == nullptr) {
+    std::fprintf(stderr, "dvmc_inspect: malformed series section\n");
+    return 1;
+  }
+  std::size_t col = columns->size();
+  for (std::size_t i = 0; i < columns->size(); ++i) {
+    if (columns->at(i).asString() == metric) col = i;
+  }
+  if (col == columns->size()) {
+    std::fprintf(stderr, "dvmc_inspect: metric '%s' not sampled; columns:\n",
+                 metric.c_str());
+    for (std::size_t i = 0; i < columns->size(); ++i) {
+      std::fprintf(stderr, "  %s\n", columns->at(i).asString().c_str());
+    }
+    return 1;
+  }
+  for (std::size_t i = 0; i < samples->size(); ++i) {
+    const Json& row = samples->at(i);
+    // Each row is [cycle, v0, v1, ...]: column k lives at index k + 1.
+    std::printf("%llu %llu\n",
+                static_cast<unsigned long long>(row.at(0).asUint()),
+                static_cast<unsigned long long>(row.at(col + 1).asUint()));
+    ++*printed;
+  }
+  return 0;
+}
+
+int series(const Artifact& a, const std::string& metric) {
+  if (a.kind != ArtifactKind::kReport) {
+    std::fprintf(stderr,
+                 "dvmc_inspect: %s: series needs a run report, not a %s\n",
+                 a.path.c_str(), kindName(a.kind));
+    return 1;
+  }
+  const Json* runs = arrField(a.root, "runs");
+  std::size_t printed = 0;
+  bool found = false;
+  for (std::size_t i = 0; runs != nullptr && i < runs->size(); ++i) {
+    const Json& run = runs->at(i);
+    const Json* s = objField(run, "series");
+    if (s == nullptr) {
+      const Json* res = objField(run, "result");
+      if (res != nullptr) s = objField(*res, "series");
+    }
+    if (s == nullptr) continue;
+    found = true;
+    const int rc = seriesFromRun(*s, metric, &printed);
+    if (rc != 0) return rc;
+  }
+  if (!found) {
+    std::fprintf(stderr,
+                 "dvmc_inspect: %s: no series section (run with "
+                 "--sample-every=N to record one)\n",
+                 a.path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%zu sample%s\n", printed, printed == 1 ? "" : "s");
+  return 0;
+}
+
+/// Pulls `--name=V` / `--name V` out of argv; returns false if absent.
+bool takeOption(std::vector<std::string>& args, const char* name,
+                std::string* value) {
+  const std::string prefix = std::string(name) + "=";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind(prefix, 0) == 0) {
+      *value = args[i].substr(prefix.size());
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    if (args[i] == name && i + 1 < args.size()) {
+      *value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  std::string addrText, metric;
+  const bool haveAddr = takeOption(args, "--addr", &addrText);
+  const bool haveMetric = takeOption(args, "--metric", &metric);
+  if (args.empty()) {
+    std::fprintf(stderr, "dvmc_inspect: no input files\n");
+    return usage();
+  }
+
+  Addr addr = 0;
+  if (cmd == "timeline") {
+    if (!haveAddr) {
+      std::fprintf(stderr, "dvmc_inspect: timeline requires --addr=A\n");
+      return usage();
+    }
+    char* end = nullptr;
+    addr = std::strtoull(addrText.c_str(), &end, 0);
+    if (end == addrText.c_str() || *end != '\0') {
+      std::fprintf(stderr, "dvmc_inspect: bad address '%s'\n",
+                   addrText.c_str());
+      return usage();
+    }
+  } else if (cmd == "series") {
+    if (!haveMetric) {
+      std::fprintf(stderr, "dvmc_inspect: series requires --metric=NAME\n");
+      return usage();
+    }
+  } else if (cmd != "summary" && cmd != "detections") {
+    std::fprintf(stderr, "dvmc_inspect: unknown command '%s'\n", cmd.c_str());
+    return usage();
+  }
+
+  int rc = 0;
+  for (const std::string& path : args) {
+    Artifact a;
+    if (!load(path, &a)) {
+      rc = 1;
+      continue;
+    }
+    if (cmd == "summary") {
+      switch (a.kind) {
+        case ArtifactKind::kReport: summarizeReport(a); break;
+        case ArtifactKind::kForensics: summarizeForensics(a); break;
+        case ArtifactKind::kTrace: summarizeTrace(a); break;
+      }
+    } else if (cmd == "detections") {
+      int r = 0;
+      switch (a.kind) {
+        case ArtifactKind::kReport: r = detectionsReport(a); break;
+        case ArtifactKind::kForensics: r = detectionsForensics(a); break;
+        case ArtifactKind::kTrace: r = detectionsTrace(a); break;
+      }
+      if (r != 0) rc = r;
+    } else if (cmd == "timeline") {
+      const int r = timeline(a, addr);
+      if (r != 0) rc = r;
+    } else if (cmd == "series") {
+      const int r = series(a, metric);
+      if (r != 0) rc = r;
+    }
+  }
+  return rc;
+}
