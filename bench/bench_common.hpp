@@ -5,18 +5,130 @@
 // one whitespace-aligned row per series point with mean and stddev over
 // DVMC_BENCH_SEEDS perturbation runs (paper: ten runs; default here: 3).
 // Environment knobs: DVMC_BENCH_SEEDS, DVMC_BENCH_TXNS.
+//
+// Machine-readable output: every bench accepts `--json <path>` (parsed by
+// parseStandardFlags) and writes a "dvmc-bench" document — one row per
+// measured configuration with its throughput (events/sec) and host wall
+// time — which the CI perf gate diffs against a checked-in baseline. See
+// docs/performance.md.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/json.hpp"
 #include "obs/run_report.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 
 namespace dvmc::bench {
+
+// --- dvmc-bench JSON output (--json <path>) --------------------------------
+
+inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr const char* kBenchSchemaName = "dvmc-bench";
+
+/// One measured row: a configuration (or microbenchmark) name, its event
+/// throughput, and the host wall time spent measuring it.
+struct BenchJsonRow {
+  std::string name;
+  double eventsPerSec = 0;
+  double wallMs = 0;
+};
+
+inline std::string& benchJsonPath() {
+  static std::string path;
+  return path;
+}
+
+inline std::vector<BenchJsonRow>& benchJsonRows() {
+  static std::vector<BenchJsonRow> rows;
+  return rows;
+}
+
+/// Records one result row for the --json report. Called from the bench
+/// main thread (runCyclesPerSeed records automatically; google-benchmark
+/// mains record from their reporter). No-op cost when --json is off is a
+/// branch — callers may record unconditionally.
+inline void recordBenchResult(std::string name, double eventsPerSec,
+                              double wallMs) {
+  if (benchJsonPath().empty()) return;
+  benchJsonRows().push_back(
+      BenchJsonRow{std::move(name), eventsPerSec, wallMs});
+}
+
+/// Writes the dvmc-bench document if --json was given. Call once at the
+/// end of main, after every configuration has been measured.
+inline void writeBenchJson(const char* benchId) {
+  if (benchJsonPath().empty()) return;
+  Json root = Json::object();
+  root.set("schema", Json::str(kBenchSchemaName))
+      .set("version", Json::num(kBenchSchemaVersion))
+      .set("bench", Json::str(benchId));
+  Json cfg = Json::object();
+  cfg.set("seeds", Json::num(benchSeedCount()))
+      .set("transactions", Json::num(benchTransactionTarget()))
+      .set("jobs", Json::num(defaultJobs()));
+  root.set("config", std::move(cfg));
+  Json results = Json::array();
+  for (const BenchJsonRow& r : benchJsonRows()) {
+    Json row = Json::object();
+    row.set("name", Json::str(r.name))
+        .set("eventsPerSec", Json::num(r.eventsPerSec))
+        .set("wallMs", Json::num(r.wallMs));
+    results.push(std::move(row));
+  }
+  root.set("results", std::move(results));
+  std::ofstream out(benchJsonPath(), std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write --json file '%s'\n",
+                 benchJsonPath().c_str());
+    std::exit(2);
+  }
+  out << root.dump(2) << "\n";
+  std::printf("\n[json] wrote %zu result rows to %s\n", benchJsonRows().size(),
+              benchJsonPath().c_str());
+}
+
+/// Strips `--json <path>` / `--json=<path>` from argv, validating the path
+/// eagerly (parseObsFlags convention: a bad path is an immediate error,
+/// not a surprise after a long run). Returns the new argc.
+inline int parseBenchJsonFlag(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    bool matched = false;
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires a file path\n");
+        std::exit(2);
+      }
+      value = argv[++i];
+      matched = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      value = argv[i] + 7;
+      matched = true;
+    }
+    if (!matched) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    const std::string err = obs::validateWritablePath(value);
+    if (!err.empty()) {
+      std::fprintf(stderr, "error: --json %s: %s\n", value.c_str(),
+                   err.c_str());
+      std::exit(2);
+    }
+    benchJsonPath() = value;
+  }
+  return out;
+}
 
 inline std::uint64_t targetFor(WorkloadKind wl) {
   // Barnes runs to completion: the target counts per-thread phases.
@@ -57,11 +169,25 @@ inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
   return cfg;
 }
 
-/// Standard flag handling for every bench/example main: strips --jobs and
-/// the observability flags (--trace / --report-json / --trace-capacity).
+/// Standard flag handling for every bench/example main: strips --jobs,
+/// the observability flags (--trace / --report-json / --trace-capacity),
+/// and --json (dvmc-bench machine-readable output).
 inline int parseStandardFlags(int argc, char** argv) {
   argc = parseJobsFlag(argc, argv);
+  argc = parseBenchJsonFlag(argc, argv);
   return obs::parseObsFlags(argc, argv);
+}
+
+/// Short config label for dvmc-bench rows, e.g. "directory/TSO/apache/dvmc+ber".
+inline std::string configLabel(const SystemConfig& cfg) {
+  std::string s = protocolName(cfg.protocol);
+  s += '/';
+  s += modelName(cfg.model);
+  s += '/';
+  s += workloadName(cfg.workload);
+  s += cfg.dvmc.anyChecker() ? "/dvmc" : "/unprot";
+  if (cfg.berEnabled) s += "+ber";
+  return s;
 }
 
 inline void header(const char* id, const char* what) {
@@ -89,6 +215,7 @@ inline std::string normCell(const RunningStat& s, double baseMean) {
 /// parallel (resolveJobs, --jobs); results stay in seed order.
 inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
                                             std::uint64_t* detections = nullptr) {
+  const auto wallStart = std::chrono::steady_clock::now();
   std::vector<RunResult> results(static_cast<std::size_t>(seeds));
   parallelFor(static_cast<std::size_t>(seeds),
               static_cast<unsigned>(resolveJobs(cfg)), [&](std::size_t s) {
@@ -99,9 +226,22 @@ inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
               });
   std::vector<double> out;
   out.reserve(results.size());
+  std::uint64_t simCycles = 0;
   for (const RunResult& r : results) {
     out.push_back(static_cast<double>(r.cycles));
+    simCycles += r.cycles;
     if (detections != nullptr) *detections += r.detections;
+  }
+  if (!benchJsonPath().empty()) {
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wallStart)
+            .count();
+    // "events" for a full-system sweep = simulated cycles across all
+    // seeds; eventsPerSec is thus host simulation throughput.
+    const double eps =
+        wallMs > 0 ? static_cast<double>(simCycles) * 1e3 / wallMs : 0;
+    recordBenchResult(configLabel(cfg), eps, wallMs);
   }
   return out;
 }

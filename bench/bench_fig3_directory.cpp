@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   argc = dvmc::bench::parseStandardFlags(argc, argv);
   const int rc = dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
                    "normalized runtime, directory protocol, Base vs DVMC");
+  if (rc == 0) dvmc::bench::writeBenchJson("bench_fig3_directory");
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;
 }

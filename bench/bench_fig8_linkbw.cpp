@@ -51,6 +51,7 @@ int run() {
 int main(int argc, char** argv) {
   argc = dvmc::bench::parseStandardFlags(argc, argv);
   const int rc = dvmc::run();
+  if (rc == 0) dvmc::bench::writeBenchJson("bench_fig8_linkbw");
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;
 }

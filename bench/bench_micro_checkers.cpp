@@ -2,8 +2,14 @@
 // CRC-16 block hashing, CET transitions, MET inform processing with the
 // sorting queue, AR checker perform events, and VC operations. These bound
 // the per-event software cost of the simulated hardware structures.
+//
+// Accepts `--json <path>` in addition to the usual --benchmark_* flags:
+// writes a dvmc-bench document (one row per benchmark: name, iterations
+// per second, measured wall ms) that the CI perf gate diffs against
+// bench/baseline/bench_micro_checkers.json.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "common/crc16.hpp"
 #include "dvmc/cache_epoch_checker.hpp"
 #include "dvmc/memory_epoch_checker.hpp"
@@ -145,7 +151,33 @@ void BM_OrderingTableQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_OrderingTableQuery);
 
+// Console reporter that additionally records every iteration run into the
+// dvmc-bench row collector (events/sec = benchmark iterations per wall
+// second; each iteration is one checker event).
+class RecordingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const double wallSec = r.real_accumulated_time;
+      const double eps =
+          wallSec > 0 ? static_cast<double>(r.iterations) / wallSec : 0;
+      bench::recordBenchResult(r.benchmark_name(), eps, wallSec * 1e3);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace dvmc
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  argc = dvmc::bench::parseBenchJsonFlag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dvmc::RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  dvmc::bench::writeBenchJson("bench_micro_checkers");
+  return 0;
+}

@@ -50,6 +50,7 @@ int run() {
 int main(int argc, char** argv) {
   argc = dvmc::bench::parseStandardFlags(argc, argv);
   const int rc = dvmc::run();
+  if (rc == 0) dvmc::bench::writeBenchJson("bench_tab8_workloads");
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;
 }

@@ -23,6 +23,7 @@ void SafetyNet::checkpointTick() {
   if (!running_) return;
   checkpoints_.push_back(capture_());
   cCheckpoints_.inc();
+  cUndoBlocks_.inc(checkpoints_.back().undo.size());
   while (checkpoints_.size() > cfg_.maxCheckpoints) {
     checkpoints_.pop_front();  // oldest checkpoint validated & discarded
   }
@@ -38,18 +39,26 @@ void SafetyNet::checkpointTick() {
 bool SafetyNet::recoverBefore(Cycle errorCycle) {
   // Newest checkpoint strictly older than the error: anything taken at or
   // after the error may have captured corrupted state.
-  const Snapshot* target = nullptr;
-  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
-    if (it->cycle < errorCycle) {
-      target = &*it;
+  std::size_t targetIdx = checkpoints_.size();
+  for (std::size_t i = checkpoints_.size(); i-- > 0;) {
+    if (checkpoints_[i].cycle < errorCycle) {
+      targetIdx = i;
       break;
     }
   }
-  if (target == nullptr) {
+  if (targetIdx == checkpoints_.size()) {
     cWindowExpired_.inc();
     return false;
   }
-  restore_(*target);
+  const Snapshot* target = &checkpoints_[targetIdx];
+  // Undo segments newer than the target, newest first: the restorer walks
+  // the memory image back one checkpoint interval per segment.
+  std::vector<const Snapshot*> newer;
+  newer.reserve(checkpoints_.size() - targetIdx - 1);
+  for (std::size_t i = checkpoints_.size(); i-- > targetIdx + 1;) {
+    newer.push_back(&checkpoints_[i]);
+  }
+  restore_(*target, newer);
   ++recoveries_;
   cRecoveries_.inc();
   hRollbackDistance_.add(sim_.now() - target->cycle);

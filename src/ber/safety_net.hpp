@@ -11,6 +11,13 @@
 // back and restarts the cores after a drain delay that lets stale
 // in-flight messages land harmlessly.
 //
+// Checkpoints are *undo logs*, exactly as in the original SafetyNet design
+// (incremental old-value logging): the system records, per checkpoint
+// interval, the prior value of each block the first time it is dirtied, so
+// taking a checkpoint costs O(blocks dirtied since the last one) instead of
+// a deep copy of the whole memory image. Recovery reconstructs the rollback
+// image by replaying undo records newest-first back to the target.
+//
 // Checkpoint traffic (log + coordination messages) is modeled explicitly
 // because Figure 7 attributes measurable interconnect load to SafetyNet.
 #pragma once
@@ -18,7 +25,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/data_block.hpp"
@@ -38,14 +44,32 @@ struct BerConfig {
 
 class SafetyNet {
  public:
+  /// One old-value log entry: the state of `blk` in the performed-store
+  /// shadow at the *start* of the interval that first dirtied it
+  /// (wasAbsent: the block was not materialized yet — restore erases it;
+  /// an absent block re-materializes to the same deterministic pattern).
+  struct UndoRecord {
+    Addr blk = 0;
+    bool wasAbsent = false;
+    DataBlock oldValue;
+  };
+
   struct Snapshot {
     Cycle cycle = 0;
-    std::unordered_map<Addr, DataBlock> memory;  // performed-store shadow
+    /// Undo segment for the interval ENDING at this checkpoint: old values
+    /// (as of the previous checkpoint) of every block dirtied since then.
+    /// Each block appears at most once.
+    std::vector<UndoRecord> undo;
     std::vector<Core::ArchSnapshot> cores;
   };
 
   using CaptureFn = std::function<Snapshot()>;
-  using RestoreFn = std::function<void(const Snapshot&)>;
+  /// Restores to `target`. `newerNewestFirst` holds every checkpoint taken
+  /// after `target` (newest first): the restorer replays its own live undo
+  /// segment, then each of these checkpoints' segments in that order, to
+  /// walk the shadow image back to `target.cycle`.
+  using RestoreFn = std::function<void(
+      const Snapshot& target, const std::vector<const Snapshot*>& newerNewestFirst)>;
   using TrafficFn = std::function<void()>;  // emit log/coordination traffic
 
   SafetyNet(Simulator& sim, BerConfig cfg, CaptureFn capture,
@@ -85,6 +109,7 @@ class SafetyNet {
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;
   Counter cCheckpoints_ = stats_.counter("ber.checkpoints");
+  Counter cUndoBlocks_ = stats_.counter("ber.undoBlocksLogged");
   Counter cRecoveries_ = stats_.counter("ber.recoveries");
   Counter cWindowExpired_ = stats_.counter("ber.windowExpired");
   Gauge gLiveCheckpoints_ = stats_.gauge("ber.liveCheckpoints");

@@ -17,11 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 
 #include "coherence/cache_array.hpp"
 #include "coherence/interfaces.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
@@ -105,8 +105,8 @@ class DirectoryCacheController final : public CoherentCache {
   CpuNotifier* cpu_ = nullptr;
   EpochObserver* epochs_ = nullptr;
   StorePerformHook storeHook_;
-  std::unordered_map<Addr, Mshr> mshrs_;
-  std::unordered_map<Addr, DataBlock> wbBuffer_;
+  FlatMap<Addr, Mshr> mshrs_;
+  FlatMap<Addr, DataBlock> wbBuffer_;
   std::uint32_t gen_ = 0;  // bumped by invalidateAll (BER recovery)
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

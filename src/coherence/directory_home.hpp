@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <deque>
 #include <set>
-#include <unordered_map>
 
 #include "coherence/interfaces.hpp"
 #include "coherence/memory_storage.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
@@ -76,7 +76,7 @@ class DirectoryHome {
   ErrorSink* sink_;
   HomeObserver* homeObserver_ = nullptr;
   MemoryStorage memory_;
-  std::unordered_map<Addr, DirEntry> dir_;
+  FlatMap<Addr, DirEntry> dir_;
   std::uint32_t gen_ = 0;
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

@@ -6,11 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/data_block.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 
 namespace dvmc {
@@ -29,8 +29,8 @@ class MemoryStorage {
   bool injectBitFlip(Addr blk, std::size_t bit);
 
   /// Full snapshot / restore support for BER.
-  const std::unordered_map<Addr, DataBlock>& blocks() const { return blocks_; }
-  void restore(const std::unordered_map<Addr, DataBlock>& snapshot) {
+  const FlatMap<Addr, DataBlock>& blocks() const { return blocks_; }
+  void restore(const FlatMap<Addr, DataBlock>& snapshot) {
     blocks_ = snapshot;
     flips_.clear();
   }
@@ -45,8 +45,8 @@ class MemoryStorage {
   DataBlock& materialize(Addr blk);
 
   bool ecc_;
-  std::unordered_map<Addr, DataBlock> blocks_;
-  std::unordered_map<Addr, std::vector<std::size_t>> flips_;
+  FlatMap<Addr, DataBlock> blocks_;
+  FlatMap<Addr, std::vector<std::size_t>> flips_;
   std::uint64_t eccCorrections_ = 0;
 };
 

@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
 #include "coherence/cache_array.hpp"
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "obs/metrics.hpp"
 #include "net/broadcast_tree.hpp"
 #include "net/torus.hpp"
@@ -100,8 +100,8 @@ class SnoopCacheController final : public CoherentCache {
   CpuNotifier* cpu_ = nullptr;
   EpochObserver* epochs_ = nullptr;
   StorePerformHook storeHook_;
-  std::unordered_map<Addr, Mshr> mshrs_;
-  std::unordered_map<Addr, WbEntry> wbBuffer_;
+  FlatMap<Addr, Mshr> mshrs_;
+  FlatMap<Addr, WbEntry> wbBuffer_;
   std::uint32_t gen_ = 0;  // bumped by invalidateAll (BER recovery)
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

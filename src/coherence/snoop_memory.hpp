@@ -12,12 +12,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "coherence/memory_storage.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "obs/metrics.hpp"
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
@@ -69,7 +69,7 @@ class SnoopMemoryController {
   HomeObserver* homeObserver_ = nullptr;
   MemoryStorage memory_;
   CountingClock clock_;
-  std::unordered_map<Addr, HomeState> state_;
+  FlatMap<Addr, HomeState> state_;
   std::uint32_t gen_ = 0;
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

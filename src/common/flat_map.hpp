@@ -1,0 +1,378 @@
+// Cache-friendly open-addressing hash map for the per-operation hot paths
+// (VC words, CET/MET epoch tables, MSHRs, write-back buffers, directory and
+// memory-storage block maps). Design:
+//
+//   * power-of-two capacity, index by mixed hash & mask — one AND, no modulo;
+//   * linear probing — probe chains are contiguous cache lines, unlike the
+//     per-bucket chained nodes of std::unordered_map;
+//   * backshift deletion — erase shifts the tail of the probe chain back
+//     instead of leaving tombstones, so probe lengths never degrade and
+//     wraparound probing stays tombstone-free;
+//   * reserve() presizing — callers size tables from SystemConfig footprint
+//     hints once, so steady-state operation never rehashes.
+//
+// Semantics match std::unordered_map where the simulator relies on them:
+// pointers/references to mapped values stay valid until rehash or erase of
+// that key; iteration visits every element exactly once in slot order
+// (deterministic for a given insertion/erase history, but NOT the same
+// order as unordered_map — order-sensitive call sites must sort, see
+// CacheEpochChecker::flush). Erasing invalidates iterators (backshift moves
+// elements), so collect-then-erase is the supported pattern.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <new>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+/// SplitMix64 finalizer: block/word addresses share low zero bits and long
+/// runs of equal high bits, so identity hashing would collide whole regions
+/// onto a handful of power-of-two buckets. This mixes every input bit into
+/// every output bit.
+struct FlatHash64 {
+  std::size_t operator()(std::uint64_t x) const noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+template <class K, class V, class Hash = FlatHash64>
+class FlatMap {
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using value_type = std::pair<const K, V>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = FlatMap::value_type;
+    using difference_type = std::ptrdiff_t;
+    using reference =
+        std::conditional_t<Const, const value_type&, value_type&>;
+    using pointer = std::conditional_t<Const, const value_type*, value_type*>;
+
+    Iter() = default;
+    Iter(Map* m, std::size_t i) : m_(m), i_(i) { skipFree(); }
+    /// iterator -> const_iterator conversion.
+    template <bool C = Const, class = std::enable_if_t<C>>
+    Iter(const Iter<false>& o) : m_(o.m_), i_(o.i_) {}
+
+    reference operator*() const { return m_->slotRef(i_); }
+    pointer operator->() const { return &m_->slotRef(i_); }
+    Iter& operator++() {
+      ++i_;
+      skipFree();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.i_ == b.i_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.i_ != b.i_;
+    }
+
+   private:
+    friend class FlatMap;
+    friend class Iter<true>;
+    void skipFree() {
+      while (m_ != nullptr && i_ < m_->cap_ && !m_->used_[i_]) ++i_;
+    }
+    Map* m_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+  ~FlatMap() { destroyAll(); }
+
+  FlatMap(const FlatMap& o) { copyFrom(o); }
+  FlatMap& operator=(const FlatMap& o) {
+    if (this != &o) {
+      destroyAll();
+      slots_.clear();
+      used_.clear();
+      cap_ = 0;
+      size_ = 0;
+      copyFrom(o);
+    }
+    return *this;
+  }
+  FlatMap(FlatMap&& o) noexcept
+      : slots_(std::move(o.slots_)),
+        used_(std::move(o.used_)),
+        cap_(o.cap_),
+        size_(o.size_) {
+    o.cap_ = 0;
+    o.size_ = 0;
+  }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      destroyAll();
+      slots_ = std::move(o.slots_);
+      used_ = std::move(o.used_);
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.cap_ = 0;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t bucket_count() const { return cap_; }
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, cap_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, cap_); }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+  /// Presizes so `n` elements fit without rehash (footprint hint path).
+  void reserve(std::size_t n) {
+    const std::size_t want = capacityFor(n);
+    if (want > cap_) rehash(want);
+  }
+
+  void clear() {
+    destroyAll();
+    std::fill(used_.begin(), used_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  iterator find(const K& key) {
+    return iterator(this, findIndex(key));
+  }
+  const_iterator find(const K& key) const {
+    return const_iterator(this, findIndex(key));
+  }
+  std::size_t count(const K& key) const {
+    return findIndex(key) < cap_ ? 1 : 0;
+  }
+  bool contains(const K& key) const { return findIndex(key) < cap_; }
+
+  V& at(const K& key) {
+    const std::size_t i = findIndex(key);
+    DVMC_ASSERT(i < cap_, "FlatMap::at: key not present");
+    return slotRef(i).second;
+  }
+  const V& at(const K& key) const {
+    const std::size_t i = findIndex(key);
+    DVMC_ASSERT(i < cap_, "FlatMap::at: key not present");
+    return slotRef(i).second;
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    growIfNeeded();
+    std::size_t i = home(key);
+    while (used_[i]) {
+      if (slotRef(i).first == key) return {iterator(this, i), false};
+      i = (i + 1) & (cap_ - 1);
+    }
+    ::new (slotPtr(i)) value_type(std::piecewise_construct,
+                                  std::forward_as_tuple(key),
+                                  std::forward_as_tuple(
+                                      std::forward<Args>(args)...));
+    used_[i] = 1;
+    ++size_;
+    return {iterator(this, i), true};
+  }
+
+  template <class VV>
+  std::pair<iterator, bool> emplace(const K& key, VV&& value) {
+    return try_emplace(key, std::forward<VV>(value));
+  }
+  std::pair<iterator, bool> insert(const value_type& kv) {
+    return try_emplace(kv.first, kv.second);
+  }
+
+  std::size_t erase(const K& key) {
+    const std::size_t i = findIndex(key);
+    if (i >= cap_) return 0;
+    eraseIndex(i);
+    return 1;
+  }
+
+  /// Erases the pointed-to element. Backshift deletion moves later chain
+  /// members, so all iterators are invalidated. Returns void (as in
+  /// absl::flat_hash_map): producing the std-style "next" iterator would
+  /// scan the slot array for the following occupied slot — an O(capacity /
+  /// size) hidden cost on the erase-heavy hot paths this map exists for.
+  /// To erase while iterating, use eraseAndAdvance.
+  void erase(const_iterator pos) {
+    DVMC_ASSERT(pos.i_ < cap_ && used_[pos.i_], "FlatMap::erase: bad iterator");
+    eraseIndex(pos.i_);
+  }
+
+  /// Erase-while-iterating: removes `pos` and returns an iterator that
+  /// resumes slot-order iteration at the vacated position (which may now
+  /// hold a backshifted later element — it has not been visited before).
+  iterator eraseAndAdvance(const_iterator pos) {
+    erase(pos);
+    return iterator(this, pos.i_);
+  }
+
+  /// Order-independent equality (matches std::unordered_map semantics).
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    if (a.size_ != b.size_) return false;
+    for (const auto& [k, v] : a) {
+      const std::size_t i = b.findIndex(k);
+      if (i >= b.cap_ || !(b.slotRef(i).second == v)) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const FlatMap& a, const FlatMap& b) {
+    return !(a == b);
+  }
+
+ private:
+  // Raw storage so V needs no default constructor and const-keyed pairs can
+  // still be relocated (destroy + placement-new) during rehash/backshift.
+  struct Slot {
+    alignas(value_type) unsigned char raw[sizeof(value_type)];
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+  // Grow past 62.5% load: linear probing wants headroom or chains cluster.
+  static bool overloaded(std::size_t size, std::size_t cap) {
+    return size * 8 > cap * 5;
+  }
+  static std::size_t capacityFor(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (overloaded(n, cap)) cap <<= 1;
+    return cap;
+  }
+
+  value_type* slotPtr(std::size_t i) {
+    return std::launder(reinterpret_cast<value_type*>(slots_[i].raw));
+  }
+  const value_type* slotPtr(std::size_t i) const {
+    return std::launder(reinterpret_cast<const value_type*>(slots_[i].raw));
+  }
+  value_type& slotRef(std::size_t i) { return *slotPtr(i); }
+  const value_type& slotRef(std::size_t i) const { return *slotPtr(i); }
+
+  std::size_t home(const K& key) const {
+    return Hash{}(key) & (cap_ - 1);
+  }
+  /// Distance of the element at `pos` from its home bucket.
+  std::size_t probeDistance(std::size_t pos) const {
+    return (pos - home(slotRef(pos).first)) & (cap_ - 1);
+  }
+
+  /// Index of `key`, or cap_ when absent (== end()).
+  ///
+  /// Probes until a free slot: insertion places a key at the first free
+  /// slot after its home, and backshift deletion never leaves a hole
+  /// inside a live probe chain, so hitting a free slot proves absence.
+  /// (The load cap guarantees free slots exist, so the scan terminates.)
+  std::size_t findIndex(const K& key) const {
+    if (cap_ == 0) return 0;  // empty map: begin()==end()==0
+    std::size_t i = Hash{}(key) & (cap_ - 1);
+    while (used_[i]) {
+      if (slotRef(i).first == key) return i;
+      i = (i + 1) & (cap_ - 1);
+    }
+    return cap_;
+  }
+
+  void eraseIndex(std::size_t i) {
+    slotPtr(i)->~value_type();
+    used_[i] = 0;
+    --size_;
+    // Backshift: scan the contiguous occupied run after the hole and pull
+    // back every element whose probe chain crosses the hole (its home lies
+    // cyclically at or before it). Elements already at/near home are
+    // skipped, not stopped at — a displaced element can live beyond them.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & (cap_ - 1);
+    while (used_[j]) {
+      const std::size_t distHome = probeDistance(j);
+      const std::size_t distHole = (j - hole) & (cap_ - 1);
+      if (distHome >= distHole) {
+        ::new (slotPtr(hole)) value_type(std::move(slotRef(j)));
+        slotPtr(j)->~value_type();
+        used_[hole] = 1;
+        used_[j] = 0;
+        hole = j;
+      }
+      j = (j + 1) & (cap_ - 1);
+    }
+  }
+
+  void growIfNeeded() {
+    if (cap_ == 0) {
+      rehash(kMinCapacity);
+    } else if (overloaded(size_ + 1, cap_)) {
+      rehash(cap_ << 1);
+    }
+  }
+
+  void rehash(std::size_t newCap) {
+    std::vector<Slot> oldSlots = std::move(slots_);
+    std::vector<std::uint8_t> oldUsed = std::move(used_);
+    const std::size_t oldCap = cap_;
+    slots_ = std::vector<Slot>(newCap);
+    used_.assign(newCap, 0);
+    cap_ = newCap;
+    size_ = 0;
+    for (std::size_t i = 0; i < oldCap; ++i) {
+      if (!oldUsed[i]) continue;
+      value_type* p =
+          std::launder(reinterpret_cast<value_type*>(oldSlots[i].raw));
+      try_emplace(p->first, std::move(p->second));
+      p->~value_type();
+    }
+  }
+
+  /// Copies slot-for-slot so the copy iterates in the identical order (the
+  /// fault injector picks targets by iteration order; snapshots of the same
+  /// table must behave identically).
+  void copyFrom(const FlatMap& o) {
+    slots_ = std::vector<Slot>(o.cap_);
+    used_ = o.used_;
+    cap_ = o.cap_;
+    size_ = o.size_;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (used_[i]) ::new (slots_[i].raw) value_type(o.slotRef(i));
+    }
+  }
+
+  void destroyAll() {
+    for (std::size_t i = 0; i < cap_; ++i) {
+      if (used_[i]) slotPtr(i)->~value_type();
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> used_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dvmc

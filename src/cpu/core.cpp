@@ -47,6 +47,10 @@ Core::Core(Simulator& sim, NodeId node, ConsistencyModel model, CpuConfig cfg,
       ar_(ar),
       dvmc_(dvmc),
       lastDispatchModel_(model) {
+  // Steady-state ring capacity: the window depths are configuration
+  // bounds, so neither queue reallocates on the per-cycle path.
+  rob_.reserve(cfg_.robSize);
+  wb_.reserve(cfg_.wbCapacity);
   for (int m = 0; m < 4; ++m) {
     tables_[m] = OrderingTable::forModel(static_cast<ConsistencyModel>(m));
   }

@@ -21,11 +21,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "coherence/hierarchy.hpp"
 #include "common/error_sink.hpp"
+#include "common/ring_queue.hpp"
 #include "obs/metrics.hpp"
 #include "consistency/model.hpp"
 #include "consistency/ordering_table.hpp"
@@ -194,9 +194,9 @@ class Core final : public CpuNotifier {
 
   OrderingTable tables_[4];  // indexed by ConsistencyModel
 
-  std::deque<RobEntry> rob_;
-  std::deque<WbEntry> wb_;
-  std::deque<Instr> replayQueue_;  // re-injected in-flight work (recovery)
+  RingQueue<RobEntry> rob_;
+  RingQueue<WbEntry> wb_;
+  RingQueue<Instr> replayQueue_;  // re-injected in-flight work (recovery)
   SeqNum nextSeq_ = 1;
   ConsistencyModel lastDispatchModel_;
   std::uint64_t outstandingStores_ = 0;  // in WB or performing (SC)

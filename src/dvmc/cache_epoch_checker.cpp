@@ -22,7 +22,9 @@ namespace dvmc {
 CacheEpochChecker::CacheEpochChecker(Simulator& sim, NodeId node,
                                      const DvmcConfig& cfg, ErrorSink* sink,
                                      SendFn sendInform)
-    : sim_(sim), node_(node), cfg_(cfg), sink_(sink), send_(std::move(sendInform)) {}
+    : sim_(sim), node_(node), cfg_(cfg), sink_(sink), send_(std::move(sendInform)) {
+  scrubFifo_.reserve(cfg_.scrubFifoCapacity);
+}
 
 void CacheEpochChecker::onEpochBegin(Addr blk, bool readWrite,
                                      const DataBlock& data,
@@ -187,6 +189,10 @@ void CacheEpochChecker::flush(std::uint64_t ltime) {
   std::vector<Addr> blocks;
   blocks.reserve(cet_.size());
   for (const auto& [blk, e] : cet_) blocks.push_back(blk);
+  // Canonical inform order: the CET is an open-addressing table whose
+  // iteration order depends on insertion history, so sort the drain by
+  // address to keep the emitted message sequence deterministic.
+  std::sort(blocks.begin(), blocks.end());
   for (Addr blk : blocks) {
     auto it = cet_.find(blk);
     CetEntry& e = it->second;

@@ -15,13 +15,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
+#include "common/ring_queue.hpp"
 #include "common/wrap16.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -95,8 +95,8 @@ class CacheEpochChecker final : public EpochObserver {
   DvmcConfig cfg_;
   ErrorSink* sink_;
   SendFn send_;
-  std::unordered_map<Addr, CetEntry> cet_;
-  std::deque<ScrubRecord> scrubFifo_;
+  FlatMap<Addr, CetEntry> cet_;
+  RingQueue<ScrubRecord> scrubFifo_;
   std::uint64_t nextEpochId_ = 1;
   std::uint64_t lastLtime_ = 0;  // latest logical time observed
   bool stopped_ = false;

@@ -17,13 +17,13 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "coherence/interfaces.hpp"
 #include "coherence/logical_clock.hpp"
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "common/wrap16.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -98,7 +98,7 @@ class MemoryEpochChecker final : public HomeObserver {
   DvmcConfig cfg_;
   ErrorSink* sink_;
   LogicalClock& clock_;
-  std::unordered_map<Addr, MetEntry> met_;
+  FlatMap<Addr, MetEntry> met_;
   std::vector<QueuedInform> queue_;  // heap ordered by wrapping begin time
   std::uint64_t arrivalCounter_ = 0;
 

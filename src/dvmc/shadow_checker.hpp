@@ -25,11 +25,11 @@
 
 #include <cstdint>
 #include <set>
-#include <unordered_map>
 
 #include "coherence/interfaces.hpp"
 #include "common/crc16.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -65,7 +65,7 @@ class ShadowCacheChecker final : public EpochObserver {
   Simulator& sim_;
   NodeId node_;
   ErrorSink* sink_;
-  std::unordered_map<Addr, bool> shadow_;  // present -> readWrite?
+  FlatMap<Addr, bool> shadow_;  // present -> readWrite?
 
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;
@@ -114,7 +114,7 @@ class ShadowHomeChecker final : public HomeObserver {
   Simulator& sim_;
   NodeId node_;
   ErrorSink* sink_;
-  std::unordered_map<Addr, Entry> entries_;
+  FlatMap<Addr, Entry> entries_;
 
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

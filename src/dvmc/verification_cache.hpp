@@ -22,10 +22,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -35,7 +35,11 @@ namespace dvmc {
 class VerificationCache {
  public:
   VerificationCache(NodeId node, std::size_t wordCapacity, ErrorSink* sink)
-      : node_(node), capacity_(wordCapacity), sink_(sink) {}
+      : node_(node), capacity_(wordCapacity), sink_(sink) {
+    // The VC is bounded by construction (storeCommit stalls at capacity),
+    // so one up-front reserve means it never rehashes.
+    words_.reserve(capacity_);
+  }
 
   /// True if a store allocation would fit (otherwise the verification stage
   /// must stall until older stores perform).
@@ -106,7 +110,7 @@ class VerificationCache {
   NodeId node_;
   std::size_t capacity_;
   ErrorSink* sink_;
-  std::unordered_map<Addr, WordEntry> words_;
+  FlatMap<Addr, WordEntry> words_;
 
   // Metric registry (stats_ must precede the handles).
   MetricSet stats_;

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+
 namespace dvmc {
 
 Counter MetricSet::counter(std::string name) {
@@ -43,18 +45,35 @@ std::uint64_t MetricSet::get(std::string_view name) const {
   return 0;
 }
 
-std::map<std::string, std::uint64_t> MetricSet::all() const {
-  std::map<std::string, std::uint64_t> out;
-  for (const CounterSlot& s : counters_) out[s.name] = s.value;
+std::vector<std::pair<std::string, std::uint64_t>> MetricSet::all() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size() + 2 * gauges_.size() + 2 * histos_.size());
+  for (const CounterSlot& s : counters_) out.emplace_back(s.name, s.value);
   for (const GaugeSlot& s : gauges_) {
-    out[s.name] = s.value;
-    out[s.name + ".peak"] = s.peak;
+    out.emplace_back(s.name, s.value);
+    out.emplace_back(s.name + ".peak", s.peak);
   }
   for (const HistoSlot& s : histos_) {
-    out[s.name + ".count"] = s.hist.count();
-    out[s.name + ".max"] = s.hist.maxValue();
+    out.emplace_back(s.name + ".count", s.hist.count());
+    out.emplace_back(s.name + ".max", s.hist.maxValue());
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+const std::uint64_t* MetricSet::findScalar(std::string_view name) const {
+  for (const CounterSlot& s : counters_) {
+    if (s.name == name) return &s.value;
+  }
+  for (const GaugeSlot& s : gauges_) {
+    if (s.name == name) return &s.value;
+    if (name.size() == s.name.size() + 5 &&
+        name.substr(0, s.name.size()) == s.name &&
+        name.substr(s.name.size()) == ".peak") {
+      return &s.peak;
+    }
+  }
+  return nullptr;
 }
 
 const LatencyHistogram* MetricSet::findHistogram(std::string_view name) const {

@@ -145,7 +145,10 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.berEnabled) {
     ber_ = std::make_unique<SafetyNet>(
         sim_, cfg_.ber, [this] { return captureSnapshot(); },
-        [this](const SafetyNet::Snapshot& s) { restoreSnapshot(s); },
+        [this](const SafetyNet::Snapshot& target,
+               const std::vector<const SafetyNet::Snapshot*>& newer) {
+          restoreSnapshot(target, newer);
+        },
         [this] { sendCheckpointTraffic(); });
   }
 }
@@ -231,12 +234,23 @@ void System::buildNode(NodeId n) {
     node.ar = std::make_unique<ReorderChecker>(sim_, n, &sink_);
   }
 
-  // Architectural memory shadow for SafetyNet (plus the audit hook).
+  // Architectural memory shadow for SafetyNet (plus the audit hook). With
+  // BER on, the first store to a block per checkpoint interval logs the
+  // block's prior state into the live undo segment BEFORE mutating it —
+  // SafetyNet-style incremental old-value logging.
   node.l2->setStorePerformHook(
       [this, n](Addr addr, std::size_t size, std::uint64_t value) {
         const Addr blk = blockAddr(addr);
         auto it = shadow_.find(blk);
-        if (it == shadow_.end()) {
+        const bool absent = (it == shadow_.end());
+        if (cfg_.berEnabled && dirtySinceCkpt_.try_emplace(blk, true).second) {
+          SafetyNet::UndoRecord rec;
+          rec.blk = blk;
+          rec.wasAbsent = absent;
+          if (!absent) rec.oldValue = it->second;
+          liveUndo_.push_back(std::move(rec));
+        }
+        if (absent) {
           it = shadow_.emplace(blk, MemoryStorage::initialPattern(blk)).first;
         }
         it->second.write(blockOffset(addr), size, value);
@@ -291,6 +305,7 @@ RunResult System::runUntil(const std::function<bool()>& extraPred) {
     if (cfg_.sampleEvery > 0) {
       series_ = std::make_shared<TimeSeries>(defaultSampleColumns(),
                                              cfg_.sampleCapacity);
+      buildSamplePlan();
       scheduleSampleTick();
     }
   }
@@ -341,12 +356,72 @@ RunResult System::collectResult(bool completed, Cycle cycles) const {
   return r;
 }
 
+void System::buildSamplePlan() {
+  // Every metric is registered at component construction (the MetricSet
+  // contract), so resolving names once at run start sees the full
+  // registry; slot addresses stay stable afterwards.
+  samplePlan_.clear();
+  samplePlan_.reserve(series_->columns().size());
+  for (const std::string& c : series_->columns()) {
+    SampleColumn col;
+    if (c == "net.totalBytes") {
+      col.net = SampleColumn::Net::kTotal;
+    } else if (c == "net.coherenceBytes") {
+      col.net = SampleColumn::Net::kCoherence;
+    } else if (c == "net.informBytes") {
+      col.net = SampleColumn::Net::kInform;
+    } else if (c == "net.ckptBytes") {
+      col.net = SampleColumn::Net::kCkpt;
+    } else {
+      auto add = [&col, &c](const MetricSet& s) {
+        if (const std::uint64_t* p = s.findScalar(c)) col.slots.push_back(p);
+      };
+      for (const Node& n : nodes_) {
+        add(n.core->stats());
+        add(n.hierarchy->stats());
+        if (n.dirCache) add(n.dirCache->stats());
+        if (n.snpCache) add(n.snpCache->stats());
+        if (n.home) add(n.home->stats());
+        if (n.snoopMem) add(n.snoopMem->stats());
+        if (n.cet) add(n.cet->stats());
+        if (n.met) add(n.met->stats());
+        if (n.shadowCache) add(n.shadowCache->stats());
+        if (n.shadowHome) add(n.shadowHome->stats());
+        if (n.vc) add(n.vc->stats());
+        if (n.ar) add(n.ar->stats());
+      }
+      if (ber_) add(ber_->stats());
+      add(ckptMsgStats_);
+    }
+    samplePlan_.push_back(std::move(col));
+  }
+}
+
 void System::scheduleSampleTick() {
   sim_.schedule(cfg_.sampleEvery, [this] {
-    const MetricSnapshot snap = metricsSnapshot();
     std::vector<std::uint64_t> row;
-    row.reserve(series_->columns().size());
-    for (const std::string& c : series_->columns()) row.push_back(snap.value(c));
+    row.reserve(samplePlan_.size());
+    for (const SampleColumn& col : samplePlan_) {
+      std::uint64_t v = 0;
+      switch (col.net) {
+        case SampleColumn::Net::kTotal:
+          v = torus_->totalBytes();
+          break;
+        case SampleColumn::Net::kCoherence:
+          v = torus_->classBytes(TrafficClass::kCoherence);
+          break;
+        case SampleColumn::Net::kInform:
+          v = torus_->classBytes(TrafficClass::kInform);
+          break;
+        case SampleColumn::Net::kCkpt:
+          v = torus_->classBytes(TrafficClass::kCkpt);
+          break;
+        case SampleColumn::Net::kNone:
+          for (const std::uint64_t* p : col.slots) v += *p;
+          break;
+      }
+      row.push_back(v);
+    }
     series_->sample(sim_.now(), row);
     scheduleSampleTick();
   });
@@ -504,22 +579,47 @@ void System::resetNetStats() {
 }
 
 SafetyNet::Snapshot System::captureSnapshot() {
+  // Seal the live undo segment into the checkpoint: O(blocks dirtied since
+  // the previous capture), not O(memory image). The new interval starts
+  // with an empty segment and dirty set.
   SafetyNet::Snapshot s;
   s.cycle = sim_.now();
-  s.memory = shadow_;
+  s.undo = std::move(liveUndo_);
+  liveUndo_.clear();
+  dirtySinceCkpt_.clear();
   s.cores.reserve(nodes_.size());
   for (Node& n : nodes_) s.cores.push_back(n.core->snapshotState());
   return s;
 }
 
-void System::restoreSnapshot(const SafetyNet::Snapshot& snap) {
+void System::restoreSnapshot(
+    const SafetyNet::Snapshot& target,
+    const std::vector<const SafetyNet::Snapshot*>& newerNewestFirst) {
   // 1. Squash every in-flight message and pending controller event.
   torus_->bumpEpoch();
   if (tree_) tree_->bumpEpoch();
 
-  // 2. Restore the architectural memory image at each home.
-  shadow_ = snap.memory;
-  std::vector<std::unordered_map<Addr, DataBlock>> perHome(cfg_.numNodes);
+  // 2. Roll the architectural memory image back by replaying undo records.
+  //    The live segment undoes stores since the newest checkpoint; each
+  //    newer checkpoint's segment then undoes one more interval, newest
+  //    first, until the shadow is bit-identical to its state at
+  //    target.cycle. Within a segment every block appears exactly once, so
+  //    application order inside a segment is immaterial.
+  auto applyUndo = [this](const std::vector<SafetyNet::UndoRecord>& undo) {
+    for (const SafetyNet::UndoRecord& rec : undo) {
+      if (rec.wasAbsent) {
+        shadow_.erase(rec.blk);
+      } else {
+        shadow_[rec.blk] = rec.oldValue;
+      }
+    }
+  };
+  applyUndo(liveUndo_);
+  for (const SafetyNet::Snapshot* s : newerNewestFirst) applyUndo(s->undo);
+  liveUndo_.clear();
+  dirtySinceCkpt_.clear();
+
+  std::vector<FlatMap<Addr, DataBlock>> perHome(cfg_.numNodes);
   for (const auto& [blk, data] : shadow_) {
     perHome[map_.homeOf(blk)].emplace(blk, data);
   }
@@ -546,7 +646,7 @@ void System::restoreSnapshot(const SafetyNet::Snapshot& snap) {
   // SafetyNet's checkpoint deque; copy the per-core state for the deferred
   // restart (the checkpoint may be trimmed meanwhile).
   for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-    Core::ArchSnapshot coreSnap = snap.cores[n];
+    Core::ArchSnapshot coreSnap = target.cores[n];
     sim_.schedule(cfg_.ber.restartDrainDelay,
                   [this, n, coreSnap = std::move(coreSnap)] {
                     nodes_[n].core->restoreState(coreSnap);

@@ -15,6 +15,7 @@
 #include "coherence/snoop_cache.hpp"
 #include "coherence/snoop_memory.hpp"
 #include "common/error_sink.hpp"
+#include "common/flat_map.hpp"
 #include "cpu/core.hpp"
 #include "dvmc/cache_epoch_checker.hpp"
 #include "dvmc/memory_epoch_checker.hpp"
@@ -77,9 +78,19 @@ class System {
       std::function<void(NodeId, Addr, std::size_t, std::uint64_t)>;
   void setStoreAuditHook(StoreAuditHook h) { auditHook_ = std::move(h); }
 
-  /// SafetyNet plumbing (public for tests).
+  /// SafetyNet plumbing (public for tests). captureSnapshot() seals the
+  /// live undo segment into the returned checkpoint (O(blocks dirtied
+  /// since the previous capture)); restoreSnapshot() rolls the shadow
+  /// image back by replaying the live segment plus every newer
+  /// checkpoint's segment, newest first.
   SafetyNet::Snapshot captureSnapshot();
-  void restoreSnapshot(const SafetyNet::Snapshot& snap);
+  void restoreSnapshot(
+      const SafetyNet::Snapshot& target,
+      const std::vector<const SafetyNet::Snapshot*>& newerNewestFirst = {});
+
+  /// The architectural memory image (performed-store shadow). Tests
+  /// compare recovered state against independently reconstructed images.
+  const FlatMap<Addr, DataBlock>& memoryImage() const { return shadow_; }
 
   /// Triggers BER recovery to the newest checkpoint before `errorCycle`.
   bool recover(Cycle errorCycle);
@@ -119,6 +130,17 @@ class System {
   std::unique_ptr<ThreadProgram> makeProgram(NodeId n) const;
   void sendCheckpointTraffic();
   Json buildForensicsBundle(const Detection& d);
+
+  // Interval sampler (--sample-every). Column names are resolved to raw
+  // metric-slot pointers once at run start; each tick then sums a handful
+  // of pointers instead of snapshotting every registry (net.* columns read
+  // the torus accumulators directly).
+  struct SampleColumn {
+    enum class Net { kNone, kTotal, kCoherence, kInform, kCkpt };
+    Net net = Net::kNone;
+    std::vector<const std::uint64_t*> slots;
+  };
+  void buildSamplePlan();
   void scheduleSampleTick();
 
   SystemConfig cfg_;
@@ -134,6 +156,7 @@ class System {
   std::unique_ptr<EventTracer> ownedTracer_;
   // Interval sampler output (null unless cfg_.sampleEvery > 0).
   std::shared_ptr<TimeSeries> series_;
+  std::vector<SampleColumn> samplePlan_;
   std::unique_ptr<TorusNetwork> torus_;
   std::unique_ptr<BroadcastTree> tree_;
   std::vector<Node> nodes_;
@@ -143,7 +166,12 @@ class System {
   // basis for SafetyNet checkpoints.
   void armAutoRecovery();
 
-  std::unordered_map<Addr, DataBlock> shadow_;
+  FlatMap<Addr, DataBlock> shadow_;
+  // Undo log for the open (live) checkpoint interval: the first store to a
+  // block since the last checkpoint records the block's prior state here
+  // (maintained only when BER is enabled).
+  std::vector<SafetyNet::UndoRecord> liveUndo_;
+  FlatMap<Addr, bool> dirtySinceCkpt_;
   StoreAuditHook auditHook_;
   std::uint64_t storesSinceCkpt_ = 0;
   std::size_t handledDetections_ = 0;

@@ -14,8 +14,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "common/ring_queue.hpp"
 #include "common/rng.hpp"
 #include "consistency/model.hpp"
 #include "cpu/instr.hpp"
@@ -72,7 +72,7 @@ class SyntheticWorkload final : public ThreadProgram {
   std::size_t numThreads_;
   Rng rng_;
 
-  std::deque<Instr> pending_;
+  RingQueue<Instr> pending_;
   bool waiting_ = false;
   bool tx32_ = false;          // current transaction is v8 (TSO) code
   bool inBarrier_ = false;     // acquire machinery serves the barrier

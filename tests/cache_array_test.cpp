@@ -192,7 +192,7 @@ TEST(MemoryStorage, RestoreReplacesContents) {
   DataBlock d;
   d.write(0, 8, 1);
   m.write(0x40, d);
-  std::unordered_map<Addr, DataBlock> snapshot = m.blocks();
+  FlatMap<Addr, DataBlock> snapshot = m.blocks();
   d.write(0, 8, 2);
   m.write(0x40, d);
   EXPECT_EQ(m.read(0x40, &sink, 0, 0).read(0, 8), 2u);

@@ -14,10 +14,10 @@
 
 #include <gtest/gtest.h>
 
-#include <unordered_map>
 #include <sstream>
 
 #include "coherence/memory_storage.hpp"
+#include "common/flat_map.hpp"
 #include "system/runner.hpp"
 #include "system/stats_report.hpp"
 #include "system/system.hpp"
@@ -130,17 +130,17 @@ SystemConfig drfConfig(Protocol p, ConsistencyModel m,
   return cfg;
 }
 
-std::unordered_map<Addr, DataBlock> finalMemory(const SystemConfig& cfg,
-                                                const std::string& label) {
+FlatMap<Addr, DataBlock> finalMemory(const SystemConfig& cfg,
+                                     const std::string& label) {
   System sys(cfg);
   RunResult r = sys.run();
   EXPECT_TRUE(r.completed) << label;
   EXPECT_EQ(r.detections, 0u) << label;
-  return sys.captureSnapshot().memory;
+  return sys.memoryImage();
 }
 
 TEST(Equivalence, DrfFinalMemoryIdenticalAcrossProtocolAndModel) {
-  std::unordered_map<Addr, DataBlock> reference;
+  FlatMap<Addr, DataBlock> reference;
   std::string referenceLabel;
 
   for (Protocol p : {Protocol::kDirectory, Protocol::kSnooping}) {
@@ -150,7 +150,7 @@ TEST(Equivalence, DrfFinalMemoryIdenticalAcrossProtocolAndModel) {
       const std::string label =
           std::string(protocolName(p)) + "/" + modelName(m);
       SCOPED_TRACE(label);
-      std::unordered_map<Addr, DataBlock> mem = finalMemory(
+      FlatMap<Addr, DataBlock> mem = finalMemory(
           drfConfig(p, m, SystemConfig::CoherenceCheckerKind::kEpoch), label);
       ASSERT_FALSE(mem.empty());
 
@@ -191,11 +191,11 @@ TEST(Equivalence, ShadowCheckerDoesNotPerturbArchitecturalState) {
   // invisible to the architecture: same program, same final memory.
   for (Protocol p : {Protocol::kDirectory, Protocol::kSnooping}) {
     const std::string base = std::string(protocolName(p)) + "/TSO";
-    std::unordered_map<Addr, DataBlock> epoch = finalMemory(
+    FlatMap<Addr, DataBlock> epoch = finalMemory(
         drfConfig(p, ConsistencyModel::kTSO,
                   SystemConfig::CoherenceCheckerKind::kEpoch),
         base + "/epoch");
-    std::unordered_map<Addr, DataBlock> shadow = finalMemory(
+    FlatMap<Addr, DataBlock> shadow = finalMemory(
         drfConfig(p, ConsistencyModel::kTSO,
                   SystemConfig::CoherenceCheckerKind::kShadow),
         base + "/shadow");

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
+#include "coherence/memory_storage.hpp"
+#include "common/flat_map.hpp"
 #include "faults/injector.hpp"
 #include "obs/forensics.hpp"
 #include "obs/json.hpp"
@@ -158,6 +162,118 @@ TEST(ForensicsCapture, SnoopingProtocolCapturesToo) {
   ASSERT_GE(bundles->size(), 1u);
   EXPECT_FALSE(
       bundles->at(0).find("detection")->find("checker")->asString().empty());
+}
+
+// --- auto-recovery end-to-end ---------------------------------------------
+
+// Injects coherence faults into an auto-recovering system while maintaining
+// a *full-snapshot* oracle on the side: every performed store is mirrored
+// into `expected`, a deep copy of `expected` is taken at every SafetyNet
+// checkpoint (exactly what the pre-undo-log implementation captured), and on
+// recovery `expected` is rewound to the rollback target's copy. The
+// undo-log restore must land the system's memory image on the same bytes,
+// and the machine must keep retiring instructions afterwards.
+TEST(ForensicsCapture, AutoRecoveryMatchesFullSnapshotOracle) {
+  ForensicsRecorder rec;
+  SystemConfig cfg =
+      SystemConfig::withDvmc(Protocol::kDirectory, ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 1'000'000;  // effectively unbounded
+  cfg.maxCycles = 20'000'000;
+  cfg.ber.interval = 20'000;
+  cfg.autoRecover = true;
+  cfg.forensics = &rec;
+  System sys(cfg);
+  FaultInjector inj(sys, 0xBEEF);
+
+  FlatMap<Addr, DataBlock> expected;
+  sys.setStoreAuditHook(
+      [&](NodeId, Addr addr, std::size_t size, std::uint64_t value) {
+        const Addr blk = blockAddr(addr);
+        auto [it, fresh] =
+            expected.try_emplace(blk, MemoryStorage::initialPattern(blk));
+        it->second.write(blockOffset(addr), size, value);
+      });
+
+  // Run predicates are evaluated after *every* simulator event, so this
+  // observer sees the world immediately after each checkpoint / recovery
+  // event with no intervening stores.
+  std::vector<std::pair<Cycle, FlatMap<Addr, DataBlock>>> fullSnaps;
+  std::uint64_t seenCkpts = 0;
+  std::uint64_t seenRecoveries = 0;
+  std::uint64_t oracleMismatches = 0;
+  auto observe = [&] {
+    const std::uint64_t ck = sys.ber()->stats().get("ber.checkpoints");
+    if (ck != seenCkpts) {
+      seenCkpts = ck;
+      fullSnaps.emplace_back(sys.ber()->newestCheckpoint(), expected);
+    }
+    const std::uint64_t rc = sys.ber()->recoveries();
+    if (rc != seenRecoveries) {
+      seenRecoveries = rc;
+      // recoverBefore() squashed every checkpoint newer than the target,
+      // so the rollback target is now the newest surviving checkpoint.
+      const Cycle target = sys.ber()->newestCheckpoint();
+      while (!fullSnaps.empty() && fullSnaps.back().first > target) {
+        fullSnaps.pop_back();
+      }
+      if (fullSnaps.empty() || fullSnaps.back().first != target) {
+        ++oracleMismatches;  // lost track of the target checkpoint
+        return;
+      }
+      expected = fullSnaps.back().second;
+      if (!(sys.memoryImage() == expected)) ++oracleMismatches;
+    }
+  };
+
+  sys.runUntil([&] {
+    observe();
+    return sys.sim().now() >= 30'000;
+  });
+  ASSERT_EQ(sys.sink().count(), 0u);
+  ASSERT_GT(seenCkpts, 0u);
+
+  for (int attempt = 0; attempt < 50 && seenRecoveries == 0; ++attempt) {
+    inj.inject(FaultType::kCacheStateFlip);
+    sys.runUntil([&, until = sys.sim().now() + 100'000] {
+      observe();
+      return seenRecoveries > 0 || sys.sim().now() >= until;
+    });
+  }
+  ASSERT_GT(seenRecoveries, 0u) << "injected faults never triggered recovery";
+  EXPECT_EQ(oracleMismatches, 0u)
+      << "undo-log restore diverged from the full-snapshot oracle";
+  EXPECT_TRUE(sys.memoryImage() == expected);
+
+  // The rolled-back machine resumes: cores retire further instructions, the
+  // audit mirror keeps agreeing with the architectural shadow, and nothing
+  // lands outside the recovery window.
+  auto totalRetired = [&] {
+    std::uint64_t sum = 0;
+    for (std::size_t n = 0; n < sys.numNodes(); ++n) {
+      sum += sys.core(static_cast<NodeId>(n)).retired();
+    }
+    return sum;
+  };
+  const std::uint64_t retiredAtRecovery = totalRetired();
+  const RunResult r = sys.runUntil([&, until = sys.sim().now() + 200'000] {
+    observe();
+    return sys.sim().now() >= until;
+  });
+  EXPECT_GT(totalRetired(), retiredAtRecovery);
+  EXPECT_EQ(oracleMismatches, 0u);
+  EXPECT_TRUE(sys.memoryImage() == expected);
+  EXPECT_GE(r.recoveries, 1u);
+  EXPECT_EQ(r.unrecoverable, 0u);
+
+  // The detection that triggered recovery was also captured for forensics,
+  // with the SafetyNet epoch block recording a live recovery window.
+  ASSERT_GE(rec.bundleCount(), 1u);
+  const Json env = rec.toJson();
+  const Json* sn = env.find("bundles")->at(0).find("safetyNet");
+  ASSERT_NE(sn, nullptr);
+  EXPECT_GT(sn->find("checkpoints")->asUint(), 0u);
 }
 
 // --- interval sampler -----------------------------------------------------

@@ -190,14 +190,14 @@ TEST(Integration, CriticalSectionCounterIsExact) {
       EXPECT_EQ(r.detections, 0u) << protocolName(p) << "/" << modelName(m);
       // Read the final counter value via a fresh load on node 0.
       // The authoritative value lives wherever the last owner is; check
-      // through the shadow: every store passed through the hook, so run a
-      // final probe program instead — simplest: use captureSnapshot().
-      SafetyNet::Snapshot snap = sys.captureSnapshot();
+      // through the shadow: every store passed through the hook, so the
+      // architectural memory image carries the result.
+      const auto& image = sys.memoryImage();
       const Addr blk = blockAddr(kCounter);
-      ASSERT_TRUE(snap.memory.count(blk));
+      ASSERT_TRUE(image.count(blk));
       const std::uint64_t init =
           MemoryStorage::initialPattern(blk).read(blockOffset(kCounter), 8);
-      EXPECT_EQ(snap.memory.at(blk).read(blockOffset(kCounter), 8),
+      EXPECT_EQ(image.at(blk).read(blockOffset(kCounter), 8),
                 init + 4u * kIncrements)
           << protocolName(p) << "/" << modelName(m)
           << " lost an increment (mutual exclusion broken?)";
@@ -348,9 +348,8 @@ TEST(Integration, FinalMemoryValuesHaveStoreLineage) {
     EXPECT_EQ(r.detections, 0u);
     ASSERT_FALSE(written.empty());
 
-    SafetyNet::Snapshot snap = sys.captureSnapshot();
     std::size_t checked = 0;
-    for (const auto& [blk, data] : snap.memory) {
+    for (const auto& [blk, data] : sys.memoryImage()) {
       const DataBlock initial = MemoryStorage::initialPattern(blk);
       for (std::size_t w = 0; w < kBlockSizeWords; ++w) {
         const Addr addr = blk + w * 8;

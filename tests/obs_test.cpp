@@ -47,6 +47,43 @@ TEST(MetricSet, ReRegisteringReturnsSameSlot) {
   EXPECT_EQ(set.all().size(), 1u);
 }
 
+TEST(MetricSet, AllReturnsNameSortedScalars) {
+  MetricSet set;
+  set.counter("z.last").inc(3);
+  set.counter("a.first").inc(1);
+  Gauge g = set.gauge("m.level");
+  g.set(9);
+  const auto all = set.all();
+  ASSERT_EQ(all.size(), 4u);  // two counters + gauge + gauge peak
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(all.front().first, "a.first");
+  EXPECT_EQ(all.back().first, "z.last");
+  EXPECT_EQ(all.back().second, 3u);
+}
+
+TEST(MetricSet, FindScalarResolvesStableSlots) {
+  MetricSet set;
+  Counter c = set.counter("hits");
+  Gauge g = set.gauge("depth");
+  const std::uint64_t* hits = set.findScalar("hits");
+  const std::uint64_t* depth = set.findScalar("depth");
+  const std::uint64_t* peak = set.findScalar("depth.peak");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(depth, nullptr);
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(set.findScalar("absent"), nullptr);
+  c.inc(7);
+  g.set(4);
+  g.set(2);
+  // Registering more metrics must not move the resolved slots.
+  for (int i = 0; i < 64; ++i) {
+    set.counter("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(*hits, 7u);
+  EXPECT_EQ(*depth, 2u);
+  EXPECT_EQ(*peak, 4u);
+}
+
 TEST(MetricSet, GaugeTracksPeak) {
   MetricSet set;
   Gauge g = set.gauge("level");

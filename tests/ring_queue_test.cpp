@@ -1,0 +1,146 @@
+// RingQueue unit tests: FIFO semantics, wraparound reuse, growth past the
+// reservation, middle erase and reverse iteration (the write-buffer
+// patterns), and a differential check against std::deque.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "common/ring_queue.hpp"
+#include "common/rng.hpp"
+
+namespace dvmc {
+namespace {
+
+TEST(RingQueue, EmptyQueueBehaves) {
+  RingQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.begin(), q.end());
+}
+
+TEST(RingQueue, FifoOrderAcrossWraparound) {
+  RingQueue<int> q(4);
+  const std::size_t cap = q.capacity();
+  // Push/pop far more elements than the capacity: the window slides
+  // around the ring many times without reallocating.
+  int next = 0, expect = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (q.size() < 3) q.push_back(next++);
+    EXPECT_EQ(q.front(), expect++);
+    q.pop_front();
+  }
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingQueue, ReservePreventsReallocation) {
+  RingQueue<int> q;
+  q.reserve(100);
+  const std::size_t cap = q.capacity();
+  ASSERT_GE(cap, 100u);
+  for (int i = 0; i < 100; ++i) q.push_back(i);
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingQueue, GrowsPastReservationPreservingOrder) {
+  RingQueue<int> q(2);
+  // Stagger the head so growth has to unwrap a wrapped window.
+  for (int i = 0; i < 5; ++i) q.push_back(i);
+  for (int i = 0; i < 5; ++i) q.pop_front();
+  for (int i = 0; i < 200; ++i) q.push_back(i);
+  ASSERT_EQ(q.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(q[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RingQueue, MiddleEraseShiftsTailForward) {
+  RingQueue<int> q;
+  for (int i = 0; i < 6; ++i) q.push_back(i);
+  auto it = q.begin();
+  ++it;
+  ++it;  // points at 2
+  it = q.erase(it);
+  EXPECT_EQ(*it, 3);
+  ASSERT_EQ(q.size(), 5u);
+  const int want[] = {0, 1, 3, 4, 5};
+  for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(q[i], want[i]);
+}
+
+TEST(RingQueue, ReverseIterationMatchesDeque) {
+  RingQueue<int> q;
+  std::deque<int> d;
+  for (int i = 0; i < 10; ++i) {
+    q.push_back(i * i);
+    d.push_back(i * i);
+  }
+  auto qit = q.rbegin();
+  for (auto dit = d.rbegin(); dit != d.rend(); ++dit, ++qit) {
+    ASSERT_NE(qit, q.rend());
+    EXPECT_EQ(*qit, *dit);
+  }
+  EXPECT_EQ(qit, q.rend());
+}
+
+TEST(RingQueue, AssignReplacesContents) {
+  RingQueue<std::string> q;
+  q.push_back("old");
+  const std::deque<std::string> src = {"a", "b", "c"};
+  q.assign(src.begin(), src.end());
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.front(), "a");
+  EXPECT_EQ(q.back(), "c");
+}
+
+TEST(RingQueue, PopReleasesHeldResources) {
+  RingQueue<std::string> q(2);
+  q.push_back(std::string(1000, 'x'));
+  q.pop_front();
+  // The popped slot must not keep the string alive; push into the same
+  // slot and verify nothing of the old value leaks through.
+  q.push_back("fresh");
+  EXPECT_EQ(q.back(), "fresh");
+}
+
+TEST(RingQueue, FuzzDifferentialAgainstDeque) {
+  RingQueue<std::uint64_t> q(8);
+  std::deque<std::uint64_t> d;
+  Rng rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t op = rng.next() % 100;
+    if (op < 45) {
+      const std::uint64_t v = rng.next();
+      q.push_back(v);
+      d.push_back(v);
+    } else if (op < 80) {
+      if (!d.empty()) {
+        ASSERT_EQ(q.front(), d.front());
+        q.pop_front();
+        d.pop_front();
+      }
+    } else if (op < 90) {
+      if (!d.empty()) {
+        const std::size_t i = rng.next() % d.size();
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        d.erase(d.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    } else if (op < 95) {
+      if (!d.empty()) {
+        ASSERT_EQ(q.back(), d.back());
+        q.pop_back();
+        d.pop_back();
+      }
+    } else if (op == 99) {
+      q.clear();
+      d.clear();
+    }
+    ASSERT_EQ(q.size(), d.size());
+    if (!d.empty()) {
+      const std::size_t i = rng.next() % d.size();
+      ASSERT_EQ(q[i], d[i]);
+    }
+  }
+  EXPECT_TRUE(std::equal(q.begin(), q.end(), d.begin(), d.end()));
+}
+
+}  // namespace
+}  // namespace dvmc

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Perf-gate comparator for dvmc-bench JSON documents.
+
+Usage:
+  check_perf.py BASELINE CURRENT [--max-regression 0.30]
+
+Both files must follow the "dvmc-bench" schema written by the bench
+binaries' --json flag (see bench/bench_common.hpp). For every row name
+present in BOTH files, the current events/sec must be at least
+(1 - max_regression) times the baseline events/sec; any row below that
+threshold fails the gate. Rows only present on one side are reported but
+do not fail (benchmarks get added and retired), and the machines running
+baseline and current may differ, which is why the default margin is a
+deliberately loose 30%.
+
+Exit status: 0 = within budget, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "dvmc-bench":
+        print(f"error: {path}: schema is {doc.get('schema')!r}, "
+              "expected 'dvmc-bench'", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("results", []):
+        name = row.get("name")
+        eps = row.get("eventsPerSec", 0)
+        if not name or not isinstance(eps, (int, float)) or eps <= 0:
+            print(f"error: {path}: malformed row {row!r}", file=sys.stderr)
+            sys.exit(2)
+        # Same name measured twice (e.g. repeated configs): keep the best,
+        # matching how a human would read the table.
+        rows[name] = max(rows.get(name, 0), eps)
+    if not rows:
+        print(f"error: {path}: no result rows", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.30,
+                    help="allowed fractional slowdown (default 0.30)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    floor = 1.0 - args.max_regression
+
+    failures = []
+    width = max(len(n) for n in sorted(set(base) | set(cur)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<{width}}  {'--':>12}  {cur[name]:>12.3e}  (new)")
+            continue
+        if name not in cur:
+            print(f"{name:<{width}}  {base[name]:>12.3e}  {'--':>12}  (gone)")
+            continue
+        ratio = cur[name] / base[name]
+        verdict = "" if ratio >= floor else "  REGRESSION"
+        print(f"{name:<{width}}  {base[name]:>12.3e}  {cur[name]:>12.3e}  "
+              f"{ratio:5.2f}x{verdict}")
+        if ratio < floor:
+            failures.append((name, ratio))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} row(s) regressed more than "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+        return 1
+    print(f"\nOK: all shared rows within {args.max_regression:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
