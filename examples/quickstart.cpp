@@ -49,8 +49,10 @@ int runQuickstart(int argc, char** argv) {
   std::printf("%s\n",
               OrderingTable::forModel(model).toString().c_str());
 
+  armCaptureFromObs(cfg);
   System sys(cfg);
   RunResult r = sys.run();
+  writeCaptureFileOnce(r.trace);
 
   std::printf("run %s in %llu cycles\n",
               r.completed ? "completed" : "DID NOT complete",

@@ -217,6 +217,24 @@ void DirectoryCacheController::maybeFinalize(Addr blk) {
 }
 
 void DirectoryCacheController::finalizeTransaction(Addr blk) {
+  // A fill needs a way. When every line in the set is itself
+  // mid-transaction (upgrade MSHR, writeback awaiting its PutAck), hardware
+  // holds the response in the MSHR until a way frees; model that as a
+  // bounded-latency retry. The blocked transactions never depend on this
+  // block's unblock, so one of them always completes.
+  if (CacheLine* l = array_.find(blk); l == nullptr || !mosiCanRead(l->state)) {
+    if (array_.victim(blk, [this](const CacheLine& c) {
+          return mshrs_.count(c.tag) == 0 && wbBuffer_.count(c.tag) == 0;
+        }) == nullptr) {
+      cFillStall_.inc();
+      sim_.schedule(kFillRetryCycles, [this, blk, g = gen_] {
+        if (g != gen_) return;  // squashed by BER recovery
+        if (mshrs_.count(blk) != 0) finalizeTransaction(blk);
+      });
+      return;
+    }
+  }
+
   Mshr m = std::move(mshrs_.at(blk));
   mshrs_.erase(blk);
 
@@ -230,9 +248,32 @@ void DirectoryCacheController::finalizeTransaction(Addr blk) {
     line->state = MosiState::kM;
     array_.touch(*line, sink_, node_, sim_.now());
     if (epochs_ != nullptr) epochs_->onEpochBegin(blk, true, line->data, clock_->now());
-  } else {
-    DVMC_ASSERT(m.dataCarried, "install without data payload");
+  } else if (m.dataCarried) {
     installWithEviction(blk, m.wantM ? MosiState::kM : MosiState::kS, m.data);
+  } else if (m.invStashed) {
+    // Ack-count-only upgrade whose line vanished mid-flight to a stale Inv
+    // (ordered before the grant that produced our copy — the home still
+    // listing us proves no writer intervened since), so the stashed copy
+    // is the current data.
+    installWithEviction(blk, m.wantM ? MosiState::kM : MosiState::kS,
+                        m.invStash);
+  } else {
+    // Ack-count-only upgrade with no local copy at all: the home believes
+    // we are the owner, but our line left without a writeback — possible
+    // only under injected faults (a state flip demoting M so the eviction
+    // went out silently as clean, or a duplicated writeback resurrecting
+    // stale ownership). An ownership grant without data for a block we do
+    // not hold is a protocol invariant violation the controller can see
+    // locally, so report it — a permission-only coherence checker has no
+    // data hashes to catch the consequence otherwise. Install a zeroed
+    // block to keep the machine running until recovery reacts.
+    cUpgradeNoData_.inc();
+    if (sink_ != nullptr) {
+      sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
+                     "ownership grant without data for an absent block"});
+    }
+    installWithEviction(blk, m.wantM ? MosiState::kM : MosiState::kS,
+                        DataBlock{});
   }
 
   Message unblock;
@@ -305,9 +346,15 @@ void DirectoryCacheController::handleFwdGetS(const Message& msg) {
     sendData(msg.requester, blk, wb->second, 0);
     return;
   }
-  // Unreachable in a fault-free run; keep the system limping under injected
-  // faults so the checkers can flag the corruption downstream.
+  // Unreachable in a fault-free run: the home forwarded to us but we are
+  // not the owner — a locally visible protocol invariant violation. Report
+  // it (a permission-only coherence checker has no data hashes to catch
+  // the fabricated payload downstream) and keep the system limping.
   cUnexpectedFwdGetS_.inc();
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
+                   "FwdGetS received for a block this node does not own"});
+  }
   sendData(msg.requester, blk, line != nullptr ? line->data : DataBlock{}, 0);
 }
 
@@ -328,7 +375,14 @@ void DirectoryCacheController::handleFwdGetM(const Message& msg) {
     sendData(msg.requester, blk, wb->second, msg.ackCount);
     return;
   }
+  // Same invariant violation as the FwdGetS case above, but for an
+  // ownership transfer: the requester would install and dirty a fabricated
+  // block, which only a data-hashing checker could catch later.
   cUnexpectedFwdGetM_.inc();
+  if (sink_ != nullptr) {
+    sink_->report({CheckerKind::kCacheCoherence, sim_.now(), node_, blk,
+                   "FwdGetM received for a block this node does not own"});
+  }
   sendData(msg.requester, blk, DataBlock{}, msg.ackCount);
 }
 
@@ -336,11 +390,22 @@ void DirectoryCacheController::handleInv(const Message& msg) {
   const Addr blk = blockAddr(msg.addr);
   CacheLine* line = array_.find(blk);
   if (line != nullptr && mosiCanRead(line->state)) {
+    if (auto it = mshrs_.find(blk); it != mshrs_.end()) {
+      // The Inv raced our own outstanding transaction. If it was ordered
+      // before the grant that gave us this copy (stale Inv from a slow
+      // network), an ack-count-only upgrade response still expects us to
+      // hold the data — keep a copy so finalize can install it.
+      it->second.invStash = line->data;
+      it->second.invStashed = true;
+    }
     if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line->data, clock_->now());
     line->valid = false;
     line->state = MosiState::kI;
-    notifyCpuLost(blk, /*remoteWrite=*/true);  // invalidation
   }
+  // An Inv after a silent S-eviction finds no line, but the CPU may still
+  // hold speculatively performed loads on the block — the squash hint must
+  // fire regardless of line presence.
+  notifyCpuLost(blk, /*remoteWrite=*/true);
   Message ack;
   ack.type = MsgType::kInvAck;
   ack.src = node_;

@@ -73,6 +73,8 @@ class DirectoryCacheController final : public CoherentCache {
     bool dataReceived = false;
     bool dataCarried = false;  // Data message carried a payload
     DataBlock data;
+    bool invStashed = false;  // an Inv raced this transaction; stash below
+    DataBlock invStash;       // our line's data at that Inv
     int acksExpected = -1;  // unknown until the Data message arrives
     int acksReceived = 0;
     std::deque<PendingOp> ops;
@@ -115,11 +117,13 @@ class DirectoryCacheController final : public CoherentCache {
   Counter cGetS_ = stats_.counter("l2.getS");
   Counter cGetM_ = stats_.counter("l2.getM");
   Counter cWbStall_ = stats_.counter("l2.wbStall");
+  Counter cFillStall_ = stats_.counter("l2.fillStall");
   Counter cEvictClean_ = stats_.counter("l2.evictClean");
   Counter cEvictDirty_ = stats_.counter("l2.evictDirty");
   Counter cDataSupplied_ = stats_.counter("l2.dataSupplied");
   Counter cStrayData_ = stats_.counter("l2.strayData");
   Counter cStrayInvAck_ = stats_.counter("l2.strayInvAck");
+  Counter cUpgradeNoData_ = stats_.counter("protocol.upgradeNoData");
   Counter cUnexpectedFwdGetS_ = stats_.counter("protocol.unexpectedFwdGetS");
   Counter cUnexpectedFwdGetM_ = stats_.counter("protocol.unexpectedFwdGetM");
 };

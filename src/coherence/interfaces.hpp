@@ -147,6 +147,10 @@ struct CoherenceTimings {
   Cycle ctrlLatency = 2;
 };
 
+/// Retry interval for a fill that found every way in its set
+/// mid-transaction (the MSHR holds the response until a way frees).
+inline constexpr Cycle kFillRetryCycles = 8;
+
 /// Protocol-independent face of an L2 cache + coherence controller.
 class CoherentCache {
  public:

@@ -224,12 +224,15 @@ void SnoopCacheController::applySnoop(const Message& msg,
         if (epochs_ != nullptr) epochs_->onEpochEnd(blk, line->data, ltime);
         line->valid = false;
         line->state = MosiState::kI;
-        notifyCpuLost(blk, /*remoteWrite=*/true);  // a remote GetM took it
       } else if (auto wb = wbBuffer_.find(blk);
                  wb != wbBuffer_.end() && wb->second.stillOwner) {
         supplyData(msg.src, blk, wb->second.data);
         wb->second.stillOwner = false;
       }
+      // A remote writer is taking the block. Even with no line present
+      // (silent eviction) the CPU may hold speculatively performed loads on
+      // it, so the squash hint fires regardless of line presence.
+      notifyCpuLost(blk, /*remoteWrite=*/true);
       return;
     case MsgType::kSnpPutM:
       return;  // memory handles writebacks
@@ -260,6 +263,24 @@ void SnoopCacheController::maybeComplete(Addr blk) {
   Mshr& m = it->second;
   if (!m.ordered) return;
   if (!m.dataReceived && !m.selfSupply) return;
+
+  // A fill needs a way. When every line in the set is itself
+  // mid-transaction (upgrade MSHR, writeback awaiting its data turn),
+  // hardware holds the response in the MSHR until a way frees; model that
+  // as a bounded-latency retry. Snoops for this block keep deferring
+  // meanwhile, and the blocked transactions never depend on this fill.
+  if (CacheLine* l = array_.find(blk); l == nullptr || !mosiCanRead(l->state)) {
+    if (array_.victim(blk, [this](const CacheLine& c) {
+          return mshrs_.count(c.tag) == 0 && wbBuffer_.count(c.tag) == 0;
+        }) == nullptr) {
+      cFillStall_.inc();
+      sim_.schedule(kFillRetryCycles, [this, blk, g = gen_] {
+        if (g != gen_) return;  // squashed by BER recovery
+        if (mshrs_.count(blk) != 0) maybeComplete(blk);
+      });
+      return;
+    }
+  }
 
   // Move the MSHR out before installing: eviction and op re-dispatch below
   // may create new transactions for other blocks.

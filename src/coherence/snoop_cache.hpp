@@ -109,6 +109,7 @@ class SnoopCacheController final : public CoherentCache {
   Counter cMiss_ = stats_.counter("l2.miss");
   Counter cGetS_ = stats_.counter("l2.getS");
   Counter cGetM_ = stats_.counter("l2.getM");
+  Counter cFillStall_ = stats_.counter("l2.fillStall");
   Counter cEvictClean_ = stats_.counter("l2.evictClean");
   Counter cEvictDirty_ = stats_.counter("l2.evictDirty");
   Counter cDataSupplied_ = stats_.counter("l2.dataSupplied");

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/assert.hpp"
+#include "verify/trace.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -256,6 +257,7 @@ void Core::phaseExecute() {
       e.st = St::kExecuted;
       if (e.performedAtExec) {
         // Forwarded RMO load: it performs now.
+        e.performedAt = sim_.now();
         if (vc_ != nullptr) vc_->parkLoadValue(e.inst.addr, 8, e.execValue);
         performEvent(e);
       }
@@ -386,6 +388,11 @@ void Core::executeLoad(RobEntry& e) {
       cInjectedLoadFaults_.inc();
     }
     e2->st = St::kExecuted;
+    if (rmoLoad || vc_ == nullptr) {
+      // The cache access just performed this load (countsAsPerform above);
+      // ordered-load models with DVUO perform at the verification replay.
+      e2->performedAt = sim_.now();
+    }
     if (rmoLoad) {
       e2->performedAtExec = true;
       if (vc_ != nullptr) vc_->parkLoadValue(e2->inst.addr, 8, r.value);
@@ -413,6 +420,7 @@ void Core::executeAtomic(RobEntry& e) {
     e2->execValue = r.value;
     e2->st = St::kExecuted;
     e2->performedAtExec = true;
+    e2->performedAt = sim_.now();
     if (vc_ != nullptr) vc_->parkLoadValue(e2->inst.addr, 8, r.value);
     performEvent(*e2);
     wake();
@@ -520,6 +528,7 @@ void Core::gateEntry(RobEntry& e) {
           TRACEW(e2->inst.addr, "[%llu] n%u SC store performed seq=%llu",
                  (unsigned long long)sim_.now(), node_,
                  (unsigned long long)e2->seq);
+          e2->performedAt = sim_.now();
           e2->st = St::kGateDone;
           wake();
         });
@@ -645,6 +654,11 @@ void Core::onReplayDone(RobEntry& e, std::uint64_t replayValue, bool l1Hit) {
     cUoFlushes_.inc();
     return;
   }
+  // The verification replay performed this ordered load at its own access
+  // instant. A remote write landing between here and in-order promotion
+  // squashes the entry (onReadPermissionLost treats kGateDone as still
+  // speculative), so the observed value is stable through promotion.
+  e.performedAt = sim_.now();
   e.st = St::kGateDone;
 }
 
@@ -680,7 +694,54 @@ void Core::finishGate(RobEntry& e) {
     case Instr::Kind::kCompute:
       break;
   }
+  recordCommit(e);
   e.st = St::kVerified;
+}
+
+void Core::recordCommit(const RobEntry& e) {
+  if (rec_ == nullptr) return;
+  verify::TraceRecord r;
+  switch (e.inst.kind) {
+    case Instr::Kind::kCompute:
+      return;
+    case Instr::Kind::kLoad:
+      r.op = verify::TraceOp::kLoad;
+      r.value = r.readValue = e.execValue;
+      break;
+    case Instr::Kind::kStore:
+      r.op = verify::TraceOp::kStore;
+      r.value = e.inst.value;
+      break;
+    case Instr::Kind::kSwap:
+      r.op = verify::TraceOp::kSwap;
+      r.value = e.inst.value;
+      r.readValue = e.execValue;
+      break;
+    case Instr::Kind::kCas:
+      r.op = verify::TraceOp::kCas;
+      r.value = e.inst.value;
+      r.readValue = e.execValue;
+      if (e.execValue != e.inst.compare) r.flags |= verify::kFlagCasFailed;
+      break;
+    case Instr::Kind::kMembar:
+      r.op = verify::TraceOp::kMembar;
+      r.membarMask = e.inst.membarMask;
+      break;
+  }
+  r.node = static_cast<std::uint8_t>(node_);
+  r.model = static_cast<std::uint8_t>(e.model);
+  r.seq = e.seq;
+  r.addr = e.inst.addr & ~Addr{7};
+  if (e.inst.is32Bit) r.flags |= verify::kFlag32Bit;
+  // Everything except a buffered store has performed by the time it passes
+  // the gate; a buffered store's cycle is patched at write-buffer drain.
+  const bool buffered = e.inst.kind == Instr::Kind::kStore &&
+                        e.model != ConsistencyModel::kSC;
+  if (!buffered) {
+    r.flags |= verify::kFlagPerformed;
+    r.performCycle = e.performedAt != 0 ? e.performedAt : sim_.now();
+  }
+  rec_->onCommit(r);
 }
 
 void Core::deliverToken(RobEntry& e) {
@@ -724,6 +785,9 @@ void Core::phaseRetire() {
           if (vc_ != nullptr) {
             vc_->storeSuperseded(it->addr, 8, it->seq, it->value,
                                  sim_.now());
+          }
+          if (rec_ != nullptr) {
+            rec_->storeSuperseded(node_, it->seq, sim_.now());
           }
           if (ar_ != nullptr) {
             ar_->onPerform(OpType::kStore, 0, it->seq, tableFor(model_));
@@ -828,6 +892,9 @@ void Core::drainWriteBuffer() {
           if (vc_ != nullptr) {
             vc_->storePerformed(it->addr, 8, it->value, sim_.now());
           }
+          if (rec_ != nullptr) {
+            rec_->storePerformed(node_, it->seq, sim_.now());
+          }
           if (ar_ != nullptr) {
             // Mixed-mode note: the drain rules guarantee per-model order;
             // the perform event uses the store's own model table.
@@ -859,26 +926,55 @@ void Core::onReadPermissionLost(Addr blk, bool remoteWrite) {
   // any later remote write to the untracked block with a flush (squashing
   // here would livelock a thrashing cache set).
   if (!remoteWrite) return;
+  // Tracks, walking in program order, whether some older operation's
+  // perform point is still pending. Only then is a replayed (kGateDone)
+  // load's perform not yet anchored in program order; squashing exactly
+  // those keeps the oldest pending load always able to drain, which is
+  // what prevents a hot contended block from livelocking the gate.
+  bool olderUnperformed = false;
   for (RobEntry& e : rob_) {
-    if (e.inst.kind != Instr::Kind::kLoad) continue;
-    if (e.model == ConsistencyModel::kRMO) continue;
-    if (blockAddr(e.inst.addr) != blk) continue;
-    switch (e.st) {
-      case St::kIssued:
-      case St::kGateIssued:
-        e.squashPending = true;  // discard on callback
-        cSquashes_.inc();
-        break;
-      case St::kExecuted:
-        ++e.gen;
-        e.st = St::kDispatched;
-        cSquashes_.inc();
-        TRACEW(e.inst.addr, "[%llu] n%u squash-exec seq=%llu",
-               (unsigned long long)sim_.now(), node_,
-               (unsigned long long)e.seq);
-        break;
-      default:
-        break;
+    if (e.inst.kind == Instr::Kind::kLoad &&
+        e.model != ConsistencyModel::kRMO && blockAddr(e.inst.addr) == blk) {
+      switch (e.st) {
+        case St::kIssued:
+        case St::kGateIssued:
+          e.squashPending = true;  // discard on callback
+          cSquashes_.inc();
+          break;
+        case St::kExecuted:
+          ++e.gen;
+          e.st = St::kDispatched;
+          cSquashes_.inc();
+          TRACEW(e.inst.addr, "[%llu] n%u squash-exec seq=%llu",
+                 (unsigned long long)sim_.now(), node_,
+                 (unsigned long long)e.seq);
+          break;
+        case St::kGateDone:
+          // Replayed but not yet promoted. If an older load is still
+          // replaying, this entry's perform point is not yet in program
+          // order: keeping the pre-write value while the older load later
+          // observes a post-write one would be a load-load reordering the
+          // ordered models forbid. With no older pending perform the
+          // replay-time value is already correctly ordered — leave it.
+          if (olderUnperformed) {
+            ++e.gen;
+            e.st = St::kDispatched;
+            cSquashes_.inc();
+            TRACEW(e.inst.addr, "[%llu] n%u squash-gatedone seq=%llu",
+                   (unsigned long long)sim_.now(), node_,
+                   (unsigned long long)e.seq);
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    const bool ordersPerforms = e.inst.kind == Instr::Kind::kLoad ||
+                                e.inst.kind == Instr::Kind::kSwap ||
+                                e.inst.kind == Instr::Kind::kCas ||
+                                e.inst.kind == Instr::Kind::kMembar;
+    if (ordersPerforms && e.st != St::kGateDone && e.st != St::kVerified) {
+      olderUnperformed = true;
     }
   }
   wake();

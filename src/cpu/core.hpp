@@ -37,6 +37,10 @@
 
 namespace dvmc {
 
+namespace verify {
+class TraceRecorder;
+}
+
 struct CpuConfig {
   std::size_t robSize = 64;
   std::size_t width = 4;          // dispatch / gate / retire width per cycle
@@ -74,6 +78,10 @@ class Core final : public CpuNotifier {
   }
   ThreadProgram& program() { return *program_; }
   NodeId node() const { return node_; }
+
+  /// Arms commit-point trace capture for the offline consistency oracle
+  /// (verify/oracle.hpp). Not owned; null disables capture.
+  void setTraceRecorder(verify::TraceRecorder* rec) { rec_ = rec; }
 
   // --- fault injection hooks (error-detection experiments, §6.1) ---
   /// Corrupts the value of the next executed load (models an LSQ
@@ -139,6 +147,7 @@ class Core final : public CpuNotifier {
     ConsistencyModel model = ConsistencyModel::kTSO;
     St st = St::kDispatched;
     Cycle readyAt = 0;
+    Cycle performedAt = 0;  // true perform instant (0: performs at promotion)
     std::uint64_t execValue = 0;
     bool prefetched = false;
     bool performedAtExec = false;  // RMO loads / atomics
@@ -180,6 +189,7 @@ class Core final : public CpuNotifier {
   const OrderingTable& tableFor(ConsistencyModel m) const;
   void performEvent(const RobEntry& e);
   void reportUoViolation(const RobEntry& e, const char* what);
+  void recordCommit(const RobEntry& e);
 
   Simulator& sim_;
   NodeId node_;
@@ -190,6 +200,7 @@ class Core final : public CpuNotifier {
   ErrorSink* sink_;
   VerificationCache* vc_;   // null when DVUO disabled
   ReorderChecker* ar_;      // null when DVAR disabled
+  verify::TraceRecorder* rec_ = nullptr;  // null when capture disabled
   DvmcConfig dvmc_;
 
   OrderingTable tables_[4];  // indexed by ConsistencyModel

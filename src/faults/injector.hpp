@@ -39,6 +39,13 @@ const std::vector<FaultType>& allFaultTypes();
 /// ordered-network reorder only exists in snooping systems).
 bool faultApplicable(FaultType t, ConsistencyModel m, Protocol p);
 
+/// True when the configured coherence checker claims coverage for `t`.
+/// The shadow (TCSC-style) checker documentedly does not hash-check
+/// cache-to-cache data transfers, so in-flight payload corruption is
+/// outside its coverage — a differential campaign must not count such a
+/// miss as a checker escape.
+bool faultCoveredBy(FaultType t, SystemConfig::CoherenceCheckerKind checker);
+
 class FaultInjector {
  public:
   FaultInjector(System& sys, std::uint64_t seed);

@@ -84,16 +84,19 @@ int parseObsFlags(int argc, char** argv) {
   std::uint64_t forensicsWindow = opts.forensicsWindow;
   std::uint64_t sampleEvery = 0;
   std::uint64_t sampleCapacity = opts.sampleCapacity;
+  std::uint64_t captureTraceLimit = opts.captureTraceLimit;
   const PathFlag pathFlags[] = {
       {"--trace", &opts.traceFile},
       {"--report-json", &opts.reportJsonFile},
       {"--forensics", &opts.forensicsFile},
+      {"--capture-trace", &opts.captureTraceFile},
   };
   const CountFlag countFlags[] = {
       {"--trace-capacity", &traceCapacity},
       {"--forensics-window", &forensicsWindow},
       {"--sample-every", &sampleEvery},
       {"--sample-capacity", &sampleCapacity},
+      {"--capture-trace-limit", &captureTraceLimit},
   };
 
   int out = 1;
@@ -126,6 +129,7 @@ int parseObsFlags(int argc, char** argv) {
   opts.forensicsWindow = static_cast<std::size_t>(forensicsWindow);
   opts.sampleEvery = sampleEvery;
   opts.sampleCapacity = static_cast<std::size_t>(sampleCapacity);
+  opts.captureTraceLimit = static_cast<std::size_t>(captureTraceLimit);
   return out;
 }
 

@@ -13,6 +13,11 @@
 //   --sample-every=N      snapshot telemetry counters every N cycles into
 //                         the run report's "series" section
 //   --sample-capacity=M   telemetry ring size in rows (default 4096)
+//   --capture-trace=FILE  record the commit-point memory-op trace of the
+//                         first run/seed ("dvmc-trace" binary, version 1)
+//                         for the offline consistency oracle (dvmc_oracle)
+//   --capture-trace-limit=N  max records before the capture is marked
+//                         truncated (default 4194304)
 //
 // parseObsFlags strips them from argv (like parseJobsFlag) and validates
 // them eagerly: a zero or non-numeric count, or an unwritable output
@@ -46,10 +51,12 @@ struct ObsOptions {
   std::string traceFile;       // empty = tracing off
   std::string reportJsonFile;  // empty = no report
   std::string forensicsFile;   // empty = no forensics capture
+  std::string captureTraceFile;  // empty = commit-trace capture off
   std::size_t traceCapacity = 1u << 16;
   std::size_t forensicsWindow = 256;   // last-K events per bundle
   Cycle sampleEvery = 0;               // 0 = time-series sampling off
   std::size_t sampleCapacity = 4096;   // telemetry ring rows
+  std::size_t captureTraceLimit = std::size_t{1} << 22;  // records
 };
 
 ObsOptions& options();

@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "verify/trace.hpp"
 #include "workload/params.hpp"
 
 namespace dvmc {
@@ -94,6 +95,15 @@ struct SystemConfig {
   Cycle sampleEvery = 0;
   std::size_t sampleCapacity = 4096;
 
+  /// Commit-point trace capture for the offline consistency oracle
+  /// (verify/). The capture rides RunResult::trace like the telemetry
+  /// series. Incompatible with autoRecover: a rollback re-executes
+  /// instructions under fresh sequence numbers, which would duplicate the
+  /// recorded history. Past `traceCaptureLimit` records the trace is
+  /// marked truncated and the oracle refuses it.
+  bool captureTrace = false;
+  std::size_t traceCaptureLimit = std::size_t{1} << 22;
+
   /// Global stop target: total transactions across all processors (barnes:
   /// phases per processor, run to completion).
   std::uint64_t targetTransactions = 400;
@@ -152,6 +162,10 @@ struct RunResult {
   /// so RunResult copies stay cheap; the series is immutable once the run
   /// finishes.
   std::shared_ptr<const TimeSeries> series;
+
+  /// Commit trace (null unless SystemConfig::captureTrace). Immutable once
+  /// the run finishes; feed to verify::checkTrace.
+  std::shared_ptr<const verify::CapturedTrace> trace;
 };
 
 }  // namespace dvmc

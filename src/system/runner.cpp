@@ -1,6 +1,7 @@
 #include "system/runner.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -9,10 +10,17 @@
 #include "common/thread_pool.hpp"
 #include "obs/run_report.hpp"
 #include "system/system.hpp"
+#include "verify/trace.hpp"
 
 namespace dvmc {
 
 namespace {
+
+/// --capture-trace support: the first completed capture of the process
+/// wins the file (mirrors the tracer's first-run-only semantics). Written
+/// eagerly — unlike the report, a crash later in the harness should not
+/// lose the trace that explains it.
+std::atomic<bool> g_captureTraceWritten{false};
 
 Json statJson(const RunningStat& s) {
   return Json::object()
@@ -116,10 +124,40 @@ Json configJson(const SystemConfig& cfg) {
       .set("targetTransactions", Json::num(cfg.targetTransactions));
 }
 
+void armCaptureFromObs(SystemConfig& cfg) {
+  const obs::ObsOptions& opts = obs::options();
+  if (opts.captureTraceFile.empty()) return;
+  // autoRecover re-executes instructions after rollback, which would
+  // duplicate trace history; leave capture off rather than abort the run.
+  if (cfg.autoRecover) return;
+  cfg.captureTrace = true;
+  cfg.traceCaptureLimit = opts.captureTraceLimit;
+}
+
+void writeCaptureFileOnce(
+    const std::shared_ptr<const verify::CapturedTrace>& trace) {
+  if (!trace) return;
+  const obs::ObsOptions& opts = obs::options();
+  if (opts.captureTraceFile.empty()) return;
+  if (g_captureTraceWritten.exchange(true)) return;
+  std::string err;
+  if (!verify::writeTraceFile(opts.captureTraceFile, *trace, &err)) {
+    std::fprintf(stderr, "obs: cannot write capture-trace file: %s\n",
+                 err.c_str());
+  } else {
+    std::fprintf(stderr, "obs: wrote %llu trace record(s) to %s\n",
+                 static_cast<unsigned long long>(trace->records.size()),
+                 opts.captureTraceFile.c_str());
+  }
+}
+
 RunResult runOnce(const SystemConfig& cfg) {
-  System sys(cfg);
+  SystemConfig c = cfg;
+  armCaptureFromObs(c);
+  System sys(c);
   RunResult r = sys.run();
-  if (obs::reportingActive()) recordReport("runOnce", cfg, toJson(r));
+  writeCaptureFileOnce(r.trace);
+  if (obs::reportingActive()) recordReport("runOnce", c, toJson(r));
   return r;
 }
 
@@ -184,6 +222,7 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
   // Fan the independent per-seed simulations out across workers; results
   // land in a slot per seed so the merge below is in seed order and the
   // aggregated statistics match a sequential run bit for bit.
+  armCaptureFromObs(cfg);
   std::vector<RunResult> results(static_cast<std::size_t>(seedCount));
   const int jobs = resolveJobs(cfg);
   parallelFor(
@@ -200,6 +239,12 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
       });
 
   MultiRunResult out;
+  if (cfg.captureTrace) {
+    out.traces.reserve(results.size());
+    for (const RunResult& r : results) out.traces.push_back(r.trace);
+    // The file mirrors the first seed's capture, like the tracer/series.
+    if (!results.empty()) writeCaptureFileOnce(results[0].trace);
+  }
   for (const RunResult& r : results) {
     out.cycles.addTracked(static_cast<double>(r.cycles));
     out.peakLinkBytesPerCycle.addTracked(r.peakLinkBytesPerCycle);

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "obs/json.hpp"
@@ -30,11 +32,31 @@ struct MultiRunResult {
   /// sequential run regardless of the worker count).
   MetricSnapshot metrics;
 
+  /// Per-seed commit traces in seed order (each null unless
+  /// SystemConfig::captureTrace; the whole vector is empty when capture
+  /// was off). Feed to verify::checkTrace for offline oracle runs.
+  std::vector<std::shared_ptr<const verify::CapturedTrace>> traces;
+
   std::string summary() const;
 };
 
 /// Builds a System from `cfg`, runs it once, returns the result.
 RunResult runOnce(const SystemConfig& cfg);
+
+// --- commit-trace capture plumbing (--capture-trace) ---
+// runOnce/runSeeds call these automatically; they are public for mains
+// that drive a System directly (quickstart, demos) but should still
+// honour the flag.
+
+/// Arms SystemConfig::captureTrace when --capture-trace was given
+/// (no-op under autoRecover: recovery rewinds architectural state but
+/// not the append-only trace).
+void armCaptureFromObs(SystemConfig& cfg);
+
+/// Writes the --capture-trace file from the first non-null trace offered
+/// process-wide; later calls are no-ops.
+void writeCaptureFileOnce(
+    const std::shared_ptr<const verify::CapturedTrace>& trace);
 
 /// Runs `seedCount` perturbations (seeds seedBase..seedBase+seedCount-1),
 /// in parallel on resolveJobs(cfg) workers. When cfg.programFactory is set

@@ -142,6 +142,19 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
   nodes_.resize(cfg_.numNodes);
   for (NodeId n = 0; n < cfg_.numNodes; ++n) buildNode(n);
 
+  if (cfg_.captureTrace) {
+    // BER rollback re-executes in-flight work under fresh sequence
+    // numbers, which would duplicate already-recorded history; there is no
+    // sound way to splice a rollback into a linear commit trace.
+    DVMC_ASSERT(!cfg_.autoRecover,
+                "captureTrace is incompatible with autoRecover");
+    traceRecorder_ = std::make_unique<verify::TraceRecorder>(
+        static_cast<std::uint32_t>(cfg_.numNodes), cfg_.model,
+        static_cast<std::uint8_t>(cfg_.protocol), cfg_.seed,
+        cfg_.traceCaptureLimit);
+    for (Node& n : nodes_) n.core->setTraceRecorder(traceRecorder_.get());
+  }
+
   if (cfg_.berEnabled) {
     ber_ = std::make_unique<SafetyNet>(
         sim_, cfg_.ber, [this] { return captureSnapshot(); },
@@ -325,6 +338,18 @@ RunResult System::runUntil(const std::function<bool()>& extraPred) {
   return collectResult(reached, sim_.now() - startCycle);
 }
 
+void System::drainCheckers() {
+  for (Node& n : nodes_) {
+    if (n.cet) n.cet->flush(n.l2->clock().now());
+  }
+  // Let the flushed informs reach the homes before draining the MET
+  // processing queues.
+  sim_.runUntil([] { return false; }, sim_.now() + 5'000);
+  for (Node& n : nodes_) {
+    if (n.met) n.met->drain();
+  }
+}
+
 RunResult System::collectResult(bool completed, Cycle cycles) const {
   RunResult r;
   r.completed = completed;
@@ -353,6 +378,7 @@ RunResult System::collectResult(bool completed, Cycle cycles) const {
   }
   r.metrics = metricsSnapshot();
   r.series = series_;
+  if (traceRecorder_) r.trace = traceRecorder_->trace();
   return r;
 }
 

@@ -26,6 +26,7 @@
 #include "net/torus.hpp"
 #include "sim/simulator.hpp"
 #include "system/config.hpp"
+#include "verify/trace.hpp"
 #include "workload/synthetic.hpp"
 
 namespace dvmc {
@@ -44,6 +45,14 @@ class System {
 
   /// Runs until `extraPred` becomes true as well (fault experiments).
   RunResult runUntil(const std::function<bool()>& extraPred);
+
+  /// End-of-run checker sweep: flushes every open epoch out of the CETs,
+  /// lets the informs propagate, then drains the MET queues so epochs
+  /// still open when the program ended get their data-propagation checks.
+  /// Terminal: the CET bookkeeping is gone afterwards, so the system must
+  /// not keep running — call only once, right before the final
+  /// collectResult().
+  void drainCheckers();
 
   // --- measurement control ---
   void resetNetStats();
@@ -156,6 +165,8 @@ class System {
   std::unique_ptr<EventTracer> ownedTracer_;
   // Interval sampler output (null unless cfg_.sampleEvery > 0).
   std::shared_ptr<TimeSeries> series_;
+  // Commit-point recorder (null unless cfg_.captureTrace).
+  std::unique_ptr<verify::TraceRecorder> traceRecorder_;
   std::vector<SampleColumn> samplePlan_;
   std::unique_ptr<TorusNetwork> torus_;
   std::unique_ptr<BroadcastTree> tree_;

@@ -1,0 +1,204 @@
+#include "verify/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace dvmc::verify {
+namespace {
+
+void putU32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(std::uint8_t(v >> (8 * i)));
+}
+void putU64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(std::uint8_t(v >> (8 * i)));
+}
+std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* traceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kLoad: return "load";
+    case TraceOp::kStore: return "store";
+    case TraceOp::kSwap: return "swap";
+    case TraceOp::kCas: return "cas";
+    case TraceOp::kMembar: return "membar";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> CapturedTrace::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + records.size() * kRecordBytes);
+  for (char c : kTraceMagic) out.push_back(std::uint8_t(c));
+  putU32(out, std::uint32_t(kTraceSchemaVersion));
+  putU32(out, numCores);
+  out.push_back(declaredModel);
+  out.push_back(protocol);
+  out.push_back(truncated ? 1 : 0);
+  out.push_back(0);
+  putU32(out, 0);
+  putU64(out, seed);
+  putU64(out, records.size());
+  putU64(out, 0);  // reserved
+  DVMC_ASSERT(out.size() == kHeaderBytes, "trace header layout");
+  for (const TraceRecord& r : records) {
+    out.push_back(std::uint8_t(r.op));
+    out.push_back(r.node);
+    out.push_back(r.model);
+    out.push_back(r.flags);
+    out.push_back(r.membarMask);
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    putU64(out, r.seq);
+    putU64(out, r.addr);
+    putU64(out, r.value);
+    putU64(out, r.readValue);
+    putU64(out, r.performCycle);
+  }
+  return out;
+}
+
+bool CapturedTrace::parse(const std::uint8_t* data, std::size_t size,
+                          CapturedTrace* out, std::string* err) {
+  auto fail = [&](std::size_t off, const char* what) {
+    if (err) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "byte %zu: %s", off, what);
+      *err = buf;
+    }
+    return false;
+  };
+  if (size < kHeaderBytes) return fail(size, "short header");
+  if (std::memcmp(data, kTraceMagic, 8) != 0) {
+    return fail(0, "bad magic (not a dvmc-trace file)");
+  }
+  const std::uint32_t version = getU32(data + 8);
+  if (version != std::uint32_t(kTraceSchemaVersion)) {
+    return fail(8, "unsupported dvmc-trace version");
+  }
+  out->numCores = getU32(data + 12);
+  out->declaredModel = data[16];
+  out->protocol = data[17];
+  out->truncated = data[18] != 0;
+  out->seed = getU64(data + 24);
+  const std::uint64_t count = getU64(data + 32);
+  if (out->numCores == 0 || out->numCores > 256) {
+    return fail(12, "implausible core count");
+  }
+  if (out->declaredModel > std::uint8_t(ConsistencyModel::kRMO)) {
+    return fail(16, "bad declared model");
+  }
+  if (size != kHeaderBytes + count * kRecordBytes) {
+    return fail(32, "record count disagrees with file size");
+  }
+  out->records.clear();
+  out->records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = data + byteOffset(i);
+    TraceRecord r;
+    if (p[0] > std::uint8_t(TraceOp::kMembar)) {
+      return fail(byteOffset(i), "bad op code");
+    }
+    r.op = TraceOp(p[0]);
+    r.node = p[1];
+    r.model = p[2];
+    r.flags = p[3];
+    r.membarMask = p[4];
+    r.seq = getU64(p + 8);
+    r.addr = getU64(p + 16);
+    r.value = getU64(p + 24);
+    r.readValue = getU64(p + 32);
+    r.performCycle = getU64(p + 40);
+    out->records.push_back(r);
+  }
+  return true;
+}
+
+bool writeTraceFile(const std::string& path, const CapturedTrace& t,
+                    std::string* err) {
+  const std::vector<std::uint8_t> bytes = t.serialize();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) {
+    if (err) *err = "cannot open " + path + " for writing";
+    return false;
+  }
+  const bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+                           bytes.size();
+  std::fclose(f);
+  if (!ok && err) *err = "short write to " + path;
+  return ok;
+}
+
+bool readTraceFile(const std::string& path, CapturedTrace* t,
+                   std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return CapturedTrace::parse(bytes.data(), bytes.size(), t, err);
+}
+
+TraceRecorder::TraceRecorder(std::uint32_t numCores, ConsistencyModel declared,
+                             std::uint8_t protocol, std::uint64_t seed,
+                             std::size_t limit)
+    : trace_(std::make_shared<CapturedTrace>()),
+      pending_(numCores),
+      limit_(limit) {
+  trace_->numCores = numCores;
+  trace_->declaredModel = std::uint8_t(declared);
+  trace_->protocol = protocol;
+  trace_->seed = seed;
+}
+
+void TraceRecorder::onCommit(const TraceRecord& r) {
+  if (trace_->records.size() >= limit_) {
+    trace_->truncated = true;
+    return;
+  }
+  trace_->records.push_back(r);
+  if (r.writes() && !r.performed()) {
+    pending_[r.node].emplace(r.seq, trace_->records.size() - 1);
+  }
+}
+
+void TraceRecorder::storePerformed(NodeId node, SeqNum seq, Cycle now) {
+  auto it = pending_[node].find(seq);
+  if (it == pending_[node].end()) return;  // record was dropped at the limit
+  TraceRecord& r = trace_->records[it->second];
+  r.performCycle = now;
+  r.flags |= kFlagPerformed;
+  pending_[node].erase(seq);
+}
+
+void TraceRecorder::storeSuperseded(NodeId node, SeqNum seq, Cycle now) {
+  auto it = pending_[node].find(seq);
+  if (it == pending_[node].end()) return;
+  TraceRecord& r = trace_->records[it->second];
+  r.performCycle = now;
+  r.flags |= kFlagSuperseded;
+  pending_[node].erase(seq);
+}
+
+}  // namespace dvmc::verify

@@ -1,12 +1,17 @@
 // Property/fuzz sweep: randomized workload parameterizations across random
 // system configurations. The invariant under test is the project's core
 // claim — fault-free runs complete with zero checker detections — pushed
-// across a much wider parameter space than the curated presets.
+// across a much wider parameter space than the curated presets, plus the
+// differential half of the story: the offline oracle, given the run's
+// commit trace, must agree that the execution was consistent. A checker
+// detection without an oracle violation would be a false alarm; an oracle
+// violation without a detection would be a checker escape.
 #include <gtest/gtest.h>
 
-#include "common/rng.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
+#include "verify/oracle.hpp"
+#include "workload/fuzz_config.hpp"
 
 namespace dvmc {
 namespace {
@@ -14,44 +19,8 @@ namespace {
 class RandomizedConfig : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomizedConfig, FaultFreeRunIsClean) {
-  Rng rng(0xF022 + GetParam());
-
-  WorkloadParams p;
-  p.kind = WorkloadKind::kMicroMix;
-  p.privateBlocks = 16 + rng.below(512);
-  p.sharedBlocks = 8 + rng.below(256);
-  p.hotBlocks = 1 + rng.below(16);
-  p.hotFraction = rng.uniform();
-  p.numLocks = 1 + rng.below(32);
-  p.txOps = 4 + rng.below(64);
-  p.sharedFraction = rng.uniform();
-  p.writeFraction = rng.uniform() * 0.6;
-  p.lockFraction = rng.uniform();
-  p.csOps = 1 + rng.below(12);
-  p.computeMin = 1;
-  p.computeMax = static_cast<std::uint16_t>(1 + rng.below(12));
-  p.frac32Bit = rng.uniform() * 0.4;
-  p.barrierEveryTx = rng.chance(0.25) ? 1 + rng.below(3) : 0;
-
-  SystemConfig cfg = SystemConfig::withDvmc(
-      rng.chance(0.5) ? Protocol::kDirectory : Protocol::kSnooping,
-      static_cast<ConsistencyModel>(rng.below(4)));
-  cfg.numNodes = 2 + rng.below(7);  // 2..8
-  cfg.workloadOverride = p;
-  cfg.targetTransactions = p.barrierEveryTx != 0 ? 2 + rng.below(3)
-                                                 : 40 + rng.below(80);
-  cfg.l1 = {std::size_t(1) << rng.below(6), 1 + rng.below(3)};
-  cfg.l2 = {std::size_t(4) << rng.below(6), 2 + rng.below(6)};
-  cfg.cpu.robSize = 8 << rng.below(4);
-  cfg.cpu.wbCapacity = 4 << rng.below(5);
-  cfg.cpu.wbConcurrency = 1 + rng.below(7);
-  cfg.cpu.storePrefetch = rng.chance(0.8);
-  cfg.cpu.wbCoalescing = rng.chance(0.8);
-  cfg.coherenceChecker =
-      rng.chance(0.3) ? SystemConfig::CoherenceCheckerKind::kShadow
-                      : SystemConfig::CoherenceCheckerKind::kEpoch;
-  cfg.seed = 1000 + GetParam();
-  cfg.maxCycles = 80'000'000;
+  SystemConfig cfg = makeFuzzConfig(GetParam());
+  cfg.captureTrace = true;
 
   System sys(cfg);
   RunResult r = sys.run();
@@ -68,6 +37,16 @@ TEST_P(RandomizedConfig, FaultFreeRunIsClean) {
                                  SystemConfig::CoherenceCheckerKind::kShadow
                              ? "shadow"
                              : "epoch");
+
+  // Differential check: the offline oracle must independently agree.
+  ASSERT_NE(r.trace, nullptr);
+  const verify::OracleResult o = verify::checkTrace(*r.trace);
+  EXPECT_TRUE(o.clean)
+      << "oracle disagrees with clean checkers (false positive): "
+      << (o.violations.empty() ? "?" : o.violations[0].message)
+      << " model=" << modelName(cfg.model)
+      << " proto=" << protocolName(cfg.protocol)
+      << " nodes=" << cfg.numNodes;
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedConfig, ::testing::Range(0, 24));

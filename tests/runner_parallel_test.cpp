@@ -171,5 +171,34 @@ TEST(RunSeedsParallel, SnoopingProtocolToo) {
   EXPECT_EQ(seq.detections, par.detections);
 }
 
+// Commit-trace capture obeys the same determinism contract: the serialized
+// bytes of every per-seed trace are identical whether the seeds ran on one
+// worker or many (the nightly campaign's repro guarantee).
+TEST(RunSeedsParallel, CapturedTracesBitIdenticalAcrossJobs) {
+  SystemConfig cfg = smallConfig();
+  cfg.captureTrace = true;
+  cfg.jobs = 1;
+  const MultiRunResult seq = runSeeds(cfg, 3);
+  cfg.jobs = 4;
+  const MultiRunResult par = runSeeds(cfg, 3);
+
+  ASSERT_EQ(seq.traces.size(), 3u);
+  ASSERT_EQ(par.traces.size(), 3u);
+  for (std::size_t s = 0; s < seq.traces.size(); ++s) {
+    ASSERT_NE(seq.traces[s], nullptr) << "seed " << s;
+    ASSERT_NE(par.traces[s], nullptr) << "seed " << s;
+    EXPECT_GT(seq.traces[s]->records.size(), 0u) << "seed " << s;
+    EXPECT_EQ(seq.traces[s]->serialize(), par.traces[s]->serialize())
+        << "seed " << s;
+  }
+}
+
+// Capture off: the traces vector stays empty and RunResult::trace null.
+TEST(RunSeedsParallel, NoTracesUnlessCaptureArmed) {
+  SystemConfig cfg = smallConfig();
+  const MultiRunResult r = runSeeds(cfg, 2);
+  EXPECT_TRUE(r.traces.empty());
+}
+
 }  // namespace
 }  // namespace dvmc

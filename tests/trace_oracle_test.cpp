@@ -1,0 +1,406 @@
+// The offline consistency oracle (verify/): serialization round-trips,
+// malformed-input rejection, a hand-built litmus conformance suite
+// (forbidden outcomes rejected, allowed outcomes accepted, per model), and
+// the differential contract against live runs — fault-free captures come
+// back CONSISTENT, and a memory-corrupting fault the checkers detect is
+// independently provable from the trace alone, through a file round-trip
+// (exactly what `dvmc_oracle check` does with a CI escape artifact).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "consistency/op.hpp"
+#include "faults/injector.hpp"
+#include "system/system.hpp"
+#include "verify/oracle.hpp"
+#include "verify/trace.hpp"
+#include "workload/fuzz_config.hpp"
+
+namespace dvmc {
+namespace {
+
+using verify::CapturedTrace;
+using verify::TraceOp;
+using verify::TraceRecord;
+
+// Addresses below kZeroInitBoundary read 0 before any write.
+constexpr Addr kX = 0x1000;
+constexpr Addr kY = 0x1040;
+
+TraceRecord rec(TraceOp op, NodeId node, SeqNum seq, ConsistencyModel m,
+                Addr addr, std::uint64_t value, Cycle pc) {
+  TraceRecord r;
+  r.op = op;
+  r.node = std::uint8_t(node);
+  r.seq = seq;
+  r.model = std::uint8_t(m);
+  r.addr = addr;
+  r.value = value;
+  r.readValue = value;
+  r.performCycle = pc;
+  r.flags = verify::kFlagPerformed;
+  return r;
+}
+
+TraceRecord membarRec(NodeId node, SeqNum seq, ConsistencyModel m,
+                      std::uint8_t mask, Cycle pc) {
+  TraceRecord r = rec(TraceOp::kMembar, node, seq, m, 0, 0, pc);
+  r.membarMask = mask;
+  return r;
+}
+
+CapturedTrace makeTrace(ConsistencyModel declared, std::uint32_t cores,
+                        std::vector<TraceRecord> records) {
+  CapturedTrace t;
+  t.declaredModel = std::uint8_t(declared);
+  t.protocol = 0;
+  t.numCores = cores;
+  t.seed = 42;
+  t.records = std::move(records);
+  return t;
+}
+
+// --- serialization ---------------------------------------------------------
+
+TEST(TraceSerialization, RoundTripsBitExactly) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kPSO, 2,
+      {rec(TraceOp::kStore, 0, 1, ConsistencyModel::kPSO, kX, 7, 10),
+       membarRec(0, 2, ConsistencyModel::kPSO, membar::kStbar, 12),
+       rec(TraceOp::kSwap, 1, 1, ConsistencyModel::kTSO, kY, 9, 20)});
+  t.records[2].readValue = 3;
+  t.records[2].flags |= verify::kFlag32Bit;
+
+  const std::vector<std::uint8_t> bytes = t.serialize();
+  ASSERT_EQ(bytes.size(), CapturedTrace::byteOffset(t.records.size()));
+
+  CapturedTrace back;
+  std::string err;
+  ASSERT_TRUE(CapturedTrace::parse(bytes.data(), bytes.size(), &back, &err))
+      << err;
+  EXPECT_EQ(back.declaredModel, t.declaredModel);
+  EXPECT_EQ(back.numCores, t.numCores);
+  EXPECT_EQ(back.seed, t.seed);
+  EXPECT_EQ(back.truncated, t.truncated);
+  ASSERT_EQ(back.records.size(), t.records.size());
+  for (std::size_t i = 0; i < t.records.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&back.records[i], &t.records[i],
+                          sizeof(TraceRecord)),
+              0)
+        << "record " << i;
+  }
+  EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(TraceSerialization, RejectsCorruptInput) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kSC, 1,
+      {rec(TraceOp::kLoad, 0, 1, ConsistencyModel::kSC, kX, 0, 5)});
+  std::vector<std::uint8_t> bytes = t.serialize();
+
+  CapturedTrace out;
+  std::string err;
+  EXPECT_FALSE(CapturedTrace::parse(bytes.data(), 10, &out, &err));
+  EXPECT_NE(err.find("byte"), std::string::npos) << err;
+
+  std::vector<std::uint8_t> badMagic = bytes;
+  badMagic[0] ^= 0xFF;
+  EXPECT_FALSE(
+      CapturedTrace::parse(badMagic.data(), badMagic.size(), &out, &err));
+
+  std::vector<std::uint8_t> badVersion = bytes;
+  badVersion[8] = 0xEE;
+  EXPECT_FALSE(
+      CapturedTrace::parse(badVersion.data(), badVersion.size(), &out, &err));
+
+  std::vector<std::uint8_t> shortRecord = bytes;
+  shortRecord.pop_back();
+  EXPECT_FALSE(CapturedTrace::parse(shortRecord.data(), shortRecord.size(),
+                                    &out, &err));
+}
+
+TEST(TraceOracle, RefusesTruncatedCapture) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kTSO, 1,
+      {rec(TraceOp::kLoad, 0, 1, ConsistencyModel::kTSO, kX, 0, 5)});
+  t.truncated = true;
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kMalformed);
+}
+
+TEST(TraceOracle, RejectsNonMonotoneSequenceNumbers) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kTSO, 1,
+      {rec(TraceOp::kLoad, 0, 5, ConsistencyModel::kTSO, kX, 0, 5),
+       rec(TraceOp::kLoad, 0, 5, ConsistencyModel::kTSO, kX, 0, 9)});
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kMalformed);
+}
+
+// --- litmus conformance ----------------------------------------------------
+
+// Store buffering (SB): both cores buffer their store past their load.
+//   n0: x = 1; r0 = y (0)        n1: y = 1; r1 = x (0)
+// r0 == r1 == 0 is forbidden under SC, allowed under TSO and weaker.
+CapturedTrace storeBuffering(ConsistencyModel m) {
+  return makeTrace(
+      m, 2,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 1, 100),
+       rec(TraceOp::kLoad, 0, 2, m, kY, 0, 50),
+       rec(TraceOp::kStore, 1, 1, m, kY, 1, 101),
+       rec(TraceOp::kLoad, 1, 2, m, kX, 0, 51)});
+}
+
+TEST(LitmusConformance, StoreBufferingForbiddenUnderSC) {
+  const verify::OracleResult res = verify::checkTrace(
+      storeBuffering(ConsistencyModel::kSC));
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle);
+}
+
+TEST(LitmusConformance, StoreBufferingAllowedUnderTSO) {
+  EXPECT_TRUE(
+      verify::checkTrace(storeBuffering(ConsistencyModel::kTSO)).clean);
+  EXPECT_TRUE(
+      verify::checkTrace(storeBuffering(ConsistencyModel::kPSO)).clean);
+  EXPECT_TRUE(
+      verify::checkTrace(storeBuffering(ConsistencyModel::kRMO)).clean);
+}
+
+// SB with Membar #StoreLoad between store and load on both cores: the
+// relaxed outcome becomes forbidden again on every model.
+TEST(LitmusConformance, StoreBufferingWithMembarForbiddenUnderTSO) {
+  const ConsistencyModel m = ConsistencyModel::kTSO;
+  CapturedTrace t = makeTrace(
+      m, 2,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 1, 100),
+       membarRec(0, 2, m, membar::kStoreLoad, 110),
+       rec(TraceOp::kLoad, 0, 3, m, kY, 0, 120),
+       rec(TraceOp::kStore, 1, 1, m, kY, 1, 101),
+       membarRec(1, 2, m, membar::kStoreLoad, 111),
+       rec(TraceOp::kLoad, 1, 3, m, kX, 0, 121)});
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle);
+}
+
+// Message passing (MP): n0 publishes data then sets a flag; n1 sees the
+// flag but stale data. Forbidden while stores and loads stay ordered
+// (SC/TSO); allowed once stores reorder (PSO) or loads reorder (RMO).
+CapturedTrace messagePassing(ConsistencyModel m, bool stbar) {
+  std::vector<TraceRecord> recs;
+  recs.push_back(rec(TraceOp::kStore, 0, 1, m, kX, 1, 100));  // data
+  if (stbar) recs.push_back(membarRec(0, 2, m, membar::kStbar, 105));
+  recs.push_back(rec(TraceOp::kStore, 0, 3, m, kY, 1, 90));   // flag first!
+  recs.push_back(rec(TraceOp::kLoad, 1, 1, m, kY, 1, 95));    // sees flag
+  recs.push_back(rec(TraceOp::kLoad, 1, 2, m, kX, 0, 97));    // stale data
+  return makeTrace(m, 2, std::move(recs));
+}
+
+TEST(LitmusConformance, MessagePassingForbiddenUnderTSO) {
+  const verify::OracleResult res = verify::checkTrace(
+      messagePassing(ConsistencyModel::kTSO, false));
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle);
+}
+
+TEST(LitmusConformance, MessagePassingAllowedUnderPSO) {
+  EXPECT_TRUE(verify::checkTrace(
+                  messagePassing(ConsistencyModel::kPSO, false))
+                  .clean);
+}
+
+TEST(LitmusConformance, MessagePassingWithStbarForbiddenUnderPSO) {
+  const verify::OracleResult res = verify::checkTrace(
+      messagePassing(ConsistencyModel::kPSO, true));
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle);
+}
+
+TEST(LitmusConformance, MessagePassingAllowedUnderRMO) {
+  // RMO reorders the reader's loads, so even the Stbar'd writer cannot
+  // make the stale read illegal.
+  EXPECT_TRUE(verify::checkTrace(
+                  messagePassing(ConsistencyModel::kRMO, true))
+                  .clean);
+}
+
+// Coherent read-read (CoRR): one core reads the new value then the old one.
+// Models that order loads forbid it; RMO does not.
+CapturedTrace coRR(ConsistencyModel m) {
+  return makeTrace(
+      m, 2,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 1, 100),
+       rec(TraceOp::kLoad, 1, 1, m, kX, 1, 110),
+       rec(TraceOp::kLoad, 1, 2, m, kX, 0, 120)});
+}
+
+TEST(LitmusConformance, CoRRForbiddenWhenLoadsOrdered) {
+  for (ConsistencyModel m : {ConsistencyModel::kSC, ConsistencyModel::kTSO,
+                             ConsistencyModel::kPSO}) {
+    const verify::OracleResult res = verify::checkTrace(coRR(m));
+    ASSERT_FALSE(res.clean) << modelName(m);
+    EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle)
+        << modelName(m);
+  }
+}
+
+TEST(LitmusConformance, CoRRAllowedUnderRMO) {
+  EXPECT_TRUE(verify::checkTrace(coRR(ConsistencyModel::kRMO)).clean);
+}
+
+// IRIW: two writers, two readers observing the writes in opposite orders.
+// Forbidden under SC (no single memory order explains both readers).
+TEST(LitmusConformance, IriwForbiddenUnderSC) {
+  const ConsistencyModel m = ConsistencyModel::kSC;
+  CapturedTrace t = makeTrace(
+      m, 4,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 1, 100),
+       rec(TraceOp::kStore, 1, 1, m, kY, 1, 101),
+       rec(TraceOp::kLoad, 2, 1, m, kX, 1, 110),
+       rec(TraceOp::kLoad, 2, 2, m, kY, 0, 111),
+       rec(TraceOp::kLoad, 3, 1, m, kY, 1, 110),
+       rec(TraceOp::kLoad, 3, 2, m, kX, 0, 111)});
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind, verify::OracleViolation::Kind::kCycle);
+}
+
+// A value no write (and not the initial pattern) ever produced: the
+// wrong-data verdict that mirrors a data-corruption detection.
+TEST(LitmusConformance, NeverWrittenValueIsFlagged) {
+  const ConsistencyModel m = ConsistencyModel::kTSO;
+  CapturedTrace t = makeTrace(
+      m, 2,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 1, 100),
+       rec(TraceOp::kLoad, 1, 1, m, kX, 0xDEAD, 110)});
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind,
+            verify::OracleViolation::Kind::kBadReadValue);
+  EXPECT_EQ(res.violations[0].recordA, 1u);
+  EXPECT_EQ(res.violations[0].byteA, CapturedTrace::byteOffset(1));
+}
+
+// Atomics serialize: a CAS that observed the store's value is ordered
+// after it even where plain loads would not be.
+TEST(LitmusConformance, AtomicReadValueParticipates) {
+  const ConsistencyModel m = ConsistencyModel::kTSO;
+  CapturedTrace t = makeTrace(
+      m, 2,
+      {rec(TraceOp::kStore, 0, 1, m, kX, 5, 100),
+       rec(TraceOp::kSwap, 1, 1, m, kX, 7, 110)});
+  t.records[1].readValue = 5;  // swap read the store's value, wrote 7
+  EXPECT_TRUE(verify::checkTrace(t).clean);
+
+  t.records[1].readValue = 0xBAD;
+  const verify::OracleResult res = verify::checkTrace(t);
+  ASSERT_FALSE(res.clean);
+  EXPECT_EQ(res.violations[0].kind,
+            verify::OracleViolation::Kind::kBadReadValue);
+}
+
+// --- live differential -----------------------------------------------------
+
+// Fault-free litmus-style runs across every model capture a trace the
+// oracle accepts (the differential property's clean half, on the curated
+// configs rather than the fuzz sweep's random ones).
+TEST(LiveDifferential, FaultFreeCapturesAreConsistent) {
+  for (ConsistencyModel m : {ConsistencyModel::kSC, ConsistencyModel::kTSO,
+                             ConsistencyModel::kPSO, ConsistencyModel::kRMO}) {
+    SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory, m);
+    cfg.numNodes = 4;
+    cfg.workload = WorkloadKind::kOltp;
+    cfg.targetTransactions = 30;
+    cfg.maxCycles = 5'000'000;
+    cfg.captureTrace = true;
+    System sys(cfg);
+    const RunResult r = sys.run();
+    ASSERT_TRUE(r.completed) << modelName(m);
+    EXPECT_EQ(r.detections, 0u) << modelName(m);
+    ASSERT_NE(r.trace, nullptr) << modelName(m);
+    EXPECT_GT(r.trace->records.size(), 0u) << modelName(m);
+    const verify::OracleResult o = verify::checkTrace(*r.trace);
+    EXPECT_TRUE(o.clean)
+        << modelName(m) << ": "
+        << (o.violations.empty() ? "?" : o.violations[0].message);
+  }
+}
+
+// The acceptance round-trip: inject memory corruption until the checkers
+// detect it AND the corrupt value reaches a committed load, write the
+// trace to disk, read it back, and require the oracle to flag the same
+// execution — the `dvmc_oracle check escape.trace` workflow.
+TEST(LiveDifferential, MemoryCorruptionRoundTripsThroughTraceFile) {
+  SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory,
+                                            ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 1'000'000;  // effectively unbounded
+  cfg.maxCycles = 30'000'000;
+  cfg.captureTrace = true;
+  System sys(cfg);
+  FaultInjector inj(sys, 0x0D15EA5E);
+
+  sys.runUntil([&] { return sys.sim().now() >= 20'000; });
+  ASSERT_EQ(sys.sink().count(), 0u);
+
+  // Re-inject until the corruption is both detected and visible to the
+  // oracle (a corrupted block must be read back by a committed load).
+  bool flagged = false;
+  verify::OracleResult offline;
+  for (int round = 0; round < 80 && !flagged; ++round) {
+    inj.inject(FaultType::kMemoryDataMultiBit);
+    const Cycle until = sys.sim().now() + 25'000;
+    sys.runUntil([&] { return sys.sim().now() >= until; });
+    const RunResult r = sys.collectResult(false, sys.sim().now());
+    ASSERT_NE(r.trace, nullptr);
+    offline = verify::checkTrace(*r.trace);
+    flagged = !offline.clean;
+  }
+  ASSERT_TRUE(flagged) << "corruption never reached a committed load";
+  // Differential contract: the oracle only ever flags what the runtime
+  // checkers (here: the ECC model feeding the sink) also caught.
+  EXPECT_GT(sys.sink().count(), 0u)
+      << "oracle violation without a checker detection (escape): "
+      << offline.violations[0].message;
+  EXPECT_EQ(offline.violations[0].kind,
+            verify::OracleViolation::Kind::kBadReadValue);
+
+  // File round-trip, as the nightly escape artifact would be replayed.
+  const RunResult r = sys.collectResult(false, sys.sim().now());
+  const std::string path = ::testing::TempDir() + "oracle_roundtrip.trace";
+  std::string err;
+  ASSERT_TRUE(verify::writeTraceFile(path, *r.trace, &err)) << err;
+  CapturedTrace back;
+  ASSERT_TRUE(verify::readTraceFile(path, &back, &err)) << err;
+  EXPECT_EQ(back.serialize(), r.trace->serialize());
+  const verify::OracleResult replay = verify::checkTrace(back);
+  ASSERT_FALSE(replay.clean);
+  EXPECT_EQ(replay.violations[0].kind,
+            verify::OracleViolation::Kind::kBadReadValue);
+  EXPECT_EQ(replay.violations[0].message, offline.violations[0].message);
+  std::remove(path.c_str());
+}
+
+// Fuzz-config capture determinism: the same parameter yields a
+// bit-identical serialized trace run to run (the repro contract behind
+// replaying a nightly campaign escape locally).
+TEST(LiveDifferential, SameConfigSameTraceBytes) {
+  SystemConfig cfg = makeFuzzConfig(3);
+  cfg.captureTrace = true;
+  System a(cfg);
+  const RunResult ra = a.run();
+  System b(cfg);
+  const RunResult rb = b.run();
+  ASSERT_NE(ra.trace, nullptr);
+  ASSERT_NE(rb.trace, nullptr);
+  EXPECT_EQ(ra.trace->serialize(), rb.trace->serialize());
+}
+
+}  // namespace
+}  // namespace dvmc

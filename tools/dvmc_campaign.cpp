@@ -1,0 +1,302 @@
+// Differential fuzz/fault campaign driver (the nightly CI workhorse).
+//
+// Each campaign case regenerates a fuzz_test configuration by parameter
+// index (workload/fuzz_config.hpp), runs it with commit-trace capture, and
+// cross-checks the runtime DVMC checkers against the offline oracle:
+//
+//   clean case    no fault injected. The checkers must stay silent AND the
+//                 oracle must accept the trace — an oracle violation here
+//                 is an oracle false positive and fails the campaign.
+//   faulted case  a randomly drawn applicable fault type is injected
+//                 (re-injected until it manifests, like the paper's §6.1
+//                 campaign). If the oracle proves the committed execution
+//                 inconsistent but no checker fired, that is a reproducible
+//                 checker escape: the trace and a JSON description are
+//                 written to --escape-dir and the campaign fails.
+//
+// Checker detections without an oracle violation are expected (checkers
+// catch errors before they corrupt the committed history; masked faults
+// harm nothing), so they do not fail the campaign.
+//
+//   dvmc_campaign [--configs N] [--param-base P] [--seed-base S]
+//                 [--clean-only | --faulted] [--jobs N]
+//                 [--escape-dir DIR] [--sample-trace FILE]
+//
+// Exit codes: 0 = full agreement, 1 = escape or false positive, 2 = usage.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "faults/injector.hpp"
+#include "obs/json.hpp"
+#include "system/runner.hpp"
+#include "system/system.hpp"
+#include "verify/oracle.hpp"
+#include "verify/trace.hpp"
+#include "workload/fuzz_config.hpp"
+
+using namespace dvmc;
+
+namespace {
+
+struct CampaignOptions {
+  int configs = 200;
+  int paramBase = 0;
+  std::uint64_t seedBase = 0xCA3B41;
+  bool clean = true;
+  bool faulted = true;
+  std::string escapeDir = "campaign-escapes";
+  std::string sampleTrace;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dvmc_campaign [--configs N] [--param-base P] "
+               "[--seed-base S]\n"
+               "                     [--clean-only | --faulted] [--jobs N]\n"
+               "                     [--escape-dir DIR] "
+               "[--sample-trace FILE]\n");
+  return 2;
+}
+
+struct CaseOutcome {
+  bool ran = false;
+  bool completed = false;
+  bool checkersDetected = false;
+  bool oracleViolation = false;
+  bool escape = false;         // oracle flagged, checkers silent (faulted)
+  bool falsePositive = false;  // oracle flagged a clean run
+  FaultType fault = FaultType::kCacheDataMultiBit;
+  int injections = 0;
+  std::string detail;
+  std::shared_ptr<const verify::CapturedTrace> trace;
+};
+
+std::uint64_t totalFlushes(System& sys) {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < sys.numNodes(); ++n) {
+    total += sys.core(n).stats().get("cpu.uoFlushes");
+    total += sys.core(n).stats().get("cpu.rmoReplayFlushes");
+  }
+  return total;
+}
+
+CaseOutcome runClean(int param) {
+  SystemConfig cfg = makeFuzzConfig(param);
+  cfg.captureTrace = true;
+  System sys(cfg);
+  RunResult r = sys.run();
+  // Final sweep: epochs still open at program end carry unchecked state;
+  // flushing them through the MET keeps the clean/faulted cases symmetric.
+  sys.drainCheckers();
+  r = sys.collectResult(r.completed, r.cycles);
+  CaseOutcome out;
+  out.ran = true;
+  out.completed = r.completed;
+  out.checkersDetected = r.detections > 0;
+  out.trace = r.trace;
+  const verify::OracleResult o = verify::checkTrace(*r.trace);
+  out.oracleViolation = !o.clean;
+  if (!o.clean) {
+    out.falsePositive = true;
+    out.detail = o.violations.empty() ? "?" : o.violations[0].message;
+  } else if (r.detections > 0) {
+    // A clean-run checker detection is covered by fuzz_test/tier-1; the
+    // campaign only tracks oracle agreement, but surface it anyway.
+    out.detail = "checker detection on a fault-free run";
+  }
+  return out;
+}
+
+CaseOutcome runFaulted(int param, std::uint64_t seedBase) {
+  SystemConfig cfg = makeFuzzConfig(param);
+  cfg.captureTrace = true;
+  Rng rng(seedBase ^ (0x9E3779B97F4A7C15ull * (param + 1)));
+
+  std::vector<FaultType> applicable;
+  for (FaultType t : allFaultTypes()) {
+    if (faultApplicable(t, cfg.model, cfg.protocol) &&
+        faultCoveredBy(t, cfg.coherenceChecker)) {
+      applicable.push_back(t);
+    }
+  }
+  const FaultType fault = applicable[rng.below(applicable.size())];
+
+  System sys(cfg);
+  FaultInjector inj(sys, seedBase + param);
+  CaseOutcome out;
+  out.ran = true;
+  out.fault = fault;
+
+  auto done = [&] { return sys.allCoresDone(); };
+  sys.runUntil([&] { return sys.sim().now() >= 3'000 || done(); });
+  const std::uint64_t flushesBefore = totalFlushes(sys);
+  auto detected = [&] {
+    return sys.sink().any() || totalFlushes(sys) > flushesBefore;
+  };
+  for (int round = 0; round < 40 && !detected() && !done(); ++round) {
+    if (inj.inject(fault)) ++out.injections;
+    const Cycle until = sys.sim().now() + 20'000;
+    sys.runUntil(
+        [&] { return detected() || done() || sys.sim().now() >= until; });
+  }
+  // Let the run settle so in-flight effects of the fault reach the trace.
+  const Cycle settle = sys.sim().now() + 30'000;
+  sys.runUntil([&] { return done() || sys.sim().now() >= settle; });
+
+  // Final sweep: a corruption living in a still-open epoch is only checked
+  // once that epoch's inform reaches the MET, so flush before judging.
+  sys.drainCheckers();
+
+  RunResult r = sys.collectResult(done(), sys.sim().now());
+  out.completed = r.completed;
+  out.checkersDetected = detected();
+  out.trace = r.trace;
+  const verify::OracleResult o = verify::checkTrace(*r.trace);
+  out.oracleViolation = !o.clean;
+  if (!o.clean) {
+    out.detail = o.violations.empty() ? "?" : o.violations[0].message;
+    out.escape = !out.checkersDetected;
+  }
+  return out;
+}
+
+void dumpEscape(const CampaignOptions& opt, int param, const char* kind,
+                const CaseOutcome& out) {
+  std::error_code ec;
+  std::filesystem::create_directories(opt.escapeDir, ec);
+  const std::string base =
+      opt.escapeDir + "/" + kind + "_" + std::to_string(param);
+  std::string err;
+  if (out.trace != nullptr &&
+      !verify::writeTraceFile(base + ".trace", *out.trace, &err)) {
+    std::fprintf(stderr, "campaign: cannot write %s.trace: %s\n",
+                 base.c_str(), err.c_str());
+  }
+  Json j = Json::object();
+  j.set("kind", Json::str(kind));
+  j.set("param", Json::num(std::int64_t{param}));
+  j.set("fault", Json::str(faultTypeName(out.fault)));
+  j.set("injections", Json::num(std::int64_t{out.injections}));
+  j.set("checkersDetected", Json::boolean(out.checkersDetected));
+  j.set("violation", Json::str(out.detail));
+  j.set("trace", Json::str(base + ".trace"));
+  j.set("repro",
+        Json::str("dvmc_oracle explain " + base + ".trace  # and: fuzz_repro " +
+                  std::to_string(param)));
+  std::FILE* f = std::fopen((base + ".json").c_str(), "w");
+  if (f != nullptr) {
+    const std::string s = j.dump(2);
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = parseJobsFlag(argc, argv);
+  CampaignOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      const std::size_t len = std::strlen(flag);
+      if (std::strncmp(a, flag, len) == 0 && a[len] == '=') return a + len + 1;
+      if (std::strcmp(a, flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = value("--configs")) {
+      opt.configs = std::atoi(v);
+    } else if (const char* v = value("--param-base")) {
+      opt.paramBase = std::atoi(v);
+    } else if (const char* v = value("--seed-base")) {
+      opt.seedBase = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = value("--escape-dir")) {
+      opt.escapeDir = v;
+    } else if (const char* v = value("--sample-trace")) {
+      opt.sampleTrace = v;
+    } else if (std::strcmp(a, "--clean-only") == 0) {
+      opt.faulted = false;
+    } else if (std::strcmp(a, "--faulted") == 0) {
+      opt.clean = false;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.configs <= 0) return usage();
+
+  const std::size_t n = static_cast<std::size_t>(opt.configs);
+  std::vector<CaseOutcome> cleanOut(opt.clean ? n : 0);
+  std::vector<CaseOutcome> faultOut(opt.faulted ? n : 0);
+  std::atomic<std::size_t> doneCount{0};
+
+  SystemConfig jobsProbe;  // resolveJobs needs a config; use the default
+  const unsigned workers = static_cast<unsigned>(resolveJobs(jobsProbe));
+  parallelFor(n, workers, [&](std::size_t s) {
+    const int param = opt.paramBase + static_cast<int>(s);
+    if (opt.clean) cleanOut[s] = runClean(param);
+    if (opt.faulted) faultOut[s] = runFaulted(param, opt.seedBase);
+    const std::size_t d = ++doneCount;
+    if (d % 25 == 0 || d == n) {
+      std::fprintf(stderr, "campaign: %zu/%zu configs done\n", d, n);
+    }
+  });
+
+  std::size_t falsePositives = 0, escapes = 0, detections = 0, masked = 0,
+              agreements = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const int param = opt.paramBase + static_cast<int>(s);
+    if (opt.clean && cleanOut[s].falsePositive) {
+      ++falsePositives;
+      std::printf("FALSE-POSITIVE param=%d: %s\n", param,
+                  cleanOut[s].detail.c_str());
+      dumpEscape(opt, param, "false_positive", cleanOut[s]);
+    }
+    if (!opt.faulted) continue;
+    const CaseOutcome& f = faultOut[s];
+    if (f.escape) {
+      ++escapes;
+      std::printf("ESCAPE param=%d fault=%s injections=%d: %s\n", param,
+                  faultTypeName(f.fault), f.injections, f.detail.c_str());
+      dumpEscape(opt, param, "escape", f);
+    } else if (f.checkersDetected) {
+      ++detections;
+      if (f.oracleViolation) ++agreements;
+    } else {
+      ++masked;
+    }
+  }
+
+  if (!opt.sampleTrace.empty()) {
+    const std::shared_ptr<const verify::CapturedTrace> sample =
+        opt.clean && !cleanOut.empty() ? cleanOut[0].trace
+        : !faultOut.empty()            ? faultOut[0].trace
+                                       : nullptr;
+    std::string err;
+    if (sample != nullptr &&
+        !verify::writeTraceFile(opt.sampleTrace, *sample, &err)) {
+      std::fprintf(stderr, "campaign: cannot write sample trace: %s\n",
+                   err.c_str());
+    }
+  }
+
+  std::printf(
+      "campaign: %d config(s)%s%s | detections=%zu (oracle agreed on %zu) "
+      "masked=%zu false-positives=%zu escapes=%zu\n",
+      opt.configs, opt.clean ? " +clean" : "", opt.faulted ? " +faulted" : "",
+      detections, agreements, masked, falsePositives, escapes);
+  if (falsePositives + escapes > 0) {
+    std::printf("campaign: FAILED — see %s/\n", opt.escapeDir.c_str());
+    return 1;
+  }
+  std::printf("campaign: checkers and oracle agree on every case\n");
+  return 0;
+}

@@ -1,48 +1,15 @@
 // Reproduces a fuzz_test case by parameter index and dumps state on hang.
 #include <cstdio>
 #include <cstdlib>
-#include "common/rng.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
+#include "workload/fuzz_config.hpp"
 using namespace dvmc;
 int main(int argc, char** argv) {
   const int param = argc > 1 ? std::atoi(argv[1]) : 7;
-  Rng rng(0xF022 + param);
-  WorkloadParams p;
-  p.kind = WorkloadKind::kMicroMix;
-  p.privateBlocks = 16 + rng.below(512);
-  p.sharedBlocks = 8 + rng.below(256);
-  p.hotBlocks = 1 + rng.below(16);
-  p.hotFraction = rng.uniform();
-  p.numLocks = 1 + rng.below(32);
-  p.txOps = 4 + rng.below(64);
-  p.sharedFraction = rng.uniform();
-  p.writeFraction = rng.uniform() * 0.6;
-  p.lockFraction = rng.uniform();
-  p.csOps = 1 + rng.below(12);
-  p.computeMin = 1;
-  p.computeMax = static_cast<std::uint16_t>(1 + rng.below(12));
-  p.frac32Bit = rng.uniform() * 0.4;
-  p.barrierEveryTx = rng.chance(0.25) ? 1 + rng.below(3) : 0;
-  SystemConfig cfg = SystemConfig::withDvmc(
-      rng.chance(0.5) ? Protocol::kDirectory : Protocol::kSnooping,
-      static_cast<ConsistencyModel>(rng.below(4)));
-  cfg.numNodes = 2 + rng.below(7);
-  cfg.workloadOverride = p;
-  cfg.targetTransactions = p.barrierEveryTx != 0 ? 2 + rng.below(3)
-                                                 : 40 + rng.below(80);
-  cfg.l1 = {std::size_t(1) << rng.below(6), 1 + rng.below(3)};
-  cfg.l2 = {std::size_t(4) << rng.below(6), 2 + rng.below(6)};
-  cfg.cpu.robSize = 8 << rng.below(4);
-  cfg.cpu.wbCapacity = 4 << rng.below(5);
-  cfg.cpu.wbConcurrency = 1 + rng.below(7);
-  cfg.cpu.storePrefetch = rng.chance(0.8);
-  cfg.cpu.wbCoalescing = rng.chance(0.8);
-  cfg.coherenceChecker =
-      rng.chance(0.3) ? SystemConfig::CoherenceCheckerKind::kShadow
-                      : SystemConfig::CoherenceCheckerKind::kEpoch;
-  cfg.seed = 1000 + param;
+  SystemConfig cfg = makeFuzzConfig(param);
   cfg.maxCycles = 3'000'000;  // shorter for diagnosis
+  const WorkloadParams& p = *cfg.workloadOverride;
   printf("param=%d nodes=%zu proto=%s model=%s l1={%zu,%zu} l2={%zu,%zu}\n"
          "rob=%zu wbCap=%zu wbConc=%zu pf=%d coal=%d checker=%s\n"
          "wl: priv=%zu shared=%zu hot=%zu locks=%zu tx=%zu lockFrac=%.2f "
