@@ -233,7 +233,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_ablation",
+      "ablation studies for the design choices in DESIGN.md");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_ablation");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/json.hpp"
 #include "obs/run_report.hpp"
@@ -96,38 +97,12 @@ inline void writeBenchJson(const char* benchId) {
               benchJsonPath().c_str());
 }
 
-/// Strips `--json <path>` / `--json=<path>` from argv, validating the path
-/// eagerly (parseObsFlags convention: a bad path is an immediate error,
-/// not a surprise after a long run). Returns the new argc.
-inline int parseBenchJsonFlag(int argc, char** argv) {
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    bool matched = false;
-    if (std::strcmp(argv[i], "--json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --json requires a file path\n");
-        std::exit(2);
-      }
-      value = argv[++i];
-      matched = true;
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      value = argv[i] + 7;
-      matched = true;
-    }
-    if (!matched) {
-      argv[out++] = argv[i];
-      continue;
-    }
-    const std::string err = obs::validateWritablePath(value);
-    if (!err.empty()) {
-      std::fprintf(stderr, "error: --json %s: %s\n", value.c_str(),
-                   err.c_str());
-      std::exit(2);
-    }
-    benchJsonPath() = value;
-  }
-  return out;
+/// Registers the bench flag group (--json) on a CliParser: the dvmc-bench
+/// machine-readable output the CI perf gate diffs against its baseline.
+inline void addBenchFlags(CliParser& cli) {
+  cli.path("--json", &benchJsonPath(), "FILE",
+           "write a dvmc-bench JSON document with one row per measured "
+           "configuration");
 }
 
 inline std::uint64_t targetFor(WorkloadKind wl) {
@@ -169,13 +144,20 @@ inline SystemConfig benchConfig(Protocol p, ConsistencyModel m,
   return cfg;
 }
 
-/// Standard flag handling for every bench/example main: strips --jobs,
-/// the observability flags (--trace / --report-json / --trace-capacity),
-/// and --json (dvmc-bench machine-readable output).
-inline int parseStandardFlags(int argc, char** argv) {
-  argc = parseJobsFlag(argc, argv);
-  argc = parseBenchJsonFlag(argc, argv);
-  return obs::parseObsFlags(argc, argv);
+/// Standard flag handling for every bench main: one strict CliParser
+/// carrying the runner (--jobs), bench (--json), and observability flag
+/// groups, with auto --help and unknown-flag exit(2). Pass
+/// `gbenchPassthrough` for google-benchmark binaries so their
+/// --benchmark_* flags survive for benchmark::Initialize.
+inline int parseStandardFlags(int argc, char** argv, const char* name,
+                              const char* what,
+                              bool gbenchPassthrough = false) {
+  CliParser cli(name, what);
+  addRunnerFlags(cli);
+  addBenchFlags(cli);
+  obs::addObsFlags(cli);
+  if (gbenchPassthrough) cli.passthroughPrefix("--benchmark_");
+  return cli.parse(argc, argv);
 }
 
 /// Short config label for dvmc-bench rows, e.g. "directory/TSO/apache/dvmc+ber".

@@ -53,7 +53,9 @@ int run(Protocol protocol, const char* id, const char* title) {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig3_directory",
+      "Figure 3: normalized runtime of the directory system, Base vs DVMC");
   const int rc = dvmc::run(dvmc::Protocol::kDirectory, "Figure 3",
                    "normalized runtime, directory protocol, Base vs DVMC");
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig3_directory");

@@ -48,7 +48,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig4_snooping",
+      "Figure 4: normalized runtime of the snooping system, Base vs DVMC");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig4_snooping");
   const int obsRc = dvmc::obs::finalizeObs();

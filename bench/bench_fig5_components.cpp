@@ -57,7 +57,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig5_components",
+      "Figure 5: DVMC component breakdown (directory, TSO)");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig5_components");
   const int obsRc = dvmc::obs::finalizeObs();

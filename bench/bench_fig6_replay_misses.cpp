@@ -45,7 +45,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig6_replay_misses",
+      "Figure 6: L1 misses during verification-stage replay");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig6_replay_misses");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -70,7 +70,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig7_bandwidth",
+      "Figure 7: mean bandwidth on the most heavily loaded link");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig7_bandwidth");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -49,7 +49,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig8_linkbw",
+      "Figure 8: DVMC overhead vs interconnect link bandwidth");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig8_linkbw");
   const int obsRc = dvmc::obs::finalizeObs();

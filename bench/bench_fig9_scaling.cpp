@@ -43,7 +43,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_fig9_scaling",
+      "Figure 9: DVMC overhead vs system size (1 to 8 processors)");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_fig9_scaling");
   const int obsRc = dvmc::obs::finalizeObs();

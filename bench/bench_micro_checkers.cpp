@@ -172,7 +172,10 @@ class RecordingReporter final : public benchmark::ConsoleReporter {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseBenchJsonFlag(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_micro_checkers",
+      "microbenchmarks for the DVMC checker data paths",
+      /*gbenchPassthrough=*/true);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   dvmc::RecordingReporter reporter;

@@ -146,7 +146,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_runner_scaling",
+      "scaling harness for the experiment pipeline (--jobs sweep)");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_runner_scaling");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -48,7 +48,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_tab8_workloads",
+      "Table 8: measured workload characteristics");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_tab8_workloads");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -106,7 +106,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_tab_error_detection",
+      "Section 6.1: the error-detection campaign");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_tab_error_detection");
   const int obsRc = dvmc::obs::finalizeObs();

@@ -42,7 +42,9 @@ int run() {
 }  // namespace dvmc
 
 int main(int argc, char** argv) {
-  argc = dvmc::bench::parseStandardFlags(argc, argv);
+  argc = dvmc::bench::parseStandardFlags(
+      argc, argv, "bench_tab_hw_cost",
+      "Section 6.3: hardware cost of the DVMC checkers");
   const int rc = dvmc::run();
   if (rc == 0) dvmc::bench::writeBenchJson("bench_tab_hw_cost");
   const int obsRc = dvmc::obs::finalizeObs();

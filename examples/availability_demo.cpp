@@ -87,7 +87,12 @@ int runDemo(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
-  argc = dvmc::obs::parseObsFlags(argc, argv);
+  dvmc::CliParser cli("availability_demo",
+                      "fault-injected run that stays available under "
+                      "DVMC + SafetyNet rollback");
+  cli.usageLine("availability_demo [fault_budget]");
+  dvmc::obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
   const int rc = runDemo(argc, argv);
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;

@@ -130,7 +130,12 @@ int runMicroscope() {
 }
 
 int main(int argc, char** argv) {
-  argc = dvmc::obs::parseObsFlags(argc, argv);
+  dvmc::CliParser cli("checker_microscope",
+                      "drives the coherence checker's CET/MET data "
+                      "structures directly through the epoch life cycle");
+  cli.noPositionals();
+  dvmc::obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
   (void)argc;
   (void)argv;
   const int rc = runMicroscope();

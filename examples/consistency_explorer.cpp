@@ -126,7 +126,12 @@ int runExplorer() {
 }
 
 int main(int argc, char** argv) {
-  argc = dvmc::obs::parseObsFlags(argc, argv);
+  dvmc::CliParser cli("consistency_explorer",
+                      "ordering tables, store-buffering litmus outcomes, "
+                      "and checker agreement under each memory model");
+  cli.noPositionals();
+  dvmc::obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
   (void)argc;
   (void)argv;
   const int rc = runExplorer();

@@ -155,7 +155,12 @@ int runDemo(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
-  argc = dvmc::obs::parseObsFlags(argc, argv);
+  dvmc::CliParser cli("error_detection_demo",
+                      "inject one hardware fault, watch a DVMC checker "
+                      "detect it and SafetyNet roll it back");
+  cli.usageLine("error_detection_demo [fault_type]");
+  dvmc::obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
   const int rc = runDemo(argc, argv);
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;

@@ -16,8 +16,7 @@
 
 using namespace dvmc;
 
-int runQuickstart(int argc, char** argv) {
-  argc = parseJobsFlag(argc, argv);
+int runQuickstart(int argc, char** argv, bool stats) {
   const WorkloadKind wl =
       argc > 1 ? workloadFromName(argv[1]) : WorkloadKind::kOltp;
   ConsistencyModel model = ConsistencyModel::kTSO;
@@ -98,11 +97,7 @@ int runQuickstart(int argc, char** argv) {
   std::printf("  errors detected     : %llu%s\n",
               static_cast<unsigned long long>(r.detections),
               r.detections == 0 ? " (error-free run, as expected)" : "");
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--stats") {
-      printStatsReport(sys, std::cout);
-    }
-  }
+  if (stats) printStatsReport(sys, std::cout);
   if (obs::reportingActive()) {
     Json run = Json::object();
     run.set("kind", Json::str("quickstart"));
@@ -114,8 +109,15 @@ int runQuickstart(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
-  argc = dvmc::obs::parseObsFlags(argc, argv);
-  const int rc = runQuickstart(argc, argv);
+  CliParser cli("quickstart",
+                "8-node directory system with full DVMC and SafetyNet");
+  cli.usageLine("quickstart [workload] [model] [snoop] [--stats]");
+  bool stats = false;
+  cli.flag("--stats", &stats, "print the full statistics report");
+  addRunnerFlags(cli);
+  obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
+  const int rc = runQuickstart(argc, argv, stats);
   const int obsRc = dvmc::obs::finalizeObs();
   return rc != 0 ? rc : obsRc;
 }

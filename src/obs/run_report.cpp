@@ -52,85 +52,36 @@ std::string validateWritablePath(const std::string& path) {
   return {};
 }
 
-namespace {
-
-[[noreturn]] void obsUsageError(const char* flag, const std::string& detail) {
-  std::fprintf(stderr, "obs: invalid %s: %s\n", flag, detail.c_str());
-  std::exit(2);
+void addObsFlags(CliParser& cli) {
+  ObsOptions& opts = options();
+  cli.path("--trace", &opts.traceFile, "FILE",
+           "record a Chrome trace_event JSON event trace of the run");
+  cli.count("--trace-capacity", &opts.traceCapacity, "N",
+            "event-trace ring size in events");
+  cli.path("--report-json", &opts.reportJsonFile, "FILE",
+           "write every experiment result as a dvmc-run-report document");
+  cli.path("--forensics", &opts.forensicsFile, "FILE",
+           "capture a forensics bundle on every checker detection");
+  cli.count("--forensics-window", &opts.forensicsWindow, "K",
+            "trace events kept around each detection");
+  cli.count("--sample-every", &opts.sampleEvery, "N",
+            "snapshot telemetry counters every N cycles into the report");
+  cli.count("--sample-capacity", &opts.sampleCapacity, "M",
+            "telemetry ring size in rows");
+  cli.path("--capture-trace", &opts.captureTraceFile, "FILE",
+           "record the first run's commit-point memory-op trace (dvmc-trace)");
+  cli.count("--capture-trace-limit", &opts.captureTraceLimit, "N",
+            "max records before the capture is marked truncated");
+  cli.flag("--capture-trace-spill", &opts.captureTraceSpill,
+           "stream the capture to the --capture-trace file as settled v2 "
+           "chunks during the run (bounded resident memory)");
 }
-
-/// Parses `--flag=V` / `--flag V` forms; returns the value or nullptr.
-const char* flagValue(const char* flag, int argc, char** argv, int* i) {
-  const std::size_t len = std::strlen(flag);
-  const char* arg = argv[*i];
-  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') return arg + len + 1;
-  if (std::strcmp(arg, flag) == 0 && *i + 1 < argc) return argv[++*i];
-  return nullptr;
-}
-
-}  // namespace
 
 int parseObsFlags(int argc, char** argv) {
-  ObsOptions& opts = options();
-  struct PathFlag {
-    const char* flag;
-    std::string* target;
-  };
-  struct CountFlag {
-    const char* flag;
-    std::uint64_t* target;
-  };
-  std::uint64_t traceCapacity = opts.traceCapacity;
-  std::uint64_t forensicsWindow = opts.forensicsWindow;
-  std::uint64_t sampleEvery = 0;
-  std::uint64_t sampleCapacity = opts.sampleCapacity;
-  std::uint64_t captureTraceLimit = opts.captureTraceLimit;
-  const PathFlag pathFlags[] = {
-      {"--trace", &opts.traceFile},
-      {"--report-json", &opts.reportJsonFile},
-      {"--forensics", &opts.forensicsFile},
-      {"--capture-trace", &opts.captureTraceFile},
-  };
-  const CountFlag countFlags[] = {
-      {"--trace-capacity", &traceCapacity},
-      {"--forensics-window", &forensicsWindow},
-      {"--sample-every", &sampleEvery},
-      {"--sample-capacity", &sampleCapacity},
-      {"--capture-trace-limit", &captureTraceLimit},
-  };
-
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    bool matched = false;
-    for (const PathFlag& f : pathFlags) {
-      if (const char* value = flagValue(f.flag, argc, argv, &i)) {
-        const std::string err = validateWritablePath(value);
-        if (!err.empty()) obsUsageError(f.flag, err);
-        *f.target = value;
-        matched = true;
-        break;
-      }
-    }
-    if (matched) continue;
-    for (const CountFlag& f : countFlags) {
-      if (const char* value = flagValue(f.flag, argc, argv, &i)) {
-        if (!parsePositiveCount(value, f.target)) {
-          obsUsageError(f.flag, "'" + std::string(value) +
-                                    "' is not a positive integer");
-        }
-        matched = true;
-        break;
-      }
-    }
-    if (!matched) argv[out++] = argv[i];
-  }
-  argv[out] = nullptr;
-  opts.traceCapacity = static_cast<std::size_t>(traceCapacity);
-  opts.forensicsWindow = static_cast<std::size_t>(forensicsWindow);
-  opts.sampleEvery = sampleEvery;
-  opts.sampleCapacity = static_cast<std::size_t>(sampleCapacity);
-  opts.captureTraceLimit = static_cast<std::size_t>(captureTraceLimit);
-  return out;
+  CliParser cli("obs", "observability flags");
+  cli.lenient();
+  addObsFlags(cli);
+  return cli.parse(argc, argv);
 }
 
 EventTracer* activeTracer() {

@@ -18,9 +18,14 @@
 //                         for the offline consistency oracle (dvmc_oracle)
 //   --capture-trace-limit=N  max records before the capture is marked
 //                         truncated (default 4194304)
+//   --capture-trace-spill stream the capture to the --capture-trace file
+//                         as settled v2 chunks during the run instead of
+//                         holding the whole capture resident
 //
-// parseObsFlags strips them from argv (like parseJobsFlag) and validates
-// them eagerly: a zero or non-numeric count, or an unwritable output
+// The group is registered on the shared CliParser via addObsFlags (see
+// common/cli.hpp); every binary's --help renders the same table, and
+// docs/observability.md embeds it via --help-markdown. Values are
+// validated eagerly: a zero or non-numeric count, or an unwritable output
 // path, is a clear error on stderr and exit(2) — not a silent no-op
 // discovered after an hour-long run. While a report file is armed, the
 // system layer records each runSeeds/runOnce result into the
@@ -36,6 +41,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cli.hpp"
 #include "common/types.hpp"
 #include "obs/forensics.hpp"
 #include "obs/json.hpp"
@@ -57,13 +63,25 @@ struct ObsOptions {
   Cycle sampleEvery = 0;               // 0 = time-series sampling off
   std::size_t sampleCapacity = 4096;   // telemetry ring rows
   std::size_t captureTraceLimit = std::size_t{1} << 22;  // records
+  /// With --capture-trace FILE: stream settled chunks to FILE during the
+  /// run as a chunked v2 container (keepInMemory off) instead of holding
+  /// the whole capture resident and writing a v1 file at the end.
+  bool captureTraceSpill = false;
 };
 
 ObsOptions& options();
 
-/// Strips the observability flags from argv, validates them (exit(2) with
-/// a message on a zero/non-numeric count or an unwritable path), and
-/// stores them in options(). Returns the new argc.
+/// Registers the observability flag group on a CliParser, targeting
+/// options(). Every binary that builds its own parser calls this (plus
+/// addRunnerFlags / bench::addBenchFlags) so the flag set and the --help
+/// table stay identical across the fleet.
+void addObsFlags(CliParser& cli);
+
+/// Legacy strip-what-you-know entry point: parses ONLY the observability
+/// flags leniently (unknown arguments pass through for a later stage),
+/// validates them (exit(2) on a zero/non-numeric count or an unwritable
+/// path), and stores them in options(). Returns the new argc. New code
+/// should build a strict CliParser and call addObsFlags instead.
 int parseObsFlags(int argc, char** argv);
 
 /// Strict positive-count parser for flag values: accepts decimal digits

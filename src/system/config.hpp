@@ -95,14 +95,81 @@ struct SystemConfig {
   Cycle sampleEvery = 0;
   std::size_t sampleCapacity = 4096;
 
-  /// Commit-point trace capture for the offline consistency oracle
-  /// (verify/). The capture rides RunResult::trace like the telemetry
-  /// series. Incompatible with autoRecover: a rollback re-executes
-  /// instructions under fresh sequence numbers, which would duplicate the
-  /// recorded history. Past `traceCaptureLimit` records the trace is
-  /// marked truncated and the oracle refuses it.
-  bool captureTrace = false;
-  std::size_t traceCaptureLimit = std::size_t{1} << 22;
+  /// Commit-point trace capture for the consistency oracle (verify/).
+  /// Every trace knob lives here and is validated in one place
+  /// (validate(), checked by the System constructor). The capture rides
+  /// RunResult::trace like the telemetry series. Incompatible with
+  /// autoRecover: a rollback re-executes instructions under fresh
+  /// sequence numbers, which would duplicate the recorded history.
+  struct TraceOptions {
+    /// Record every committed memory operation. Past `captureLimit`
+    /// records the trace is marked truncated and the oracle refuses it.
+    bool capture = false;
+    std::size_t captureLimit = std::size_t{1} << 22;
+
+    /// Streaming delivery (non-owning; nullptr = off): settled chunks of
+    /// `chunkRecords` records stream to the sink *during* the run, so a
+    /// capture no longer implies O(run-length) resident memory. Feed a
+    /// verify::ChunkedTraceFileSink to spill to disk, or a
+    /// verify::StreamingOracle to check the run as it executes. With
+    /// keepInMemory off, RunResult::trace stays null and the sink gets
+    /// the only copy.
+    verify::TraceSink* sink = nullptr;
+    std::size_t chunkRecords = 4096;
+    bool keepInMemory = true;
+
+    /// The single validation point: nullptr when consistent, else the
+    /// human-readable reason.
+    const char* validate() const {
+      if (!capture) {
+        return sink != nullptr ? "trace.sink requires trace.capture"
+                               : nullptr;
+      }
+      if (captureLimit == 0) return "trace.captureLimit must be positive";
+      if (sink != nullptr && chunkRecords == 0) {
+        return "trace.chunkRecords must be positive";
+      }
+      if (sink == nullptr && !keepInMemory) {
+        return "trace capture with neither a sink nor keepInMemory would "
+               "discard every record";
+      }
+      return nullptr;
+    }
+  };
+  TraceOptions trace;
+
+  /// Deprecated aliases, kept one release: prefer trace.capture /
+  /// trace.captureLimit. effectiveTrace() folds them in (an alias only
+  /// wins where the new field was left at its default).
+  [[deprecated("use trace.capture")]] bool captureTrace = false;
+  [[deprecated("use trace.captureLimit")]] std::size_t traceCaptureLimit =
+      std::size_t{1} << 22;
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  // The special members copy the deprecated alias fields; defaulting them
+  // inside the suppression keeps the warning scoped to real alias uses.
+  SystemConfig() = default;
+  SystemConfig(const SystemConfig&) = default;
+  SystemConfig& operator=(const SystemConfig&) = default;
+  SystemConfig(SystemConfig&&) = default;
+  SystemConfig& operator=(SystemConfig&&) = default;
+  ~SystemConfig() = default;
+
+  TraceOptions effectiveTrace() const {
+    TraceOptions t = trace;
+    if (captureTrace) t.capture = true;
+    constexpr std::size_t kDefaultLimit = std::size_t{1} << 22;
+    if (traceCaptureLimit != kDefaultLimit && t.captureLimit == kDefaultLimit) {
+      t.captureLimit = traceCaptureLimit;
+    }
+    return t;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   /// Global stop target: total transactions across all processors (barnes:
   /// phases per processor, run to completion).
@@ -163,8 +230,9 @@ struct RunResult {
   /// finishes.
   std::shared_ptr<const TimeSeries> series;
 
-  /// Commit trace (null unless SystemConfig::captureTrace). Immutable once
-  /// the run finishes; feed to verify::checkTrace.
+  /// Commit trace (null unless SystemConfig::trace.capture with
+  /// keepInMemory). Immutable once the run finishes; feed to
+  /// verify::checkTrace.
   std::shared_ptr<const verify::CapturedTrace> trace;
 };
 

@@ -11,6 +11,7 @@
 #include "obs/run_report.hpp"
 #include "system/system.hpp"
 #include "verify/trace.hpp"
+#include "verify/trace_sink.hpp"
 
 namespace dvmc {
 
@@ -21,6 +22,28 @@ namespace {
 /// eagerly — unlike the report, a crash later in the harness should not
 /// lose the trace that explains it.
 std::atomic<bool> g_captureTraceWritten{false};
+
+/// --capture-trace-spill: the chunked v2 sink streaming the first run's
+/// capture to disk during the run (keepInMemory off). Single-threaded like
+/// the tracer — only one run gets it.
+std::unique_ptr<verify::ChunkedTraceFileSink> g_spillSink;
+
+/// Prints the spill outcome once the armed run has finished and releases
+/// the sink (closing the file).
+void reportSpillOnce() {
+  if (!g_spillSink) return;
+  const obs::ObsOptions& opts = obs::options();
+  if (!g_spillSink->ok()) {
+    std::fprintf(stderr, "obs: capture-trace spill failed: %s\n",
+                 g_spillSink->error().c_str());
+  } else {
+    std::fprintf(stderr,
+                 "obs: streamed %llu trace record(s) to %s (chunked v2)\n",
+                 static_cast<unsigned long long>(g_spillSink->recordsWritten()),
+                 opts.captureTraceFile.c_str());
+  }
+  g_spillSink.reset();
+}
 
 Json statJson(const RunningStat& s) {
   return Json::object()
@@ -130,12 +153,24 @@ void armCaptureFromObs(SystemConfig& cfg) {
   // autoRecover re-executes instructions after rollback, which would
   // duplicate trace history; leave capture off rather than abort the run.
   if (cfg.autoRecover) return;
-  cfg.captureTrace = true;
-  cfg.traceCaptureLimit = opts.captureTraceLimit;
+  cfg.trace.capture = true;
+  cfg.trace.captureLimit = opts.captureTraceLimit;
+  // Spill mode: the first armed run streams its capture straight to the
+  // file as settled chunks and keeps nothing resident. Claiming the
+  // written flag here keeps the v1 fallback writer off the same file.
+  if (opts.captureTraceSpill && !g_captureTraceWritten.exchange(true)) {
+    g_spillSink =
+        std::make_unique<verify::ChunkedTraceFileSink>(opts.captureTraceFile);
+    cfg.trace.sink = g_spillSink.get();
+    cfg.trace.keepInMemory = false;
+  }
 }
 
 void writeCaptureFileOnce(
     const std::shared_ptr<const verify::CapturedTrace>& trace) {
+  // Spill mode wrote the file during the run; report that outcome even
+  // for mains that drive a System directly and pass a null trace here.
+  reportSpillOnce();
   if (!trace) return;
   const obs::ObsOptions& opts = obs::options();
   if (opts.captureTraceFile.empty()) return;
@@ -157,6 +192,7 @@ RunResult runOnce(const SystemConfig& cfg) {
   System sys(c);
   RunResult r = sys.run();
   writeCaptureFileOnce(r.trace);
+  reportSpillOnce();
   if (obs::reportingActive()) recordReport("runOnce", c, toJson(r));
   return r;
 }
@@ -192,29 +228,23 @@ int resolveJobs(const SystemConfig& cfg) {
   return cfg.jobs > 0 ? cfg.jobs : defaultJobs();
 }
 
+void addRunnerFlags(CliParser& cli) {
+  cli.optionFn("--jobs", "N",
+               "worker threads for multi-seed runs (default: DVMC_JOBS or "
+               "hardware concurrency)",
+               [](const std::string& v) -> std::string {
+                 const int jobs = std::atoi(v.c_str());
+                 if (jobs > 0) setDefaultJobs(jobs);
+                 return {};
+               })
+      .alias("-j");
+}
+
 int parseJobsFlag(int argc, char** argv) {
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    int jobs = 0;
-    int consumed = 0;
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      jobs = std::atoi(arg + 7);
-      consumed = 1;
-    } else if ((std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) &&
-               i + 1 < argc) {
-      jobs = std::atoi(argv[i + 1]);
-      consumed = 2;
-    }
-    if (consumed > 0) {
-      if (jobs > 0) setDefaultJobs(jobs);
-      i += consumed - 1;
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argv[out] = nullptr;
-  return out;
+  CliParser cli("runner", "runner flags");
+  cli.lenient();
+  addRunnerFlags(cli);
+  return cli.parse(argc, argv);
 }
 
 MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
@@ -231,7 +261,13 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
         SystemConfig c = cfg;
         c.seed = seedBase + static_cast<std::uint64_t>(s);
         // A tracer is single-threaded state: only the first seed records.
-        if (s != 0) c.tracer = nullptr;
+        // Same for a trace sink (the spill file): later seeds keep their
+        // captures in memory instead.
+        if (s != 0) {
+          c.tracer = nullptr;
+          c.trace.sink = nullptr;
+          c.trace.keepInMemory = true;
+        }
         // Per-seed results are folded into one report entry below, not
         // recorded individually — build the System directly.
         System sys(c);
@@ -239,11 +275,12 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
       });
 
   MultiRunResult out;
-  if (cfg.captureTrace) {
+  if (cfg.effectiveTrace().capture) {
     out.traces.reserve(results.size());
     for (const RunResult& r : results) out.traces.push_back(r.trace);
     // The file mirrors the first seed's capture, like the tracer/series.
     if (!results.empty()) writeCaptureFileOnce(results[0].trace);
+    reportSpillOnce();
   }
   for (const RunResult& r : results) {
     out.cycles.addTracked(static_cast<double>(r.cycles));

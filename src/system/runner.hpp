@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "obs/json.hpp"
 #include "system/config.hpp"
@@ -33,7 +34,7 @@ struct MultiRunResult {
   MetricSnapshot metrics;
 
   /// Per-seed commit traces in seed order (each null unless
-  /// SystemConfig::captureTrace; the whole vector is empty when capture
+  /// SystemConfig::trace.capture; the whole vector is empty when capture
   /// was off). Feed to verify::checkTrace for offline oracle runs.
   std::vector<std::shared_ptr<const verify::CapturedTrace>> traces;
 
@@ -48,7 +49,7 @@ RunResult runOnce(const SystemConfig& cfg);
 // that drive a System directly (quickstart, demos) but should still
 // honour the flag.
 
-/// Arms SystemConfig::captureTrace when --capture-trace was given
+/// Arms SystemConfig::trace.capture when --capture-trace was given
 /// (no-op under autoRecover: recovery rewinds architectural state but
 /// not the append-only trace).
 void armCaptureFromObs(SystemConfig& cfg);
@@ -73,9 +74,14 @@ void setDefaultJobs(int jobs);
 /// cfg.jobs if > 0, else defaultJobs().
 int resolveJobs(const SystemConfig& cfg);
 
-/// Strips a `--jobs N` (or `-j N` / `--jobs=N`) flag from argv, if present,
-/// and feeds it to setDefaultJobs. Returns the new argc. Shared by the
-/// bench and example mains so every binary exposes the same knob.
+/// Registers the runner flag group (--jobs/-j) on a CliParser; the value
+/// feeds setDefaultJobs. Paired with obs::addObsFlags and
+/// bench::addBenchFlags so every binary shares one flag surface.
+void addRunnerFlags(CliParser& cli);
+
+/// Legacy lenient form: strips a `--jobs N` (or `-j N` / `--jobs=N`) flag
+/// from argv, if present, and feeds it to setDefaultJobs. Returns the new
+/// argc. New code should build a strict CliParser and call addRunnerFlags.
 int parseJobsFlag(int argc, char** argv);
 
 // --- run-report serialization (the --report-json machinery) ---

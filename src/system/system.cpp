@@ -98,6 +98,12 @@ class SnoopDataRouter final : public NetworkEndpoint {
 }  // namespace
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
+  // Fold the deprecated captureTrace/traceCaptureLimit aliases into the
+  // grouped options and validate the result once, up front.
+  cfg_.trace = cfg_.effectiveTrace();
+  if (const char* why = cfg_.trace.validate(); why != nullptr) {
+    DVMC_FATAL(why);
+  }
   map_.numNodes = cfg_.numNodes;
   torus_ = std::make_unique<TorusNetwork>(sim_, cfg_.numNodes, cfg_.torus);
   if (cfg_.protocol == Protocol::kSnooping) {
@@ -142,16 +148,17 @@ System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {
   nodes_.resize(cfg_.numNodes);
   for (NodeId n = 0; n < cfg_.numNodes; ++n) buildNode(n);
 
-  if (cfg_.captureTrace) {
+  if (cfg_.trace.capture) {
     // BER rollback re-executes in-flight work under fresh sequence
     // numbers, which would duplicate already-recorded history; there is no
     // sound way to splice a rollback into a linear commit trace.
     DVMC_ASSERT(!cfg_.autoRecover,
-                "captureTrace is incompatible with autoRecover");
+                "trace.capture is incompatible with autoRecover");
     traceRecorder_ = std::make_unique<verify::TraceRecorder>(
         static_cast<std::uint32_t>(cfg_.numNodes), cfg_.model,
         static_cast<std::uint8_t>(cfg_.protocol), cfg_.seed,
-        cfg_.traceCaptureLimit);
+        cfg_.trace.captureLimit, cfg_.trace.sink, cfg_.trace.chunkRecords,
+        cfg_.trace.keepInMemory);
     for (Node& n : nodes_) n.core->setTraceRecorder(traceRecorder_.get());
   }
 
@@ -306,7 +313,16 @@ bool System::allCoresDone() const {
 }
 
 RunResult System::run() {
-  return runUntil([] { return false; });
+  RunResult r = runUntil([] { return false; });
+  // run() is the whole-run entry point: the capture is complete, so close
+  // the chunk stream (flushing the unsettled tail to any attached sink).
+  // Callers driving runUntil/collectResult by hand own this call.
+  finishTraceCapture();
+  return r;
+}
+
+void System::finishTraceCapture() {
+  if (traceRecorder_) traceRecorder_->finish();
 }
 
 RunResult System::runUntil(const std::function<bool()>& extraPred) {

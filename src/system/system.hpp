@@ -46,6 +46,12 @@ class System {
   /// Runs until `extraPred` becomes true as well (fault experiments).
   RunResult runUntil(const std::function<bool()>& extraPred);
 
+  /// Closes the commit-trace capture: flushes the unsettled chunk tail to
+  /// any attached trace sink and ends the stream. run() calls this;
+  /// callers driving runUntil/collectResult by hand call it once the run
+  /// is really over. Idempotent; a no-op when capture is off.
+  void finishTraceCapture();
+
   /// End-of-run checker sweep: flushes every open epoch out of the CETs,
   /// lets the informs propagate, then drains the MET queues so epochs
   /// still open when the program ended get their data-propagation checks.
@@ -165,7 +171,7 @@ class System {
   std::unique_ptr<EventTracer> ownedTracer_;
   // Interval sampler output (null unless cfg_.sampleEvery > 0).
   std::shared_ptr<TimeSeries> series_;
-  // Commit-point recorder (null unless cfg_.captureTrace).
+  // Commit-point recorder (null unless cfg_.trace.capture).
   std::unique_ptr<verify::TraceRecorder> traceRecorder_;
   std::vector<SampleColumn> samplePlan_;
   std::unique_ptr<TorusNetwork> torus_;

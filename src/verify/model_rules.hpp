@@ -1,0 +1,95 @@
+// Shared per-record ordering-rule helpers for the two oracle
+// implementations (batch oracle.cpp, streaming streaming_oracle.cpp).
+//
+// Both checkers build the same constraint graph — these helpers are the
+// single source of truth for how a trace record maps onto it: which
+// membar bits an op pends on / waits for (paper Table 4), which op
+// classes it belongs to, and the edge-kind vocabulary used in violation
+// messages. Keeping them here is what makes the streaming-vs-batch
+// differential test meaningful: the two implementations share the rule
+// tables but not the traversal.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "consistency/op.hpp"
+#include "verify/trace.hpp"
+
+namespace dvmc::verify {
+
+enum class EdgeKind : std::uint8_t {
+  kPo,      // program order mandated by the op's effective model
+  kAddr,    // same-core same-word coherence (CoWW / CoRW / CoRR)
+  kMembar,  // through a membar's per-bit virtual barrier
+  kDrain,   // pipeline drain on an effective-model switch
+  kRf,      // reads-from a globally performed writer
+  kWs,      // per-word write serialization
+  kFr,      // from-read into the writer's ws successor
+};
+
+inline const char* edgeKindName(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::kPo: return "po";
+    case EdgeKind::kAddr: return "addr";
+    case EdgeKind::kMembar: return "membar";
+    case EdgeKind::kDrain: return "drain";
+    case EdgeKind::kRf: return "rf";
+    case EdgeKind::kWs: return "ws";
+    case EdgeKind::kFr: return "fr";
+  }
+  return "?";
+}
+
+// The bits under which an earlier op of this type waits for a barrier, and
+// the bits whose barrier a later op of this type waits on (paper Table 4).
+inline std::uint8_t pendBits(const TraceRecord& r) {
+  std::uint8_t m = 0;
+  if (r.op == TraceOp::kLoad || r.op == TraceOp::kSwap ||
+      r.op == TraceOp::kCas) {
+    m |= membar::kLoadLoad | membar::kLoadStore;
+  }
+  if (r.op == TraceOp::kStore || r.op == TraceOp::kSwap ||
+      r.op == TraceOp::kCas) {
+    m |= membar::kStoreLoad | membar::kStoreStore;
+  }
+  return m;
+}
+inline std::uint8_t waitBits(const TraceRecord& r) {
+  std::uint8_t m = 0;
+  if (r.op == TraceOp::kLoad || r.op == TraceOp::kSwap ||
+      r.op == TraceOp::kCas) {
+    m |= membar::kLoadLoad | membar::kStoreLoad;
+  }
+  if (r.op == TraceOp::kStore || r.op == TraceOp::kSwap ||
+      r.op == TraceOp::kCas) {
+    m |= membar::kLoadStore | membar::kStoreStore;
+  }
+  return m;
+}
+
+inline bool isLoadClass(TraceOp op) {
+  return op == TraceOp::kLoad || op == TraceOp::kSwap || op == TraceOp::kCas;
+}
+inline bool isStoreClass(TraceOp op) {
+  return op == TraceOp::kStore || op == TraceOp::kSwap ||
+         op == TraceOp::kCas;
+}
+
+inline std::uint64_t observedValue(const TraceRecord& r) {
+  return r.op == TraceOp::kLoad ? r.value : r.readValue;
+}
+
+inline std::string oracleHex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", (unsigned long long)v);
+  return buf;
+}
+
+/// Formats one trace record the way violation messages expect, without
+/// needing the whole CapturedTrace (the streaming oracle retires records
+/// it is done with). Mirrors describeRecord(t, i).
+std::string describeRecordLine(const TraceRecord& r, std::size_t i);
+
+}  // namespace dvmc::verify

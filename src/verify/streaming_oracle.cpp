@@ -1,0 +1,945 @@
+// Incremental bounded-memory consistency checker. The algorithm is the
+// batch oracle's (oracle.cpp) restated as a dataflow over settled chunks:
+//
+//   * ingest builds exactly the edges the batch record loop builds, in
+//     the same per-record order (drain barriers, po, membar waits,
+//     coherence), because chunk records arrive in global commit order
+//     with final flags;
+//   * read justification is deferred until the frontier (max perform
+//     cycle seen) passes the read's cycle by the settle horizon H — by
+//     then every candidate writer with an earlier-or-equal cycle has
+//     been ingested, and any *later* same-value writer that would have
+//     changed the batch candidate count trips the watched-value
+//     detector;
+//   * ws / fr edges are deferred until their endpoint's position in the
+//     per-word serialization is final (frontier past its cycle + H; the
+//     in-link of a write is emitted when the write ages at 2H);
+//   * an incremental Kahn peel retires nodes whose constraint set is
+//     complete: virtual barriers at creation, never-serialized stores at
+//     ingest, reads at resolution, serialized writes at age 2H (a stale
+//     reader of the predecessor can legally perform up to ~2H behind,
+//     so its fr edge can arrive that late).
+//
+// Soundness of early retirement: an edge whose target was already
+// retired sets windowExceeded (addEdge checks), and an edge *from* a
+// retired node is a satisfied constraint — the source was ordered before
+// everything still live. So any cycle present in the final batch graph
+// either survives into the residual graph at finish() or trips a
+// detector first; either way the one-sided contract in the header holds.
+//
+// Cycle reporting matches the batch text because (a) the residual node
+// scan iterates keys in ascending order (real indices then virtual
+// creation order — the batch node-id order) and (b) each node's out
+// edges are sorted by a recorded batch insertion key before the
+// back-walk, so parallel-edge kind selection agrees.
+#include "verify/streaming_oracle.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "coherence/memory_storage.hpp"
+#include "common/assert.hpp"
+#include "common/flat_map.hpp"
+#include "common/thread_pool.hpp"
+#include "consistency/op.hpp"
+#include "consistency/ordering_table.hpp"
+#include "verify/model_rules.hpp"
+
+namespace dvmc::verify {
+namespace {
+
+constexpr std::uint64_t kNone64 = ~std::uint64_t{0};
+// Virtual barrier nodes sort after every real record index, in creation
+// order — the batch oracle's node-id order.
+constexpr std::uint64_t kVirtBase = std::uint64_t{1} << 62;
+constexpr std::uint16_t kMultiNode = 0xFFFF;
+
+// Batch insertion-order key for an edge, so the residual cycle back-walk
+// picks the same kind among parallel (u,v) edges the batch oracle would.
+// ws chains are inserted before the record loop (key 0); loop edges sort
+// by the record being processed, then by call order within it; rf/fr for
+// a read sort after that read's ingest-time edges.
+constexpr std::uint64_t kWsOrder = 0;
+inline std::uint64_t ingestOrder(std::uint64_t rec, std::uint32_t sub) {
+  return ((rec + 1) << 32) | sub;
+}
+inline std::uint64_t resolveOrder(std::uint64_t rec, std::uint32_t sub) {
+  return ((rec + 1) << 32) | (0x80000000u + sub);
+}
+
+struct OutEdge {
+  std::uint64_t to;
+  EdgeKind kind;
+  std::uint64_t order;
+};
+
+struct LiveNode {
+  TraceRecord rec;  // real record; for virtuals, the barrier's source
+  std::uint64_t srcIndex = 0;
+  std::uint32_t indeg = 0;
+  bool isVirtual = false;
+  bool needResolve = false;
+  bool needAge = false;
+  bool resolved = false;
+  bool aged = false;
+  bool queued = false;
+  std::vector<OutEdge> out;
+};
+
+inline bool nodeComplete(const LiveNode& n) {
+  if (n.needResolve && !n.resolved) return false;
+  if (n.needAge && !n.aged) return false;
+  return true;
+}
+
+// One globally performed write in a word's serialization.
+struct WsEntry {
+  std::uint64_t idx = 0;
+  Cycle cycle = 0;
+  std::uint64_t value = 0;
+  SeqNum seq = 0;
+  std::uint8_t node = 0;
+  bool linkEmitted = false;  // in-edge from the ws predecessor emitted
+};
+
+inline bool wsBefore(Cycle ca, std::uint8_t na, SeqNum sa, Cycle cb,
+                     std::uint8_t nb, SeqNum sb) {
+  if (ca != cb) return ca < cb;
+  if (na != nb) return na < nb;
+  return sa < sb;
+}
+
+// A from-read edge whose target (the writer's ws successor) is not yet
+// final. beforeAll marks an init read: its target is the word's first
+// write, whichever that turns out to be.
+struct PendingFr {
+  std::uint64_t readIdx = 0;
+  Addr addr = 0;
+  Cycle wCycle = 0;
+  SeqNum wSeq = 0;
+  std::uint8_t wNode = 0;
+  bool beforeAll = false;
+};
+
+struct AddrHistory {
+  std::vector<WsEntry> entries;  // (cycle, node, seq) order, like batch ws_
+  // Pending fr edges whose writer is currently the last entry (or whose
+  // word has no write yet): only a new tail insert can give them a
+  // target, so they wait here instead of being rescanned every round.
+  std::vector<PendingFr> awaitSucc;
+  // Values that a resolved zero/unique-match read observed, keyed to the
+  // reader's node (kMultiNode once readers on distinct nodes share one).
+  // A later write of such a value from another node would have changed
+  // the batch candidate count — window detector, not an error.
+  FlatMap<std::uint64_t, std::uint16_t> watched;
+};
+
+// Per-core program-order write history (the batch AddrState.writes):
+// every store-class op, including pending / superseded / failed-CAS
+// entries, because local forwarding can expose any of them.
+struct OwnWrite {
+  std::uint64_t idx = 0;
+  Cycle cycle = 0;
+  SeqNum seq = 0;
+  std::uint64_t value = 0;
+  bool inWs = false;
+};
+
+struct CoreAddr {
+  std::uint64_t lastWrite = kNone64;
+  std::uint64_t lastOrderedRead = kNone64;
+  std::vector<OwnWrite> writes;
+};
+
+struct CoreState {
+  std::uint64_t lastLoadLike = kNone64;
+  std::uint64_t lastStoreLike = kNone64;
+  std::uint8_t prevModel = 0xFF;
+  std::vector<std::uint64_t> pend[4];
+  std::uint64_t lastV[4] = {kNone64, kNone64, kNone64, kNone64};
+  FlatMap<Addr, CoreAddr> byAddr;
+  SeqNum lastSeq = 0;
+  bool seen = false;
+};
+
+// Pure candidate-scan result for one read; computed (possibly in
+// parallel) against frozen histories, applied serially in record order.
+struct ResolveOutcome {
+  std::uint64_t readIdx = 0;
+  std::size_t matches = 0;
+  std::uint64_t own = kNone64;
+  Cycle ownCycle = 0;
+  SeqNum ownSeq = 0;
+  bool ownInWs = false;
+  std::uint64_t remote = kNone64;
+  Cycle remoteCycle = 0;
+  SeqNum remoteSeq = 0;
+  std::uint8_t remoteNode = 0;
+  std::uint64_t blame = 0;
+  std::uint64_t blameValue = 0;
+  Cycle blameCycle = 0;
+};
+
+}  // namespace
+
+struct StreamingOracle::Impl {
+  explicit Impl(const StreamingOracleOptions& o)
+      : opt(o),
+        tables{OrderingTable::forModel(ConsistencyModel::kSC),
+               OrderingTable::forModel(ConsistencyModel::kTSO),
+               OrderingTable::forModel(ConsistencyModel::kPSO),
+               OrderingTable::forModel(ConsistencyModel::kRMO)} {}
+
+  StreamingOracleOptions opt;
+  OrderingTable tables[4];
+
+  std::uint32_t numCores = 0;
+  std::uint8_t declaredModel = 0;
+  bool begun = false;
+  bool ended = false;
+  bool truncatedStream = false;
+  bool finished = false;
+  bool malformed = false;
+  OracleViolation malformedViolation;
+
+  bool exceeded = false;
+  std::string exceededReason;
+
+  std::uint64_t recordsSeen = 0;  // includes post-malformed records
+  Cycle frontier = 0;
+  std::uint64_t virtualCount = 0;
+
+  FlatMap<std::uint64_t, LiveNode> liveNodes;
+  FlatMap<Addr, AddrHistory> addrs;
+  std::vector<CoreState> cores;
+  std::deque<std::uint64_t> unresolved;  // performed reads, index order
+  std::deque<std::uint64_t> agingWrites;  // serialized writes, index order
+  std::vector<PendingFr> stabilizing;    // succ exists, not yet final
+  std::vector<std::uint64_t> ready;
+  std::vector<OracleViolation> valueViolations;  // capped at maxViolations
+  OracleStats stats;
+  OracleResult res;
+  std::size_t peak = 0;
+
+  // --- small helpers -------------------------------------------------------
+
+  void flagWindow(std::string reason) {
+    if (exceeded) return;
+    exceeded = true;
+    exceededReason = std::move(reason);
+  }
+
+  void clearState() {
+    liveNodes.clear();
+    addrs.clear();
+    cores.clear();
+    unresolved.clear();
+    agingWrites.clear();
+    stabilizing.clear();
+    ready.clear();
+  }
+
+  static OracleViolation makeViolation(OracleViolation::Kind kind,
+                                       std::size_t a, std::size_t b,
+                                       std::string msg) {
+    OracleViolation v;
+    v.kind = kind;
+    v.recordA = a;
+    v.recordB = b;
+    v.byteA = CapturedTrace::byteOffset(a);
+    v.byteB = CapturedTrace::byteOffset(b);
+    v.message = std::move(msg);
+    return v;
+  }
+
+  void addValueViolation(std::size_t a, std::size_t b, std::string msg) {
+    if (valueViolations.size() >= opt.maxViolations) return;
+    valueViolations.push_back(makeViolation(
+        OracleViolation::Kind::kBadReadValue, a, b, std::move(msg)));
+  }
+
+  void maybeReady(std::uint64_t key) {
+    auto it = liveNodes.find(key);
+    if (it == liveNodes.end()) return;
+    LiveNode& n = it->second;
+    if (!n.queued && n.indeg == 0 && nodeComplete(n)) {
+      n.queued = true;
+      ready.push_back(key);
+    }
+  }
+
+  void addEdge(std::uint64_t from, std::uint64_t to, EdgeKind kind,
+               std::uint64_t order) {
+    if (from == kNone64 || from == to) return;
+    ++stats.edges;
+    if (kind == EdgeKind::kRf) ++stats.rfEdges;
+    if (kind == EdgeKind::kWs) ++stats.wsEdges;
+    if (kind == EdgeKind::kFr) ++stats.frEdges;
+    auto fit = liveNodes.find(from);
+    if (fit == liveNodes.end()) return;  // satisfied: source already retired
+    auto tit = liveNodes.find(to);
+    if (tit == liveNodes.end()) {
+      flagWindow("constraint edge arrived after its target was retired "
+                 "(settle horizon too small for this trace)");
+      return;
+    }
+    fit->second.out.push_back({to, kind, order});
+    ++tit->second.indeg;
+  }
+
+  std::size_t findWsEntry(const AddrHistory& ah, Cycle c, std::uint8_t node,
+                          SeqNum seq) const {
+    auto it = std::lower_bound(
+        ah.entries.begin(), ah.entries.end(), std::make_tuple(c, node, seq),
+        [](const WsEntry& e, const std::tuple<Cycle, std::uint8_t, SeqNum>& k) {
+          return wsBefore(e.cycle, e.node, e.seq, std::get<0>(k),
+                          std::get<1>(k), std::get<2>(k));
+        });
+    return std::size_t(it - ah.entries.begin());
+  }
+
+  // --- ingest --------------------------------------------------------------
+
+  // Mirrors the batch wellFormed() per-record checks; returns false and
+  // records the (single) malformed verdict on failure.
+  bool checkWellFormed(const TraceRecord& r, std::uint64_t i) {
+    auto bad = [&](const char* msg) {
+      malformed = true;
+      malformedViolation =
+          makeViolation(OracleViolation::Kind::kMalformed, i, i, msg);
+      return false;
+    };
+    if (r.node >= numCores) return bad("record node out of range");
+    if (r.model > std::uint8_t(ConsistencyModel::kRMO) ||
+        r.op > TraceOp::kMembar) {
+      return bad("record model/op out of range");
+    }
+    CoreState& cs = cores[r.node];
+    if (cs.seen && r.seq <= cs.lastSeq) {
+      return bad("per-core sequence numbers must be strictly "
+                 "increasing (commit order is program order)");
+    }
+    cs.seen = true;
+    cs.lastSeq = r.seq;
+    const bool mustPerform = r.op != TraceOp::kStore;
+    if (mustPerform && (!r.performed() || r.performCycle == kNotPerformed)) {
+      return bad("non-store record without a perform cycle");
+    }
+    if (r.superseded() && r.op != TraceOp::kStore) {
+      return bad("only buffered stores can be superseded");
+    }
+    if ((r.flags & kFlagCasFailed) != 0 && r.op != TraceOp::kCas) {
+      return bad("cas-failed flag on a non-cas record");
+    }
+    if (r.op == TraceOp::kMembar) {
+      ++stats.membars;
+    } else {
+      if (r.writes()) ++stats.writes;
+      if (r.reads()) ++stats.reads;
+    }
+    return true;
+  }
+
+  void barrier(std::uint64_t src, const TraceRecord& srcRec,
+               std::uint8_t mask, EdgeKind kind, CoreState& cs,
+               std::uint32_t& sub) {
+    for (int b = 0; b < 4; ++b) {
+      if ((mask & (1u << b)) == 0) continue;
+      const std::uint64_t vkey = kVirtBase + virtualCount++;
+      ++stats.virtualNodes;
+      LiveNode vn;
+      vn.rec = srcRec;
+      vn.srcIndex = src;
+      vn.isVirtual = true;
+      liveNodes.try_emplace(vkey, std::move(vn));
+      for (std::uint64_t p : cs.pend[b]) {
+        addEdge(p, vkey, kind, ingestOrder(src, sub++));
+      }
+      cs.pend[b].clear();
+      if (cs.lastV[b] != kNone64) {
+        addEdge(cs.lastV[b], vkey, kind, ingestOrder(src, sub++));
+      }
+      cs.lastV[b] = vkey;
+      maybeReady(vkey);
+    }
+  }
+
+  void ingest(const TraceRecord& r, std::uint64_t i) {
+    if (!checkWellFormed(r, i)) return;
+
+    // Settle-horizon lag detector: frontier excludes this record, so a
+    // performed record more than H behind it breaks the skew assumption
+    // every deferral gate relies on.
+    if (r.performed()) {
+      if (frontier > opt.settleHorizon &&
+          r.performCycle < frontier - opt.settleHorizon) {
+        flagWindow("record performed more than the settle horizon behind "
+                   "the frontier");
+      }
+      if (r.performCycle > frontier) frontier = r.performCycle;
+    }
+
+    CoreState& cs = cores[r.node];
+    std::uint32_t sub = 0;
+
+    if (cs.prevModel != 0xFF && cs.prevModel != r.model) {
+      barrier(i, r, membar::kAll, EdgeKind::kDrain, cs, sub);
+    }
+    cs.prevModel = r.model;
+
+    if (r.op == TraceOp::kMembar) {
+      if (r.membarMask != 0) {
+        barrier(i, r, r.membarMask, EdgeKind::kMembar, cs, sub);
+      }
+      return;  // membars are not graph nodes
+    }
+
+    const bool inWs = r.writes() && r.performed() && !r.superseded();
+    {
+      LiveNode n;
+      n.rec = r;
+      n.srcIndex = i;
+      n.needResolve = r.reads() && r.performed();
+      n.needAge = inWs;
+      liveNodes.try_emplace(i, std::move(n));
+      if (liveNodes.size() > peak) peak = liveNodes.size();
+    }
+
+    const OrderingTable& tab = tables[r.model];
+    const bool ld = isLoadClass(r.op);
+    const bool st = isStoreClass(r.op);
+    std::uint8_t fromLoad = 0;
+    std::uint8_t fromStore = 0;
+    if (ld) {
+      fromLoad |= tab.entry(OpClass::kLoad, OpClass::kLoad);
+      fromStore |= tab.entry(OpClass::kStore, OpClass::kLoad);
+    }
+    if (st) {
+      fromLoad |= tab.entry(OpClass::kLoad, OpClass::kStore);
+      fromStore |= tab.entry(OpClass::kStore, OpClass::kStore);
+    }
+    if (fromLoad != 0) {
+      addEdge(cs.lastLoadLike, i, EdgeKind::kPo, ingestOrder(i, sub++));
+    }
+    if (fromStore != 0) {
+      addEdge(cs.lastStoreLike, i, EdgeKind::kPo, ingestOrder(i, sub++));
+    }
+
+    const std::uint8_t wait = waitBits(r);
+    for (int b = 0; b < 4; ++b) {
+      if ((wait & (1u << b)) != 0 && cs.lastV[b] != kNone64) {
+        addEdge(cs.lastV[b], i, EdgeKind::kMembar, ingestOrder(i, sub++));
+      }
+    }
+    const std::uint8_t pend = pendBits(r);
+    for (int b = 0; b < 4; ++b) {
+      if ((pend & (1u << b)) != 0) cs.pend[b].push_back(i);
+    }
+
+    CoreAddr& ca = cs.byAddr[r.addr];
+    if (st) {
+      addEdge(ca.lastWrite, i, EdgeKind::kAddr, ingestOrder(i, sub++));
+      addEdge(ca.lastOrderedRead, i, EdgeKind::kAddr, ingestOrder(i, sub++));
+    }
+    if (ld && modelOrdersLoads(ConsistencyModel(r.model))) {
+      addEdge(ca.lastOrderedRead, i, EdgeKind::kAddr, ingestOrder(i, sub++));
+      ca.lastOrderedRead = i;
+    }
+
+    if (r.reads() && r.performed()) unresolved.push_back(i);
+
+    if (st) {
+      ca.lastWrite = i;
+      ca.writes.push_back({i, r.performCycle, r.seq, r.value, inWs});
+      cs.lastStoreLike = i;
+    }
+    if (ld) cs.lastLoadLike = i;
+
+    if (inWs) {
+      AddrHistory& ah = addrs[r.addr];
+      // Watched-value detector: this write would have been a candidate
+      // for an already-resolved read of the same value (batch scans the
+      // whole final serialization). Same-node writes are exempt — the
+      // batch remote scan skips them and the own scan is po-bounded.
+      if (auto wit = ah.watched.find(r.value); wit != ah.watched.end()) {
+        if (wit->second == kMultiNode || wit->second != r.node) {
+          flagWindow("a write arrived after a read of the same value and "
+                     "word was already resolved");
+        }
+      }
+      const std::size_t pos = findWsEntry(ah, r.performCycle, r.node, r.seq);
+      const bool atEnd = pos == ah.entries.size();
+      WsEntry e;
+      e.idx = i;
+      e.cycle = r.performCycle;
+      e.value = r.value;
+      e.seq = r.seq;
+      e.node = r.node;
+      ah.entries.insert(ah.entries.begin() + std::ptrdiff_t(pos), e);
+      if (atEnd && !ah.awaitSucc.empty()) {
+        // The previous tail (and any first-write waiters) now have a
+        // successor candidate; move them to the stabilizing scan.
+        stabilizing.insert(stabilizing.end(), ah.awaitSucc.begin(),
+                           ah.awaitSucc.end());
+        ah.awaitSucc.clear();
+      }
+      agingWrites.push_back(i);
+    }
+
+    maybeReady(i);  // e.g. a pending store with no in-edges
+  }
+
+  // --- deferred resolution / emission -------------------------------------
+
+  ResolveOutcome computeResolve(std::uint64_t i, const TraceRecord& r) const {
+    ResolveOutcome o;
+    o.readIdx = i;
+    o.blame = i;
+    const std::uint64_t v = observedValue(r);
+    if (auto cit = cores[r.node].byAddr.find(r.addr);
+        cit != cores[r.node].byAddr.end()) {
+      for (const OwnWrite& w : cit->second.writes) {
+        if (w.idx >= i) break;  // history holds po-later writes too
+        if (w.value == v) {
+          o.own = w.idx;
+          o.ownCycle = w.cycle;
+          o.ownSeq = w.seq;
+          o.ownInWs = w.inWs;
+          ++o.matches;
+        }
+      }
+    }
+    auto ait = addrs.find(r.addr);
+    if (ait != addrs.end()) {
+      for (const WsEntry& w : ait->second.entries) {
+        if (w.node == r.node) continue;
+        if (w.value == v) {
+          o.remote = w.idx;
+          o.remoteCycle = w.cycle;
+          o.remoteSeq = w.seq;
+          o.remoteNode = w.node;
+          ++o.matches;
+        }
+      }
+    }
+    if (v == initialWordValue(r.addr)) ++o.matches;
+    if (o.matches == 0) {
+      Cycle best = 0;
+      if (ait != addrs.end()) {
+        for (const WsEntry& w : ait->second.entries) {
+          if (w.cycle <= r.performCycle && w.cycle >= best) {
+            best = w.cycle;
+            o.blame = w.idx;
+            o.blameValue = w.value;
+            o.blameCycle = w.cycle;
+          }
+        }
+      }
+    }
+    return o;
+  }
+
+  void pendFr(std::uint64_t readIdx, Addr addr, Cycle wCycle,
+              std::uint8_t wNode, SeqNum wSeq, bool beforeAll) {
+    AddrHistory& ah = addrs[addr];
+    PendingFr p;
+    p.readIdx = readIdx;
+    p.addr = addr;
+    p.wCycle = wCycle;
+    p.wSeq = wSeq;
+    p.wNode = wNode;
+    p.beforeAll = beforeAll;
+    bool await;
+    if (beforeAll) {
+      await = ah.entries.empty();
+    } else {
+      const std::size_t pos = findWsEntry(ah, wCycle, wNode, wSeq);
+      await = pos + 1 >= ah.entries.size();
+    }
+    if (await) {
+      ah.awaitSucc.push_back(p);
+    } else {
+      stabilizing.push_back(p);
+    }
+  }
+
+  void applyResolve(const ResolveOutcome& o, const TraceRecord& r) {
+    const std::uint64_t v = observedValue(r);
+    if (o.matches == 0) {
+      std::string msg = "read of " + oracleHex(r.addr) + " observed " +
+                        oracleHex(v) + " at cycle " +
+                        std::to_string(r.performCycle) +
+                        "; no write (or the initial value " +
+                        oracleHex(initialWordValue(r.addr)) +
+                        ") ever produced it";
+      if (o.blame != o.readIdx) {
+        msg += "; latest settled write is " + oracleHex(o.blameValue) +
+               " (cycle " + std::to_string(o.blameCycle) + ")";
+      }
+      addValueViolation(o.readIdx, o.blame, std::move(msg));
+    } else if (o.matches > 1) {
+      ++stats.ambiguousReads;
+    } else if (o.own != kNone64) {
+      ++stats.forwardedReads;
+      if (o.ownInWs) {
+        pendFr(o.readIdx, r.addr, o.ownCycle, r.node, o.ownSeq, false);
+      }
+    } else if (o.remote != kNone64) {
+      addEdge(o.remote, o.readIdx, EdgeKind::kRf, resolveOrder(o.readIdx, 0));
+      pendFr(o.readIdx, r.addr, o.remoteCycle, o.remoteNode, o.remoteSeq,
+             false);
+    } else {
+      ++stats.initReads;
+      pendFr(o.readIdx, r.addr, 0, 0, 0, true);
+    }
+    if (o.matches <= 1) {
+      AddrHistory& ah = addrs[r.addr];
+      auto [wit, fresh] = ah.watched.try_emplace(v, std::uint16_t(r.node));
+      if (!fresh && wit->second != r.node) wit->second = kMultiNode;
+    }
+    auto nit = liveNodes.find(o.readIdx);
+    DVMC_ASSERT(nit != liveNodes.end(), "resolving a retired read");
+    nit->second.resolved = true;
+    maybeReady(o.readIdx);
+  }
+
+  void resolveDueReads(bool final) {
+    std::vector<std::pair<std::uint64_t, TraceRecord>> due;
+    while (!unresolved.empty()) {
+      const std::uint64_t i = unresolved.front();
+      const TraceRecord& r = liveNodes.at(i).rec;
+      if (!final && frontier <= r.performCycle + opt.settleHorizon) break;
+      due.emplace_back(i, r);
+      unresolved.pop_front();
+    }
+    if (due.empty()) return;
+    std::vector<ResolveOutcome> outcomes(due.size());
+    if (due.size() >= opt.shardMinBatch && opt.jobs > 1) {
+      // Candidate scans only read frozen histories; the serial apply
+      // below keeps violations / edges / stats in record order, so the
+      // verdict is bit-identical for every jobs value.
+      parallelFor(due.size(), unsigned(opt.jobs), [&](std::size_t k) {
+        outcomes[k] = computeResolve(due[k].first, due[k].second);
+      });
+    } else {
+      for (std::size_t k = 0; k < due.size(); ++k) {
+        outcomes[k] = computeResolve(due[k].first, due[k].second);
+      }
+    }
+    for (std::size_t k = 0; k < due.size(); ++k) {
+      applyResolve(outcomes[k], due[k].second);
+    }
+  }
+
+  void scanStabilizing(bool final) {
+    std::size_t w = 0;
+    for (std::size_t k = 0; k < stabilizing.size(); ++k) {
+      const PendingFr e = stabilizing[k];
+      AddrHistory& ah = addrs.at(e.addr);
+      const WsEntry* succ = nullptr;
+      if (e.beforeAll) {
+        if (!ah.entries.empty()) succ = &ah.entries.front();
+      } else {
+        const std::size_t pos = findWsEntry(ah, e.wCycle, e.wNode, e.wSeq);
+        if (pos + 1 < ah.entries.size()) succ = &ah.entries[pos + 1];
+      }
+      if (succ == nullptr) {
+        // Lost its successor candidate shape (defensive; the list never
+        // shrinks, so this cannot normally happen mid-run).
+        if (!final) ah.awaitSucc.push_back(e);
+        continue;
+      }
+      if (final || frontier > succ->cycle + opt.settleHorizon) {
+        addEdge(e.readIdx, succ->idx, EdgeKind::kFr,
+                resolveOrder(e.readIdx, 1));
+      } else {
+        stabilizing[w++] = e;
+      }
+    }
+    stabilizing.resize(w);
+  }
+
+  void ageWrites(bool final) {
+    while (!agingWrites.empty()) {
+      const std::uint64_t i = agingWrites.front();
+      auto it = liveNodes.find(i);
+      DVMC_ASSERT(it != liveNodes.end(), "aging a retired write");
+      const TraceRecord& r = it->second.rec;
+      if (!final &&
+          frontier <= r.performCycle + 2 * opt.settleHorizon) {
+        break;
+      }
+      agingWrites.pop_front();
+      AddrHistory& ah = addrs.at(r.addr);
+      const std::size_t pos = findWsEntry(ah, r.performCycle, r.node, r.seq);
+      DVMC_ASSERT(pos < ah.entries.size() && ah.entries[pos].idx == i,
+                  "serialized write missing from its word history");
+      if (!ah.entries[pos].linkEmitted) {
+        ah.entries[pos].linkEmitted = true;
+        if (pos > 0) {
+          addEdge(ah.entries[pos - 1].idx, i, EdgeKind::kWs, kWsOrder);
+        }
+      }
+      // Re-find: addEdge does not insert, but stay rehash-safe.
+      liveNodes.at(i).aged = true;
+      maybeReady(i);
+    }
+  }
+
+  void cascade() {
+    while (!ready.empty()) {
+      const std::uint64_t key = ready.back();
+      ready.pop_back();
+      auto it = liveNodes.find(key);
+      if (it == liveNodes.end()) continue;
+      if (it->second.indeg != 0) {
+        // An in-edge landed after the node was queued (only possible
+        // when the skew assumption broke); put it back to sleep.
+        it->second.queued = false;
+        continue;
+      }
+      std::vector<OutEdge> out = std::move(it->second.out);
+      liveNodes.erase(key);
+      for (const OutEdge& e : out) {
+        auto tit = liveNodes.find(e.to);
+        if (tit == liveNodes.end()) continue;
+        if (--tit->second.indeg == 0) maybeReady(e.to);
+      }
+    }
+  }
+
+  void settle(bool final) {
+    resolveDueReads(final);
+    scanStabilizing(final);
+    ageWrites(final);
+    cascade();
+    if (liveNodes.size() > peak) peak = liveNodes.size();
+    if (!final && opt.maxResidentEvents != 0 &&
+        liveNodes.size() > opt.maxResidentEvents) {
+      flagWindow("live records exceed --max-resident-events (likely an "
+                 "ordering cycle, which can never settle)");
+    }
+  }
+
+  // --- residual cycle check (batch checkAcyclic, restated) -----------------
+
+  void checkResidualCycle() {
+    if (liveNodes.empty()) return;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(liveNodes.size());
+    for (const auto& [k, n] : liveNodes) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());  // batch node-id order
+
+    // Restore batch adjacency order so parallel-edge kind selection in
+    // the back-walk matches.
+    for (std::uint64_t k : keys) {
+      std::vector<OutEdge>& out = liveNodes.at(k).out;
+      std::sort(out.begin(), out.end(),
+                [](const OutEdge& a, const OutEdge& b) {
+                  return a.order < b.order;
+                });
+    }
+
+    FlatMap<std::uint64_t, std::pair<std::uint64_t, EdgeKind>> predOf;
+    for (std::uint64_t u : keys) {
+      for (const OutEdge& e : liveNodes.at(u).out) {
+        if (!liveNodes.contains(e.to)) continue;
+        predOf.try_emplace(e.to, std::make_pair(u, e.kind));
+      }
+    }
+
+    const std::uint64_t start = keys.front();
+    std::vector<std::uint64_t> back;
+    FlatMap<std::uint64_t, std::uint32_t> posInPath;
+    std::uint64_t u = start;
+    while (!posInPath.contains(u)) {
+      posInPath[u] = std::uint32_t(back.size());
+      back.push_back(u);
+      u = predOf.at(u).first;
+    }
+    const std::uint32_t first = posInPath.at(u);
+    std::vector<std::uint64_t> path(back.begin() + first, back.end());
+    std::reverse(path.begin(), path.end());
+    std::vector<EdgeKind> viaKind;
+    viaKind.reserve(path.size());
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      viaKind.push_back(predOf.at(path[k + 1]).second);
+    }
+    viaKind.push_back(predOf.at(path.front()).second);
+
+    auto realOf = [&](std::uint64_t node) {
+      const LiveNode& n = liveNodes.at(node);
+      return std::make_pair(n.srcIndex, &n.rec);
+    };
+    std::uint64_t bestA = kNone64, bestB = kNone64;
+    const TraceRecord* bestARec = nullptr;
+    const TraceRecord* bestBRec = nullptr;
+    EdgeKind bestKind = EdgeKind::kPo;
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      const auto [a, arec] = realOf(path[k]);
+      const auto [b, brec] = realOf(path[(k + 1) % path.size()]);
+      if (a == b) continue;
+      if (bestA == kNone64 || a > bestA) {
+        bestA = a;
+        bestB = b;
+        bestARec = arec;
+        bestBRec = brec;
+        bestKind = viaKind[k];
+      }
+    }
+    if (std::getenv("DVMC_ORACLE_DEBUG") != nullptr) {
+      std::fprintf(stderr, "cycle of %zu:\n", path.size());
+      for (std::size_t k = 0; k < path.size(); ++k) {
+        const auto [a, arec] = realOf(path[k]);
+        std::fprintf(stderr, "  %s %s  --%s-->\n",
+                     path[k] >= kVirtBase ? "(virt)" : "      ",
+                     describeRecordLine(*arec, a).c_str(),
+                     edgeKindName(viaKind[k]));
+      }
+    }
+    std::string msg =
+        "ordering cycle of " + std::to_string(path.size()) +
+        " node(s) under " + modelName(ConsistencyModel(declaredModel)) +
+        "; " + edgeKindName(bestKind) + " edge " +
+        describeRecordLine(*bestARec, bestA) + " -> " +
+        describeRecordLine(*bestBRec, bestB) + " closes it";
+    res.violations.push_back(makeViolation(OracleViolation::Kind::kCycle,
+                                           bestA, bestB, std::move(msg)));
+  }
+
+  // --- TraceSink surface ---------------------------------------------------
+
+  void begin(const TraceHeader& h) {
+    DVMC_ASSERT(!begun, "StreamingOracle::begin called twice");
+    begun = true;
+    numCores = h.numCores;
+    declaredModel = h.declaredModel;
+    cores.assign(numCores, CoreState{});
+    if (numCores == 0 ||
+        declaredModel > std::uint8_t(ConsistencyModel::kRMO)) {
+      malformed = true;
+      malformedViolation =
+          makeViolation(OracleViolation::Kind::kMalformed, 0, 0,
+                        "bad header (core count or declared model)");
+    }
+  }
+
+  void chunk(TraceChunk&& c) {
+    DVMC_ASSERT(begun && !ended, "chunk outside begin/end");
+    DVMC_ASSERT(c.firstIndex == recordsSeen, "chunks must be contiguous");
+    if (exceeded) {
+      recordsSeen += c.records.size();
+      return;
+    }
+    for (const TraceRecord& r : c.records) {
+      const std::uint64_t i = recordsSeen++;
+      if (malformed) continue;  // keep counting records, like batch
+      ingest(r, i);
+    }
+    if (malformed) {
+      clearState();
+      return;
+    }
+    settle(false);
+    if (exceeded) clearState();
+  }
+
+  void end(bool truncated) {
+    DVMC_ASSERT(begun && !ended, "end outside begin");
+    ended = true;
+    truncatedStream = truncated;
+  }
+
+  const OracleResult& finish() {
+    if (finished) return res;
+    DVMC_ASSERT(ended, "finish before the stream ended");
+    finished = true;
+    res = OracleResult{};
+    if (truncatedStream) {
+      // Batch refuses a truncated capture before anything else.
+      res.stats.records = recordsSeen;
+      res.violations.push_back(makeViolation(
+          OracleViolation::Kind::kMalformed, 0, 0,
+          "trace hit the capture limit; a partial trace cannot be "
+          "checked (dropped stores would read as never-written "
+          "values) — raise --capture-trace-limit"));
+      res.clean = false;
+      clearState();
+      return res;
+    }
+    if (malformed) {
+      // Batch runs well-formedness as a pre-pass: op counts up to the
+      // failing record survive, graph work never starts.
+      res.stats = stats;
+      res.stats.records = recordsSeen;
+      res.stats.edges = res.stats.rfEdges = res.stats.wsEdges =
+          res.stats.frEdges = 0;
+      res.stats.virtualNodes = 0;
+      res.stats.forwardedReads = res.stats.initReads =
+          res.stats.ambiguousReads = 0;
+      res.violations.push_back(malformedViolation);
+      res.clean = false;
+      clearState();
+      return res;
+    }
+    if (!exceeded) settle(true);
+    res.stats = stats;
+    res.stats.records = recordsSeen;
+    if (exceeded) {
+      // The verdict is not trustworthy; callers consult windowExceeded()
+      // and fall back to the batch oracle.
+      res.clean = res.violations.empty();
+      clearState();
+      return res;
+    }
+    res.violations = std::move(valueViolations);
+    if (res.violations.size() < opt.maxViolations) checkResidualCycle();
+    res.clean = res.violations.empty();
+    clearState();
+    return res;
+  }
+};
+
+StreamingOracle::StreamingOracle(const StreamingOracleOptions& o)
+    : impl_(std::make_unique<Impl>(o)) {}
+
+StreamingOracle::~StreamingOracle() = default;
+
+void StreamingOracle::begin(const TraceHeader& h) { impl_->begin(h); }
+void StreamingOracle::chunk(TraceChunk&& c) { impl_->chunk(std::move(c)); }
+void StreamingOracle::end(bool truncated) { impl_->end(truncated); }
+
+const OracleResult& StreamingOracle::finish() { return impl_->finish(); }
+
+bool StreamingOracle::windowExceeded() const { return impl_->exceeded; }
+
+const std::string& StreamingOracle::windowExceededReason() const {
+  return impl_->exceededReason;
+}
+
+std::size_t StreamingOracle::peakResidentRecords() const {
+  return impl_->peak;
+}
+
+std::size_t StreamingOracle::residentRecords() const {
+  return impl_->liveNodes.size();
+}
+
+OracleResult checkTraceStreaming(const CapturedTrace& t,
+                                 const StreamingOracleOptions& o,
+                                 std::size_t chunkRecords,
+                                 bool* windowExceeded,
+                                 std::size_t* peakResident) {
+  StreamingOracle so(o);
+  streamCapturedTrace(t, so, chunkRecords);
+  OracleResult r = so.finish();
+  if (windowExceeded != nullptr) *windowExceeded = so.windowExceeded();
+  if (peakResident != nullptr) *peakResident = so.peakResidentRecords();
+  return r;
+}
+
+}  // namespace dvmc::verify

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "verify/trace_sink.hpp"
 
 namespace dvmc::verify {
 namespace {
@@ -24,6 +25,9 @@ std::uint64_t getU64(const std::uint8_t* p) {
   for (int i = 0; i < 8; ++i) v |= std::uint64_t(p[i]) << (8 * i);
   return v;
 }
+void putU64At(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = std::uint8_t(v >> (8 * i));
+}
 
 }  // namespace
 
@@ -36,6 +40,37 @@ const char* traceOpName(TraceOp op) {
     case TraceOp::kMembar: return "membar";
   }
   return "?";
+}
+
+void encodeTraceRecord(const TraceRecord& r, std::uint8_t* out) {
+  out[0] = std::uint8_t(r.op);
+  out[1] = r.node;
+  out[2] = r.model;
+  out[3] = r.flags;
+  out[4] = r.membarMask;
+  out[5] = 0;
+  out[6] = 0;
+  out[7] = 0;
+  putU64At(out + 8, r.seq);
+  putU64At(out + 16, r.addr);
+  putU64At(out + 24, r.value);
+  putU64At(out + 32, r.readValue);
+  putU64At(out + 40, r.performCycle);
+}
+
+bool decodeTraceRecord(const std::uint8_t* p, TraceRecord* r) {
+  if (p[0] > std::uint8_t(TraceOp::kMembar)) return false;
+  r->op = TraceOp(p[0]);
+  r->node = p[1];
+  r->model = p[2];
+  r->flags = p[3];
+  r->membarMask = p[4];
+  r->seq = getU64(p + 8);
+  r->addr = getU64(p + 16);
+  r->value = getU64(p + 24);
+  r->readValue = getU64(p + 32);
+  r->performCycle = getU64(p + 40);
+  return true;
 }
 
 std::vector<std::uint8_t> CapturedTrace::serialize() const {
@@ -53,20 +88,9 @@ std::vector<std::uint8_t> CapturedTrace::serialize() const {
   putU64(out, records.size());
   putU64(out, 0);  // reserved
   DVMC_ASSERT(out.size() == kHeaderBytes, "trace header layout");
-  for (const TraceRecord& r : records) {
-    out.push_back(std::uint8_t(r.op));
-    out.push_back(r.node);
-    out.push_back(r.model);
-    out.push_back(r.flags);
-    out.push_back(r.membarMask);
-    out.push_back(0);
-    out.push_back(0);
-    out.push_back(0);
-    putU64(out, r.seq);
-    putU64(out, r.addr);
-    putU64(out, r.value);
-    putU64(out, r.readValue);
-    putU64(out, r.performCycle);
+  out.resize(kHeaderBytes + records.size() * kRecordBytes);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    encodeTraceRecord(records[i], out.data() + byteOffset(i));
   }
   return out;
 }
@@ -109,19 +133,9 @@ bool CapturedTrace::parse(const std::uint8_t* data, std::size_t size,
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint8_t* p = data + byteOffset(i);
     TraceRecord r;
-    if (p[0] > std::uint8_t(TraceOp::kMembar)) {
+    if (!decodeTraceRecord(p, &r)) {
       return fail(byteOffset(i), "bad op code");
     }
-    r.op = TraceOp(p[0]);
-    r.node = p[1];
-    r.model = p[2];
-    r.flags = p[3];
-    r.membarMask = p[4];
-    r.seq = getU64(p + 8);
-    r.addr = getU64(p + 16);
-    r.value = getU64(p + 24);
-    r.readValue = getU64(p + 32);
-    r.performCycle = getU64(p + 40);
     out->records.push_back(r);
   }
   return true;
@@ -150,7 +164,19 @@ bool readTraceFile(const std::string& path, CapturedTrace* t,
     if (err) *err = "cannot open " + path;
     return false;
   }
-  std::vector<std::uint8_t> bytes;
+  // Sniff the version: v1 parses from one flat buffer, v2 streams chunk
+  // by chunk through a memory sink (same result, different container).
+  std::uint8_t hdr[CapturedTrace::kHeaderBytes];
+  const std::size_t got = std::fread(hdr, 1, sizeof hdr, f);
+  if (got == sizeof hdr && std::memcmp(hdr, kTraceMagic, 8) == 0 &&
+      getU32(hdr + 8) == std::uint32_t(kTraceChunkedVersion)) {
+    std::fclose(f);
+    MemoryTraceSink sink;
+    if (!streamTraceFile(path, sink, err)) return false;
+    *t = *sink.trace();
+    return true;
+  }
+  std::vector<std::uint8_t> bytes(hdr, hdr + got);
   std::uint8_t buf[1 << 16];
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
@@ -160,45 +186,145 @@ bool readTraceFile(const std::string& path, CapturedTrace* t,
   return CapturedTrace::parse(bytes.data(), bytes.size(), t, err);
 }
 
-TraceRecorder::TraceRecorder(std::uint32_t numCores, ConsistencyModel declared,
-                             std::uint8_t protocol, std::uint64_t seed,
-                             std::size_t limit)
-    : trace_(std::make_shared<CapturedTrace>()),
-      pending_(numCores),
-      limit_(limit) {
-  trace_->numCores = numCores;
-  trace_->declaredModel = std::uint8_t(declared);
-  trace_->protocol = protocol;
-  trace_->seed = seed;
+// --- TraceRecorder ---------------------------------------------------------
+
+struct TraceRecorder::OpenChunk {
+  TraceChunk chunk;
+  std::size_t unsettled = 0;  // buffered stores awaiting their fate
+};
+
+TraceRecorder::TraceRecorder(std::uint32_t numCores,
+                             ConsistencyModel declared, std::uint8_t protocol,
+                             std::uint64_t seed, std::size_t limit,
+                             TraceSink* sink, std::size_t chunkRecords,
+                             bool keepInMemory)
+    : pending_(numCores),
+      limit_(limit),
+      sink_(sink),
+      chunkRecords_(chunkRecords == 0 ? 4096 : chunkRecords) {
+  DVMC_ASSERT(keepInMemory || sink != nullptr,
+              "a recorder needs at least one delivery mode");
+  if (keepInMemory) {
+    trace_ = std::make_shared<CapturedTrace>();
+    trace_->numCores = numCores;
+    trace_->declaredModel = std::uint8_t(declared);
+    trace_->protocol = protocol;
+    trace_->seed = seed;
+  }
+  if (sink_ != nullptr) {
+    TraceHeader h;
+    h.numCores = numCores;
+    h.declaredModel = std::uint8_t(declared);
+    h.protocol = protocol;
+    h.seed = seed;
+    sink_->begin(h);
+  }
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::size_t TraceRecorder::openChunkRecords() const {
+  std::size_t n = 0;
+  for (const OpenChunk& oc : open_) n += oc.chunk.records.size();
+  return n;
 }
 
 void TraceRecorder::onCommit(const TraceRecord& r) {
-  if (trace_->records.size() >= limit_) {
-    trace_->truncated = true;
+  if (committed_ >= limit_) {
+    truncated_ = true;
+    if (trace_) trace_->truncated = true;
     return;
   }
-  trace_->records.push_back(r);
-  if (r.writes() && !r.performed()) {
-    pending_[r.node].emplace(r.seq, trace_->records.size() - 1);
+  const std::size_t index = std::size_t(committed_++);
+  const bool pendingStore = r.writes() && !r.performed();
+  if (pendingStore) pending_[r.node].emplace(r.seq, index);
+  if (trace_) trace_->records.push_back(r);
+  if (sink_ != nullptr) {
+    if (open_.empty() ||
+        open_.back().chunk.records.size() >= chunkRecords_) {
+      OpenChunk oc;
+      oc.chunk.firstIndex = index;
+      oc.chunk.records.reserve(chunkRecords_);
+      open_.push_back(std::move(oc));
+    }
+    OpenChunk& oc = open_.back();
+    oc.chunk.records.push_back(r);
+    if (pendingStore) ++oc.unsettled;
+    if (r.performed() && r.performCycle > oc.chunk.closeCycle) {
+      oc.chunk.closeCycle = r.performCycle;
+    }
+    emitClosedChunks();
+  }
+}
+
+void TraceRecorder::patchPending(NodeId node, SeqNum seq, Cycle now,
+                                 std::uint8_t flag) {
+  auto it = pending_[node].find(seq);
+  if (it == pending_[node].end()) return;  // record was dropped at the limit
+  const std::size_t index = it->second;
+  pending_[node].erase(seq);
+  if (trace_) {
+    TraceRecord& r = trace_->records[index];
+    r.performCycle = now;
+    r.flags |= flag;
+  }
+  if (sink_ != nullptr) {
+    // The record is in an open chunk: chunks with unsettled stores are
+    // never emitted, and pending entries are removed before emission.
+    for (OpenChunk& oc : open_) {
+      const std::uint64_t first = oc.chunk.firstIndex;
+      if (index < first || index >= first + oc.chunk.records.size()) {
+        continue;
+      }
+      TraceRecord& r = oc.chunk.records[index - first];
+      r.performCycle = now;
+      r.flags |= flag;
+      DVMC_ASSERT(oc.unsettled > 0, "chunk settle accounting");
+      --oc.unsettled;
+      if (flag == kFlagPerformed && now > oc.chunk.closeCycle) {
+        oc.chunk.closeCycle = now;
+      }
+      break;
+    }
+    emitClosedChunks();
   }
 }
 
 void TraceRecorder::storePerformed(NodeId node, SeqNum seq, Cycle now) {
-  auto it = pending_[node].find(seq);
-  if (it == pending_[node].end()) return;  // record was dropped at the limit
-  TraceRecord& r = trace_->records[it->second];
-  r.performCycle = now;
-  r.flags |= kFlagPerformed;
-  pending_[node].erase(seq);
+  patchPending(node, seq, now, kFlagPerformed);
 }
 
 void TraceRecorder::storeSuperseded(NodeId node, SeqNum seq, Cycle now) {
-  auto it = pending_[node].find(seq);
-  if (it == pending_[node].end()) return;
-  TraceRecord& r = trace_->records[it->second];
-  r.performCycle = now;
-  r.flags |= kFlagSuperseded;
-  pending_[node].erase(seq);
+  patchPending(node, seq, now, kFlagSuperseded);
+}
+
+void TraceRecorder::emitClosedChunks() {
+  // Only full AND settled chunks close, oldest first: a chunk whose
+  // stores are still buffered blocks everything behind it so the sink
+  // sees records in global order with final flags.
+  std::size_t emitted = 0;
+  for (OpenChunk& oc : open_) {
+    if (oc.chunk.records.size() < chunkRecords_ || oc.unsettled != 0) break;
+    sink_->chunk(std::move(oc.chunk));
+    ++emitted;
+  }
+  if (emitted > 0) {
+    open_.erase(open_.begin(), open_.begin() + std::ptrdiff_t(emitted));
+  }
+}
+
+void TraceRecorder::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (trace_) trace_->truncated = truncated_;
+  if (sink_ == nullptr) return;
+  // Flush the tail: stores still in a write buffer at end of run keep
+  // kNotPerformed, exactly like the batch capture.
+  for (OpenChunk& oc : open_) {
+    if (!oc.chunk.records.empty()) sink_->chunk(std::move(oc.chunk));
+  }
+  open_.clear();
+  sink_->end(truncated_);
 }
 
 }  // namespace dvmc::verify

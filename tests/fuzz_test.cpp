@@ -20,7 +20,7 @@ class RandomizedConfig : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomizedConfig, FaultFreeRunIsClean) {
   SystemConfig cfg = makeFuzzConfig(GetParam());
-  cfg.captureTrace = true;
+  cfg.trace.capture = true;
 
   System sys(cfg);
   RunResult r = sys.run();

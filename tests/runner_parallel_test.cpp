@@ -176,7 +176,7 @@ TEST(RunSeedsParallel, SnoopingProtocolToo) {
 // worker or many (the nightly campaign's repro guarantee).
 TEST(RunSeedsParallel, CapturedTracesBitIdenticalAcrossJobs) {
   SystemConfig cfg = smallConfig();
-  cfg.captureTrace = true;
+  cfg.trace.capture = true;
   cfg.jobs = 1;
   const MultiRunResult seq = runSeeds(cfg, 3);
   cfg.jobs = 4;

@@ -12,7 +12,12 @@
 using namespace dvmc;
 
 int main(int argc, char** argv) {
-  argc = obs::parseObsFlags(argc, argv);
+  CliParser cli("dvmc_debug",
+                "run one {protocol, model, workload} configuration and "
+                "print completion/detection details");
+  cli.usageLine("dvmc_debug [dir|snoop] [sc|tso|pso|rmo] [workload]");
+  obs::addObsFlags(cli);
+  argc = cli.parse(argc, argv);
   Protocol proto = (argc > 1 && std::string(argv[1]) == "snoop")
                        ? Protocol::kSnooping : Protocol::kDirectory;
   ConsistencyModel model = ConsistencyModel::kSC;

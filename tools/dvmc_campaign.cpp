@@ -18,9 +18,17 @@
 // catch errors before they corrupt the committed history; masked faults
 // harm nothing), so they do not fail the campaign.
 //
+// Oracle cross-checks run through the streaming oracle attached as the
+// capture's live TraceSink (bounded-memory: the full trace is never held
+// resident). On a violation, a window excess, or a --max-resident-events
+// breach, the deterministic case is re-run with in-memory capture and
+// judged by the batch oracle — the rerun also regenerates the trace for
+// the escape bundle. --batch-oracle forces that path for every case.
+//
 //   dvmc_campaign [--configs N] [--param-base P] [--seed-base S]
 //                 [--clean-only | --faulted] [--jobs N]
 //                 [--escape-dir DIR] [--sample-trace FILE]
+//                 [--batch-oracle] [--max-resident-events N]
 //
 // Exit codes: 0 = full agreement, 1 = escape or false positive, 2 = usage.
 #include <atomic>
@@ -32,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "faults/injector.hpp"
@@ -39,6 +48,7 @@
 #include "system/runner.hpp"
 #include "system/system.hpp"
 #include "verify/oracle.hpp"
+#include "verify/streaming_oracle.hpp"
 #include "verify/trace.hpp"
 #include "workload/fuzz_config.hpp"
 
@@ -54,17 +64,9 @@ struct CampaignOptions {
   bool faulted = true;
   std::string escapeDir = "campaign-escapes";
   std::string sampleTrace;
+  bool batchOracle = false;        // force batch checkTrace for every case
+  std::size_t maxResidentEvents = 0;  // streaming live-record ceiling
 };
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: dvmc_campaign [--configs N] [--param-base P] "
-               "[--seed-base S]\n"
-               "                     [--clean-only | --faulted] [--jobs N]\n"
-               "                     [--escape-dir DIR] "
-               "[--sample-trace FILE]\n");
-  return 2;
-}
 
 struct CaseOutcome {
   bool ran = false;
@@ -88,9 +90,36 @@ std::uint64_t totalFlushes(System& sys) {
   return total;
 }
 
-CaseOutcome runClean(int param) {
+/// Arms a case config for oracle cross-checking. In streaming mode the
+/// oracle rides the capture as its live sink and nothing stays resident;
+/// in batch mode (--batch-oracle, or a rerun after a streaming verdict
+/// needs the trace bytes) the capture stays in memory for checkTrace and
+/// the escape bundle.
+bool armOracle(SystemConfig& cfg, const CampaignOptions& opt,
+               verify::StreamingOracle& oracle, bool keepTrace) {
+  cfg.trace.capture = true;
+  if (opt.batchOracle || keepTrace) return false;
+  cfg.trace.sink = &oracle;
+  cfg.trace.keepInMemory = false;
+  return true;
+}
+
+/// The streaming verdict, or a signal to rerun in batch mode: a window
+/// excess means the verdict is not guaranteed, and a violation needs the
+/// resident trace to dump the escape bundle.
+bool streamingVerdictUsable(verify::StreamingOracle& oracle,
+                            const verify::OracleResult** res) {
+  *res = &oracle.finish();
+  return !oracle.windowExceeded() && (*res)->clean;
+}
+
+CaseOutcome runClean(int param, const CampaignOptions& opt,
+                     bool keepTrace = false) {
   SystemConfig cfg = makeFuzzConfig(param);
-  cfg.captureTrace = true;
+  verify::StreamingOracleOptions so;
+  so.maxResidentEvents = opt.maxResidentEvents;
+  verify::StreamingOracle oracle(so);
+  const bool streaming = armOracle(cfg, opt, oracle, keepTrace);
   System sys(cfg);
   RunResult r = sys.run();
   // Final sweep: epochs still open at program end carry unchecked state;
@@ -101,12 +130,24 @@ CaseOutcome runClean(int param) {
   out.ran = true;
   out.completed = r.completed;
   out.checkersDetected = r.detections > 0;
-  out.trace = r.trace;
-  const verify::OracleResult o = verify::checkTrace(*r.trace);
-  out.oracleViolation = !o.clean;
-  if (!o.clean) {
+  verify::OracleResult batchRes;
+  const verify::OracleResult* o = nullptr;
+  if (streaming) {
+    // A clean in-window stream is the common case and never needed the
+    // trace; everything else re-runs the deterministic config with the
+    // capture resident and judges by the batch oracle.
+    if (!streamingVerdictUsable(oracle, &o)) {
+      return runClean(param, opt, /*keepTrace=*/true);
+    }
+  } else {
+    batchRes = verify::checkTrace(*r.trace);
+    o = &batchRes;
+    out.trace = r.trace;
+  }
+  out.oracleViolation = !o->clean;
+  if (!o->clean) {
     out.falsePositive = true;
-    out.detail = o.violations.empty() ? "?" : o.violations[0].message;
+    out.detail = o->violations.empty() ? "?" : o->violations[0].message;
   } else if (r.detections > 0) {
     // A clean-run checker detection is covered by fuzz_test/tier-1; the
     // campaign only tracks oracle agreement, but surface it anyway.
@@ -115,9 +156,13 @@ CaseOutcome runClean(int param) {
   return out;
 }
 
-CaseOutcome runFaulted(int param, std::uint64_t seedBase) {
+CaseOutcome runFaulted(int param, const CampaignOptions& opt,
+                       std::uint64_t seedBase, bool keepTrace = false) {
   SystemConfig cfg = makeFuzzConfig(param);
-  cfg.captureTrace = true;
+  verify::StreamingOracleOptions so;
+  so.maxResidentEvents = opt.maxResidentEvents;
+  verify::StreamingOracle oracle(so);
+  const bool streaming = armOracle(cfg, opt, oracle, keepTrace);
   Rng rng(seedBase ^ (0x9E3779B97F4A7C15ull * (param + 1)));
 
   std::vector<FaultType> applicable;
@@ -153,16 +198,26 @@ CaseOutcome runFaulted(int param, std::uint64_t seedBase) {
 
   // Final sweep: a corruption living in a still-open epoch is only checked
   // once that epoch's inform reaches the MET, so flush before judging.
+  sys.finishTraceCapture();
   sys.drainCheckers();
 
   RunResult r = sys.collectResult(done(), sys.sim().now());
   out.completed = r.completed;
   out.checkersDetected = detected();
-  out.trace = r.trace;
-  const verify::OracleResult o = verify::checkTrace(*r.trace);
-  out.oracleViolation = !o.clean;
-  if (!o.clean) {
-    out.detail = o.violations.empty() ? "?" : o.violations[0].message;
+  verify::OracleResult batchRes;
+  const verify::OracleResult* o = nullptr;
+  if (streaming) {
+    if (!streamingVerdictUsable(oracle, &o)) {
+      return runFaulted(param, opt, seedBase, /*keepTrace=*/true);
+    }
+  } else {
+    batchRes = verify::checkTrace(*r.trace);
+    o = &batchRes;
+    out.trace = r.trace;
+  }
+  out.oracleViolation = !o->clean;
+  if (!o->clean) {
+    out.detail = o->violations.empty() ? "?" : o->violations[0].message;
     out.escape = !out.checkersDetected;
   }
   return out;
@@ -203,35 +258,46 @@ void dumpEscape(const CampaignOptions& opt, int param, const char* kind,
 }  // namespace
 
 int main(int argc, char** argv) {
-  argc = parseJobsFlag(argc, argv);
   CampaignOptions opt;
-  for (int i = 1; i < argc; ++i) {
-    const char* a = argv[i];
-    auto value = [&](const char* flag) -> const char* {
-      const std::size_t len = std::strlen(flag);
-      if (std::strncmp(a, flag, len) == 0 && a[len] == '=') return a + len + 1;
-      if (std::strcmp(a, flag) == 0 && i + 1 < argc) return argv[++i];
-      return nullptr;
-    };
-    if (const char* v = value("--configs")) {
-      opt.configs = std::atoi(v);
-    } else if (const char* v = value("--param-base")) {
-      opt.paramBase = std::atoi(v);
-    } else if (const char* v = value("--seed-base")) {
-      opt.seedBase = std::strtoull(v, nullptr, 0);
-    } else if (const char* v = value("--escape-dir")) {
-      opt.escapeDir = v;
-    } else if (const char* v = value("--sample-trace")) {
-      opt.sampleTrace = v;
-    } else if (std::strcmp(a, "--clean-only") == 0) {
-      opt.faulted = false;
-    } else if (std::strcmp(a, "--faulted") == 0) {
-      opt.clean = false;
-    } else {
-      return usage();
-    }
+  CliParser cli("dvmc_campaign",
+                "differential fuzz/fault campaign: runtime checkers "
+                "cross-checked against the offline consistency oracle");
+  bool cleanOnly = false;
+  bool faultedOnly = false;
+  cli.option("--configs", &opt.configs, "N",
+             "number of fuzz configurations to run (default 200)");
+  cli.option("--param-base", &opt.paramBase, "P",
+             "first fuzz parameter index (default 0)");
+  cli.option("--seed-base", &opt.seedBase, "S",
+             "base seed for fault-type draws and injection timing");
+  cli.flag("--clean-only", &cleanOnly, "run only the fault-free cases");
+  cli.flag("--faulted", &faultedOnly, "run only the fault-injected cases");
+  cli.option("--escape-dir", &opt.escapeDir, "DIR",
+             "where escape/false-positive bundles are written "
+             "(default campaign-escapes)");
+  cli.path("--sample-trace", &opt.sampleTrace, "FILE",
+           "also write the first case's capture as a dvmc-trace file");
+  cli.flag("--batch-oracle", &opt.batchOracle,
+           "judge every case with the whole-trace batch oracle instead of "
+           "the streaming sink");
+  cli.count("--max-resident-events", &opt.maxResidentEvents, "N",
+            "streaming: ceiling on live oracle records; a breach reruns "
+            "the case under the batch oracle (default: unbounded)");
+  addRunnerFlags(cli);
+  cli.noPositionals();
+  argc = cli.parse(argc, argv);
+  (void)argc;
+  if (cleanOnly && faultedOnly) {
+    std::fprintf(stderr,
+                 "dvmc_campaign: --clean-only and --faulted conflict\n");
+    return 2;
   }
-  if (opt.configs <= 0) return usage();
+  if (cleanOnly) opt.faulted = false;
+  if (faultedOnly) opt.clean = false;
+  if (opt.configs <= 0) {
+    std::fprintf(stderr, "dvmc_campaign: --configs must be positive\n");
+    return 2;
+  }
 
   const std::size_t n = static_cast<std::size_t>(opt.configs);
   std::vector<CaseOutcome> cleanOut(opt.clean ? n : 0);
@@ -242,8 +308,8 @@ int main(int argc, char** argv) {
   const unsigned workers = static_cast<unsigned>(resolveJobs(jobsProbe));
   parallelFor(n, workers, [&](std::size_t s) {
     const int param = opt.paramBase + static_cast<int>(s);
-    if (opt.clean) cleanOut[s] = runClean(param);
-    if (opt.faulted) faultOut[s] = runFaulted(param, opt.seedBase);
+    if (opt.clean) cleanOut[s] = runClean(param, opt);
+    if (opt.faulted) faultOut[s] = runFaulted(param, opt, opt.seedBase);
     const std::size_t d = ++doneCount;
     if (d % 25 == 0 || d == n) {
       std::fprintf(stderr, "campaign: %zu/%zu configs done\n", d, n);
@@ -276,10 +342,19 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.sampleTrace.empty()) {
-    const std::shared_ptr<const verify::CapturedTrace> sample =
+    // Streaming cases never held their trace; regenerate the first case
+    // (deterministic by param) with the capture resident.
+    std::shared_ptr<const verify::CapturedTrace> sample =
         opt.clean && !cleanOut.empty() ? cleanOut[0].trace
         : !faultOut.empty()            ? faultOut[0].trace
                                        : nullptr;
+    if (sample == nullptr) {
+      sample = opt.clean
+                   ? runClean(opt.paramBase, opt, /*keepTrace=*/true).trace
+                   : runFaulted(opt.paramBase, opt, opt.seedBase,
+                                /*keepTrace=*/true)
+                         .trace;
+    }
     std::string err;
     if (sample != nullptr &&
         !verify::writeTraceFile(opt.sampleTrace, *sample, &err)) {

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/types.hpp"
 #include "obs/forensics.hpp"
 #include "obs/json.hpp"
@@ -428,36 +429,26 @@ int series(const Artifact& a, const std::string& metric) {
   return 0;
 }
 
-/// Pulls `--name=V` / `--name V` out of argv; returns false if absent.
-bool takeOption(std::vector<std::string>& args, const char* name,
-                std::string* value) {
-  const std::string prefix = std::string(name) + "=";
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i].rfind(prefix, 0) == 0) {
-      *value = args[i].substr(prefix.size());
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
-      return true;
-    }
-    if (args[i] == name && i + 1 < args.size()) {
-      *value = args[i + 1];
-      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
-                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
-      return true;
-    }
-  }
-  return false;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  dvmc::CliParser cli("dvmc_inspect",
+                      "query tool for DVMC observability artifacts "
+                      "(run reports, forensics bundles, event traces)");
+  cli.usageLine(
+      "dvmc_inspect {summary|detections|timeline|series} [options] FILE...");
+  std::string addrText, metric;
+  cli.option("--addr", &addrText, "A",
+             "block address for the timeline command (hex ok)");
+  cli.option("--metric", &metric, "NAME",
+             "telemetry column for the series command");
+  argc = cli.parse(argc, argv);
+  const bool haveAddr = !addrText.empty();
+  const bool haveMetric = !metric.empty();
+
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
-
-  std::string addrText, metric;
-  const bool haveAddr = takeOption(args, "--addr", &addrText);
-  const bool haveMetric = takeOption(args, "--metric", &metric);
   if (args.empty()) {
     std::fprintf(stderr, "dvmc_inspect: no input files\n");
     return usage();

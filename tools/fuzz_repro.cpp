@@ -6,6 +6,10 @@
 #include "workload/fuzz_config.hpp"
 using namespace dvmc;
 int main(int argc, char** argv) {
+  CliParser cli("fuzz_repro",
+                "reproduce one fuzz_test case by parameter index");
+  cli.usageLine("fuzz_repro [param_index]");
+  argc = cli.parse(argc, argv);
   const int param = argc > 1 ? std::atoi(argv[1]) : 7;
   SystemConfig cfg = makeFuzzConfig(param);
   cfg.maxCycles = 3'000'000;  // shorter for diagnosis

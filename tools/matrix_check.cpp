@@ -1,8 +1,15 @@
 #include <cstdio>
+#include "common/cli.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 using namespace dvmc;
-int main() {
+int main(int argc, char** argv) {
+  CliParser cli("matrix_check",
+                "run the full {protocol, model, workload} matrix and "
+                "report any incomplete or detecting configuration");
+  cli.noPositionals();
+  addRunnerFlags(cli);
+  cli.parse(argc, argv);
   int bad = 0;
   for (int p = 0; p < 2; ++p) {
     for (auto m : {ConsistencyModel::kSC, ConsistencyModel::kTSO,
