@@ -23,8 +23,10 @@
 
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
+#include "common/version.hpp"
 #include "obs/json.hpp"
 #include "obs/run_report.hpp"
+#include "obs/spans.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 
@@ -71,6 +73,7 @@ inline void writeBenchJson(const char* benchId) {
   Json root = Json::object();
   root.set("schema", Json::str(kBenchSchemaName))
       .set("version", Json::num(kBenchSchemaVersion))
+      .set("generator", Json::str(versionString()))
       .set("bench", Json::str(benchId));
   Json cfg = Json::object();
   cfg.set("seeds", Json::num(benchSeedCount()))
@@ -197,6 +200,7 @@ inline std::string normCell(const RunningStat& s, double baseMean) {
 /// parallel (resolveJobs, --jobs); results stay in seed order.
 inline std::vector<double> runCyclesPerSeed(SystemConfig cfg, int seeds,
                                             std::uint64_t* detections = nullptr) {
+  obs::ScopedSpan span("bench-config");
   const auto wallStart = std::chrono::steady_clock::now();
   std::vector<RunResult> results(static_cast<std::size_t>(seeds));
   parallelFor(static_cast<std::size_t>(seeds),

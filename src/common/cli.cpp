@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "common/version.hpp"
+
 namespace dvmc {
 
 namespace {
@@ -213,6 +215,7 @@ int CliParser::fail(const std::string& msg) {
 int CliParser::parse(int argc, char** argv) {
   error_.clear();
   helpRequested_ = false;
+  versionRequested_ = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -220,6 +223,14 @@ int CliParser::parse(int argc, char** argv) {
       helpRequested_ = true;
       if (exitOnError_) {
         std::fputs(helpText().c_str(), stdout);
+        std::exit(0);
+      }
+      continue;
+    }
+    if (arg == "--version") {
+      versionRequested_ = true;
+      if (exitOnError_) {
+        std::printf("%s\n", versionString());
         std::exit(0);
       }
       continue;
@@ -301,6 +312,7 @@ std::string CliParser::helpText() const {
     s += "\n";
   }
   s += "  --help, -h                  show this message and exit\n";
+  s += "  --version                   print the build identity and exit\n";
   return s;
 }
 

@@ -95,6 +95,9 @@ class CliParser {
 
   const std::string& error() const { return error_; }
   bool helpRequested() const { return helpRequested_; }
+  /// True when --version was seen under exitOnError(false); the normal
+  /// mode prints versionString() and exits 0 instead.
+  bool versionRequested() const { return versionRequested_; }
 
   std::string helpText() const;
   /// The option table as a GitHub-markdown table (docs embed this via
@@ -124,6 +127,7 @@ class CliParser {
   bool noPositionals_ = false;
   bool exitOnError_ = true;
   bool helpRequested_ = false;
+  bool versionRequested_ = false;
   std::string error_;
 };
 

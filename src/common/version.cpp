@@ -1,0 +1,29 @@
+#include "common/version.hpp"
+
+#include <string>
+
+#include "common/version_info.hpp"
+
+namespace dvmc {
+
+const char* gitDescribe() { return DVMC_GIT_DESCRIBE; }
+const char* buildType() { return DVMC_BUILD_TYPE; }
+const char* sanitizeConfig() { return DVMC_SANITIZE; }
+
+const char* versionString() {
+  static const std::string s = [] {
+    std::string v = "dvmc ";
+    v += DVMC_GIT_DESCRIBE;
+    v += " (";
+    v += DVMC_BUILD_TYPE[0] != '\0' ? DVMC_BUILD_TYPE : "unknown";
+    if (DVMC_SANITIZE[0] != '\0') {
+      v += ", sanitize=";
+      v += DVMC_SANITIZE;
+    }
+    v += ")";
+    return v;
+  }();
+  return s.c_str();
+}
+
+}  // namespace dvmc

@@ -1,0 +1,25 @@
+// Build identity stamp (configure-time git describe + build type +
+// sanitizer config).
+//
+// Every binary answers `--version` with versionString(), and every
+// artifact writer (run reports, status snapshots, JSONL logs, bench
+// documents) records it in its "generator" field, so an artifact always
+// names exactly the build that produced it — no more guessing whether a
+// nightly escape came from a sanitizer build or which commit a baseline
+// was measured on.
+#pragma once
+
+namespace dvmc {
+
+/// "dvmc <git-describe> (<build-type>[, sanitize=<cfg>])", e.g.
+/// "dvmc 3a82399 (Release)" or "dvmc v1.2-4-g0d1e2f3-dirty (RelWithDebInfo,
+/// sanitize=address,undefined)". Stable for the life of the process.
+const char* versionString();
+
+/// The raw configure-time pieces ("unknown" when git was unavailable).
+const char* gitDescribe();
+const char* buildType();
+/// Comma-separated sanitizer list, or "" for a plain build.
+const char* sanitizeConfig();
+
+}  // namespace dvmc

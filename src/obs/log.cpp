@@ -1,0 +1,197 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+#include "common/version.hpp"
+
+namespace dvmc::obs {
+
+namespace {
+
+std::uint64_t nowUnixMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::size_t kRingCapacity = 1024;
+
+struct LoggerState {
+  std::atomic<LogLevel> level{LogLevel::kInfo};
+  std::atomic<std::uint64_t> recorded{0};
+  mutable std::mutex mu;
+  std::deque<LogRecord> ring;  // newest at the back
+  std::FILE* jsonl = nullptr;
+  std::string jsonlPath;
+};
+
+LoggerState& state() {
+  static LoggerState s;
+  return s;
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parseLogLevel(std::string_view s, LogLevel* out) {
+  for (LogLevel l : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                     LogLevel::kError, LogLevel::kOff}) {
+    if (s == logLevelName(l)) {
+      *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+Json LogRecord::toJson() const {
+  Json j = Json::object();
+  j.set("ts", Json::num(unixMs));
+  j.set("level", Json::str(logLevelName(level)));
+  j.set("component", Json::str(component));
+  j.set("message", Json::str(message));
+  if (fields.isObject()) j.set("fields", fields);
+  return j;
+}
+
+Logger::Logger() = default;
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::setLevel(LogLevel l) {
+  state().level.store(l, std::memory_order_relaxed);
+}
+
+LogLevel Logger::level() const {
+  return state().level.load(std::memory_order_relaxed);
+}
+
+bool Logger::openJsonl(const std::string& path) {
+  LoggerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.jsonl != nullptr) {
+    std::fclose(s.jsonl);
+    s.jsonl = nullptr;
+  }
+  s.jsonl = std::fopen(path.c_str(), "w");
+  if (s.jsonl == nullptr) {
+    std::fprintf(stderr, "obs: cannot open log file %s\n", path.c_str());
+    return false;
+  }
+  s.jsonlPath = path;
+  // Meta line: consumers (dvmc_inspect) identify a JSONL log stream by
+  // this first-line schema stamp.
+  Json meta = Json::object();
+  meta.set("schema", Json::str(kLogSchemaName));
+  meta.set("version", Json::num(std::uint64_t{kLogSchemaVersion}));
+  meta.set("generator", Json::str(versionString()));
+  meta.set("startedUnixMs", Json::num(nowUnixMs()));
+  const std::string line = meta.dump();
+  std::fwrite(line.data(), 1, line.size(), s.jsonl);
+  std::fputc('\n', s.jsonl);
+  std::fflush(s.jsonl);
+  return true;
+}
+
+void Logger::closeJsonl() {
+  LoggerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.jsonl != nullptr) {
+    std::fclose(s.jsonl);
+    s.jsonl = nullptr;
+  }
+  s.jsonlPath.clear();
+}
+
+bool Logger::jsonlArmed() const {
+  LoggerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.jsonl != nullptr;
+}
+
+void Logger::log(LogLevel l, const char* component, std::string message,
+                 Json fields) {
+  if (!enabled(l)) return;
+  LogRecord rec;
+  rec.unixMs = nowUnixMs();
+  rec.level = l;
+  rec.component = component;
+  rec.message = std::move(message);
+  rec.fields = std::move(fields);
+
+  // Human-readable stderr line: "[warn] campaign: message k=v k=v".
+  std::string text = "[";
+  text += logLevelName(l);
+  text += "] ";
+  text += rec.component;
+  text += ": ";
+  text += rec.message;
+  if (rec.fields.isObject()) {
+    for (const auto& [key, value] : rec.fields.members()) {
+      text += ' ';
+      text += key;
+      text += '=';
+      text += value.isString() ? value.asString() : value.dump();
+    }
+  }
+  text += '\n';
+
+  LoggerState& s = state();
+  s.recorded.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  if (s.jsonl != nullptr) {
+    const std::string line = rec.toJson().dump();
+    std::fwrite(line.data(), 1, line.size(), s.jsonl);
+    std::fputc('\n', s.jsonl);
+    // Per-line flush: a crashed campaign shard keeps every completed line.
+    std::fflush(s.jsonl);
+  }
+  s.ring.push_back(std::move(rec));
+  if (s.ring.size() > kRingCapacity) s.ring.pop_front();
+}
+
+std::vector<LogRecord> Logger::recent(std::size_t max) const {
+  LoggerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const std::size_t n = s.ring.size() < max ? s.ring.size() : max;
+  return std::vector<LogRecord>(s.ring.end() - static_cast<std::ptrdiff_t>(n),
+                                s.ring.end());
+}
+
+std::uint64_t Logger::recorded() const {
+  return state().recorded.load(std::memory_order_relaxed);
+}
+
+void Logger::resetForTests() {
+  LoggerState& s = state();
+  closeJsonl();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.level.store(LogLevel::kInfo, std::memory_order_relaxed);
+  s.recorded.store(0, std::memory_order_relaxed);
+  s.ring.clear();
+}
+
+void log(LogLevel l, const char* component, std::string message, Json fields) {
+  Logger::instance().log(l, component, std::move(message), std::move(fields));
+}
+
+}  // namespace dvmc::obs

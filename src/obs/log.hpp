@@ -1,0 +1,104 @@
+// Leveled structured logger (observability subsystem).
+//
+// One process-wide logger replaces the scattered `fprintf(stderr, ...)`
+// diagnostics across the runner, campaign driver, oracle, and tools.
+// Every record carries a level, a component tag, a message, and optional
+// structured fields (a Json object), and lands in up to three places:
+//
+//   * stderr, as a human-readable line (`[info] obs: wrote run report ...
+//     file=r.json`) when the record's level passes --log-level (default
+//     info — debug-level progress chatter is off by default so the
+//     bit-identical merge output of parallel runs is unchanged);
+//   * a JSONL file (--log-json=FILE): one flushed JSON object per line,
+//     headed by a {"schema":"dvmc-log",...} meta line, so fleet campaign
+//     shards stream machine-readable logs that survive a crash and
+//     `dvmc_inspect` can validate/summarize them;
+//   * a bounded in-memory ring (newest-kept), so status snapshots and
+//     tests can read recent records without re-parsing files.
+//
+// Thread-safe: campaign/runner workers log concurrently. Cost when a
+// record is below the active level: one atomic load and a branch — no
+// formatting, no allocation (callers pay for building `fields` though, so
+// hot paths should check enabled() first).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dvmc::obs {
+
+inline constexpr int kLogSchemaVersion = 1;
+inline constexpr const char* kLogSchemaName = "dvmc-log";
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+const char* logLevelName(LogLevel l);
+/// Accepts "debug" | "info" | "warn" | "error" | "off".
+bool parseLogLevel(std::string_view s, LogLevel* out);
+
+struct LogRecord {
+  std::uint64_t unixMs = 0;  // wall-clock stamp
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  Json fields;  // object, or null when the record has none
+
+  /// {"ts":..., "level":"info", "component":"...", "message":"...",
+  ///  "fields":{...}} — the JSONL line layout.
+  Json toJson() const;
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel l);
+  LogLevel level() const;
+  bool enabled(LogLevel l) const { return l >= level() && l != LogLevel::kOff; }
+
+  /// Arms the JSONL sink: truncates `path`, writes the schema meta line,
+  /// then appends one flushed line per record. Returns false (and logs to
+  /// stderr) when the file cannot be opened.
+  bool openJsonl(const std::string& path);
+  void closeJsonl();
+  bool jsonlArmed() const;
+
+  void log(LogLevel l, const char* component, std::string message,
+           Json fields = Json());
+
+  /// Newest-last copies of the retained ring (capped at `max`).
+  std::vector<LogRecord> recent(std::size_t max = 64) const;
+  std::uint64_t recorded() const;
+
+  /// Tests: restore defaults (level info, ring empty, JSONL closed).
+  void resetForTests();
+
+ private:
+  Logger();
+};
+
+/// Convenience free functions on the process logger.
+void log(LogLevel l, const char* component, std::string message,
+         Json fields = Json());
+inline void logDebug(const char* component, std::string message,
+                     Json fields = Json()) {
+  log(LogLevel::kDebug, component, std::move(message), std::move(fields));
+}
+inline void logInfo(const char* component, std::string message,
+                    Json fields = Json()) {
+  log(LogLevel::kInfo, component, std::move(message), std::move(fields));
+}
+inline void logWarn(const char* component, std::string message,
+                    Json fields = Json()) {
+  log(LogLevel::kWarn, component, std::move(message), std::move(fields));
+}
+inline void logError(const char* component, std::string message,
+                     Json fields = Json()) {
+  log(LogLevel::kError, component, std::move(message), std::move(fields));
+}
+
+}  // namespace dvmc::obs

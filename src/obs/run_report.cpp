@@ -8,6 +8,11 @@
 #include <mutex>
 #include <vector>
 
+#include "common/version.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
+#include "obs/spans.hpp"
+
 namespace dvmc::obs {
 
 namespace {
@@ -75,6 +80,34 @@ void addObsFlags(CliParser& cli) {
   cli.flag("--capture-trace-spill", &opts.captureTraceSpill,
            "stream the capture to the --capture-trace file as settled v2 "
            "chunks during the run (bounded resident memory)");
+  cli.optionFn("--log-level", "LEVEL",
+               "minimum structured-log level: debug, info, warn, error, or off "
+               "(default: info)",
+               [&opts](const std::string& v) -> std::string {
+                 LogLevel level;
+                 if (!parseLogLevel(v, &level)) {
+                   return "'" + v +
+                          "' is not a log level "
+                          "(debug|info|warn|error|off)";
+                 }
+                 opts.logLevel = v;
+                 Logger::instance().setLevel(level);
+                 return {};
+               });
+  cli.optionFn("--log-json", "FILE",
+               "stream structured log records to FILE as dvmc-log JSONL",
+               [&opts](const std::string& v) -> std::string {
+                 if (v.empty()) return "empty output path";
+                 if (!Logger::instance().openJsonl(v)) {
+                   return "cannot open '" + v + "' for writing";
+                 }
+                 opts.logJsonFile = v;
+                 return {};
+               });
+  cli.path("--profile-out", &opts.profileOutFile, "FILE",
+           "write span-profiler collapsed stacks (speedscope-compatible)");
+  cli.path("--status-file", &opts.statusFile, "FILE",
+           "atomically rewrite a live dvmc-status snapshot during the run");
 }
 
 int parseObsFlags(int argc, char** argv) {
@@ -122,20 +155,28 @@ std::size_t reportRunCount() {
 
 void resetObs() {
   Collector& c = collector();
-  std::lock_guard<std::mutex> lock(c.mu);
-  c.runs.clear();
-  c.tracer.reset();
-  c.forensics.reset();
-  options() = ObsOptions{};
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.runs.clear();
+    c.tracer.reset();
+    c.forensics.reset();
+    options() = ObsOptions{};
+  }
+  resetStatusWriterForTests();
+  Logger::instance().closeJsonl();
 }
 
 Json reportEnvelope(Json runs) {
   Json root = Json::object();
   root.set("schema", Json::str(kReportSchemaName));
   root.set("version", Json::num(std::uint64_t{kReportSchemaVersion}));
-  root.set("generator",
-           Json::str("dvmc (Dynamic Verification of Memory Consistency)"));
+  root.set("generator", Json::str(versionString()));
   root.set("runs", std::move(runs));
+  // v2 sections: host footprint always; the phase-profile tree when any
+  // ScopedSpan closed during this process.
+  root.set("resource", sampleResourceUsage().toJson());
+  SpanProfiler& prof = SpanProfiler::instance();
+  if (!prof.empty()) root.set("profile", prof.toJson());
   return root;
 }
 
@@ -148,34 +189,43 @@ int finalizeObs() {
     std::ofstream os(opts.traceFile);
     EventTracer* t = activeTracer();
     if (!os || t == nullptr) {
-      std::fprintf(stderr, "obs: cannot write trace file %s\n",
-                   opts.traceFile.c_str());
+      logError("obs", "cannot write trace file",
+               Json::object().set("file", Json::str(opts.traceFile)));
       rc = 1;
     } else {
+      // Harness phase spans ride along on their own µs track; replayed
+      // here, single-threaded, because the tracer is not thread-safe.
+      if (!SpanProfiler::instance().empty()) flushPhaseSpans(*t);
       t->writeChromeJson(os);
-      std::fprintf(stderr, "obs: wrote %zu trace events to %s (%llu dropped)\n",
-                   t->size(), opts.traceFile.c_str(),
-                   static_cast<unsigned long long>(t->dropped()));
+      logInfo("obs", "wrote event trace",
+              Json::object()
+                  .set("file", Json::str(opts.traceFile))
+                  .set("events", Json::num(std::uint64_t{t->size()}))
+                  .set("dropped", Json::num(t->dropped())));
     }
   }
 
   if (!opts.reportJsonFile.empty()) {
     std::ofstream os(opts.reportJsonFile);
     if (!os) {
-      std::fprintf(stderr, "obs: cannot write report file %s\n",
-                   opts.reportJsonFile.c_str());
+      logError("obs", "cannot write report file",
+               Json::object().set("file", Json::str(opts.reportJsonFile)));
       rc = 1;
     } else {
       Json runs = Json::array();
+      std::size_t count = 0;
       {
         std::lock_guard<std::mutex> lock(c.mu);
+        count = c.runs.size();
         for (Json& r : c.runs) runs.push(std::move(r));
         c.runs.clear();
       }
       reportEnvelope(std::move(runs)).write(os, 2);
       os << "\n";
-      std::fprintf(stderr, "obs: wrote run report to %s\n",
-                   opts.reportJsonFile.c_str());
+      logInfo("obs", "wrote run report",
+              Json::object()
+                  .set("file", Json::str(opts.reportJsonFile))
+                  .set("runs", Json::num(std::uint64_t{count})));
     }
   }
 
@@ -183,17 +233,35 @@ int finalizeObs() {
     std::ofstream os(opts.forensicsFile);
     ForensicsRecorder* f = activeForensics();
     if (!os || f == nullptr) {
-      std::fprintf(stderr, "obs: cannot write forensics file %s\n",
-                   opts.forensicsFile.c_str());
+      logError("obs", "cannot write forensics file",
+               Json::object().set("file", Json::str(opts.forensicsFile)));
       rc = 1;
     } else {
       f->writeTo(os);
-      std::fprintf(stderr,
-                   "obs: wrote %zu forensics bundle(s) to %s (%llu dropped)\n",
-                   f->bundleCount(), opts.forensicsFile.c_str(),
-                   static_cast<unsigned long long>(f->droppedBundles()));
+      logInfo("obs", "wrote forensics bundles",
+              Json::object()
+                  .set("file", Json::str(opts.forensicsFile))
+                  .set("bundles", Json::num(std::uint64_t{f->bundleCount()}))
+                  .set("dropped", Json::num(f->droppedBundles())));
     }
   }
+
+  if (!opts.profileOutFile.empty()) {
+    std::ofstream os(opts.profileOutFile);
+    if (!os) {
+      logError("obs", "cannot write profile file",
+               Json::object().set("file", Json::str(opts.profileOutFile)));
+      rc = 1;
+    } else {
+      SpanProfiler::instance().writeCollapsed(os);
+      logInfo("obs", "wrote collapsed-stack profile",
+              Json::object().set("file", Json::str(opts.profileOutFile)));
+    }
+  }
+
+  // Last: further records go to stderr/ring only once the JSONL sink is
+  // closed, so the "wrote ..." lines above still land in the log file.
+  Logger::instance().closeJsonl();
   return rc;
 }
 

@@ -6,7 +6,7 @@
 //                         trace_event JSON; open in chrome://tracing)
 //   --trace-capacity=N    trace ring size in events (default 65536)
 //   --report-json=FILE    write every experiment result as a versioned
-//                         JSON run report ("dvmc-run-report", version 1)
+//                         JSON run report ("dvmc-run-report", version 2)
 //   --forensics=FILE      capture a forensics bundle on every checker
 //                         detection ("dvmc-forensics", version 1)
 //   --forensics-window=K  trace events kept around each detection
@@ -21,6 +21,14 @@
 //   --capture-trace-spill stream the capture to the --capture-trace file
 //                         as settled v2 chunks during the run instead of
 //                         holding the whole capture resident
+//   --log-level=LEVEL     minimum level for structured log records
+//                         (debug|info|warn|error|off; default info)
+//   --log-json=FILE       stream structured log records as JSONL
+//                         ("dvmc-log", one flushed object per line)
+//   --profile-out=FILE    write the span profiler's collapsed stacks
+//                         (speedscope / flamegraph.pl compatible)
+//   --status-file=FILE    atomically rewrite a live dvmc-status JSON
+//                         snapshot during runSeeds / campaign runs
 //
 // The group is registered on the shared CliParser via addObsFlags (see
 // common/cli.hpp); every binary's --help renders the same table, and
@@ -34,8 +42,13 @@
 // launch perturbation runs from a thread pool.
 //
 // Report schema (validated by the CI json check):
-//   { "schema": "dvmc-run-report", "version": 1,
-//     "generator": "...", "runs": [ {...}, ... ] }
+//   { "schema": "dvmc-run-report", "version": 2,
+//     "generator": "...", "runs": [ {...}, ... ],
+//     "resource": {...}, "profile": {...} }
+// Version 2 adds the "resource" section (peak RSS + CPU time from the
+// in-process sampler) and, when the span profiler recorded any frames,
+// the "profile" aggregation tree; "generator" names the exact build
+// (git describe + build type + sanitizer config).
 #pragma once
 
 #include <string>
@@ -50,7 +63,8 @@
 namespace dvmc::obs {
 
 /// Current run-report schema version. Bump on any breaking layout change.
-inline constexpr int kReportSchemaVersion = 1;
+/// v2: "resource" + "profile" sections, build-identity "generator".
+inline constexpr int kReportSchemaVersion = 2;
 inline constexpr const char* kReportSchemaName = "dvmc-run-report";
 
 struct ObsOptions {
@@ -67,6 +81,10 @@ struct ObsOptions {
   /// run as a chunked v2 container (keepInMemory off) instead of holding
   /// the whole capture resident and writing a v1 file at the end.
   bool captureTraceSpill = false;
+  std::string logLevel = "info";  // minimum structured-log level
+  std::string logJsonFile;        // empty = JSONL log sink off
+  std::string profileOutFile;     // empty = collapsed-stack export off
+  std::string statusFile;         // empty = live status surface off
 };
 
 ObsOptions& options();

@@ -1,0 +1,254 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace dvmc::obs {
+
+namespace {
+
+std::uint64_t wallNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t cpuNowNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+/// One completed frame buffered for the event tracer (phase track).
+struct PhaseEvent {
+  const char* name;
+  std::uint16_t lane;
+  std::uint64_t beginNs;
+  std::uint64_t endNs;
+};
+
+constexpr std::size_t kMaxPhaseEvents = 1u << 16;
+
+struct ProfilerState {
+  mutable std::mutex mu;
+  std::vector<SpanProfiler::Node> nodes;
+  /// Per-node child list for path lookup (name compared by content: the
+  /// same literal may have distinct addresses across TUs).
+  std::vector<std::vector<int>> children;
+  std::vector<int> roots;
+  std::vector<PhaseEvent> phases;
+  std::uint64_t phasesDropped = 0;
+  std::uint64_t firstWallNs = 0;  // phase-track epoch
+  std::vector<std::thread::id> lanes;  // thread id -> phase lane index
+};
+
+ProfilerState& state() {
+  static ProfilerState s;
+  return s;
+}
+
+thread_local std::vector<int> t_stack;
+
+int findChild(const ProfilerState& s, const std::vector<int>& ids,
+              const char* name) {
+  for (int id : ids) {
+    if (std::strcmp(s.nodes[static_cast<std::size_t>(id)].name, name) == 0) {
+      return id;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+SpanProfiler& SpanProfiler::instance() {
+  static SpanProfiler p;
+  return p;
+}
+
+int SpanProfiler::beginSpan(const char* name) {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  const int parent = t_stack.empty() ? -1 : t_stack.back();
+  int id = findChild(
+      s, parent < 0 ? s.roots : s.children[static_cast<std::size_t>(parent)],
+      name);
+  if (id < 0) {
+    id = static_cast<int>(s.nodes.size());
+    Node n;
+    n.name = name;
+    n.parent = parent;
+    s.nodes.push_back(n);
+    s.children.emplace_back();  // may reallocate: re-index below, no refs
+    if (parent < 0) {
+      s.roots.push_back(id);
+    } else {
+      s.children[static_cast<std::size_t>(parent)].push_back(id);
+    }
+  }
+  t_stack.push_back(id);
+  return id;
+}
+
+void SpanProfiler::endSpan(int node, std::uint64_t wallNs, std::uint64_t cpuNs,
+                           std::uint64_t wallStartNs) {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!t_stack.empty() && t_stack.back() == node) t_stack.pop_back();
+  Node& n = s.nodes[static_cast<std::size_t>(node)];
+  n.count += 1;
+  n.wallNs += wallNs;
+  n.cpuNs += cpuNs;
+  if (s.firstWallNs == 0 || wallStartNs < s.firstWallNs) {
+    s.firstWallNs = wallStartNs;
+  }
+  if (s.phases.size() >= kMaxPhaseEvents) {
+    ++s.phasesDropped;
+    return;
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  std::size_t lane = 0;
+  for (; lane < s.lanes.size(); ++lane) {
+    if (s.lanes[lane] == self) break;
+  }
+  if (lane == s.lanes.size()) s.lanes.push_back(self);
+  s.phases.push_back(PhaseEvent{n.name, static_cast<std::uint16_t>(lane),
+                                wallStartNs, wallStartNs + wallNs});
+}
+
+bool SpanProfiler::empty() const {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.nodes.empty();
+}
+
+std::vector<SpanProfiler::Node> SpanProfiler::nodes() const {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.nodes;
+}
+
+Json SpanProfiler::toJson() const {
+  const std::vector<Node> all = nodes();
+  // Children arrays are rebuilt from the parent links so the serializer
+  // works off the same snapshot it renders.
+  std::vector<std::vector<int>> kids(all.size());
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].parent < 0) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      kids[static_cast<std::size_t>(all[i].parent)].push_back(
+          static_cast<int>(i));
+    }
+  }
+  // Recursive build without recursion: children indices always follow
+  // their parent, so building back-to-front completes every subtree first.
+  std::vector<Json> built(all.size());
+  for (std::size_t i = all.size(); i-- > 0;) {
+    const Node& n = all[i];
+    Json j = Json::object();
+    j.set("name", Json::str(n.name));
+    j.set("count", Json::num(n.count));
+    j.set("wallNs", Json::num(n.wallNs));
+    j.set("cpuNs", Json::num(n.cpuNs));
+    if (!kids[i].empty()) {
+      Json c = Json::array();
+      for (int k : kids[i]) c.push(std::move(built[static_cast<std::size_t>(k)]));
+      j.set("children", std::move(c));
+    }
+    built[i] = std::move(j);
+  }
+  Json spans = Json::array();
+  for (int r : roots) spans.push(std::move(built[static_cast<std::size_t>(r)]));
+  return Json::object().set("spans", std::move(spans));
+}
+
+void SpanProfiler::writeCollapsed(std::ostream& os) const {
+  const std::vector<Node> all = nodes();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    // Each line charges the node's *self* wall time so stack totals are
+    // not double-counted when a flamegraph sums children into parents.
+    std::uint64_t childWall = 0;
+    for (const Node& c : all) {
+      if (c.parent == static_cast<int>(i)) childWall += c.wallNs;
+    }
+    const std::uint64_t selfNs =
+        all[i].wallNs > childWall ? all[i].wallNs - childWall : 0;
+    const std::uint64_t selfUs = selfNs / 1000;
+    if (selfUs == 0) continue;
+    std::vector<const char*> path;
+    for (int k = static_cast<int>(i); k >= 0;
+         k = all[static_cast<std::size_t>(k)].parent) {
+      path.push_back(all[static_cast<std::size_t>(k)].name);
+    }
+    for (std::size_t p = path.size(); p-- > 0;) {
+      os << path[p];
+      if (p != 0) os << ';';
+    }
+    os << ' ' << selfUs << '\n';
+  }
+}
+
+std::string SpanProfiler::collapsedStacks() const {
+  std::ostringstream os;
+  writeCollapsed(os);
+  return os.str();
+}
+
+void SpanProfiler::resetForTests() {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.nodes.clear();
+  s.children.clear();
+  s.roots.clear();
+  s.phases.clear();
+  s.phasesDropped = 0;
+  s.firstWallNs = 0;
+  s.lanes.clear();
+  t_stack.clear();
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : node_(SpanProfiler::instance().beginSpan(name)),
+      wallStart_(wallNowNs()),
+      cpuStart_(cpuNowNs()) {}
+
+ScopedSpan::~ScopedSpan() {
+  const std::uint64_t wall = wallNowNs() - wallStart_;
+  const std::uint64_t cpuNow = cpuNowNs();
+  const std::uint64_t cpu = cpuNow > cpuStart_ ? cpuNow - cpuStart_ : 0;
+  SpanProfiler::instance().endSpan(node_, wall, cpu, wallStart_);
+}
+
+/// Replays every buffered phase span into `tracer` as TraceKind::kPhase,
+/// timestamped in microseconds since the first span; tid = 0xF000 + the
+/// span's thread lane, well clear of real node ids. Called once by
+/// finalizeObs (single-threaded) so the tracer is never written
+/// concurrently with a live run.
+void flushPhaseSpans(EventTracer& tracer) {
+  ProfilerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const PhaseEvent& p : s.phases) {
+    const std::uint64_t begin = (p.beginNs - s.firstWallNs) / 1000;
+    const std::uint64_t end = (p.endNs - s.firstWallNs) / 1000;
+    tracer.span(begin, end, TraceKind::kPhase, p.name,
+                static_cast<NodeId>(0xF000u + p.lane));
+  }
+  s.phases.clear();
+}
+
+}  // namespace dvmc::obs

@@ -1,0 +1,99 @@
+// Hierarchical RAII span profiler (observability subsystem).
+//
+// Wall-clock plus thread-CPU time attribution for the harness phases the
+// fleet cares about — build / run / capture / oracle / report — nestable
+// to any depth and safe from any thread. A ScopedSpan opens a frame on
+// the calling thread's stack; on destruction the frame's wall and CPU
+// deltas are folded into a process-wide aggregation tree keyed by the
+// full stack path, so a 500-config campaign costs a few hundred tree
+// nodes, not a per-event log.
+//
+// Outputs:
+//   * a "profile" section in the dvmc-run-report (schema version 2):
+//     the aggregated tree with count/wallNs/cpuNs per node;
+//   * --profile-out=FILE: speedscope-compatible collapsed stacks
+//     ("a;b;c <wall_us>" per line) for flamegraph inspection — drop the
+//     file on https://speedscope.app or feed it to flamegraph.pl;
+//   * main-thread spans are mirrored into the process event tracer
+//     (--trace) as TraceKind::kPhase spans, timestamped in microseconds
+//     since the first span (the tracer's cycle timeline belongs to the
+//     simulated machine; phase spans ride along on their own track).
+//
+// Span names must be string literals (or otherwise outlive the process):
+// frames store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dvmc {
+class EventTracer;
+}
+
+namespace dvmc::obs {
+
+class SpanProfiler {
+ public:
+  /// One aggregation node: a unique stack path (name under parent).
+  struct Node {
+    const char* name = "";
+    int parent = -1;  // index into the node vector; -1 = a root frame
+    std::uint64_t count = 0;
+    std::uint64_t wallNs = 0;
+    std::uint64_t cpuNs = 0;
+  };
+
+  static SpanProfiler& instance();
+
+  bool empty() const;
+  /// Copy of the aggregation tree (parents always precede children).
+  std::vector<Node> nodes() const;
+
+  /// {"spans":[{"name","count","wallNs","cpuNs","children":[...]}]} —
+  /// the run report's "profile" section.
+  Json toJson() const;
+
+  /// Collapsed-stack flamegraph lines: "build 1200\nrun;oracle 83\n"
+  /// (semicolon-joined path, wall microseconds). Speedscope and
+  /// flamegraph.pl both accept this format directly.
+  void writeCollapsed(std::ostream& os) const;
+  std::string collapsedStacks() const;
+
+  /// Tests: drop every node (open spans on live threads keep their
+  /// indices valid only until this is called — reset between runs only).
+  void resetForTests();
+
+ private:
+  friend class ScopedSpan;
+  SpanProfiler() = default;
+  int beginSpan(const char* name);
+  void endSpan(int node, std::uint64_t wallNs, std::uint64_t cpuNs,
+               std::uint64_t wallStartNs);
+};
+
+/// Replays the buffered per-thread phase spans into `tracer` as
+/// TraceKind::kPhase events (timestamps in µs since the first span,
+/// tid = 0xF000 + thread lane). Call once from single-threaded teardown
+/// (finalizeObs): the tracer is not thread-safe.
+void flushPhaseSpans(EventTracer& tracer);
+
+/// Opens a profiling frame for the enclosing scope. Nests: spans opened
+/// while this one is live become its children (per thread).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  int node_;
+  std::uint64_t wallStart_;
+  std::uint64_t cpuStart_;
+};
+
+}  // namespace dvmc::obs

@@ -14,6 +14,7 @@ const char* traceKindName(TraceKind k) {
     case TraceKind::kCheckpoint: return "checkpoint";
     case TraceKind::kRollback: return "rollback";
     case TraceKind::kCpu: return "cpu";
+    case TraceKind::kPhase: return "phase";
   }
   return "?";
 }

@@ -34,6 +34,7 @@ enum class TraceKind : std::uint8_t {
   kCheckpoint,  // SafetyNet checkpoint taken
   kRollback,    // SafetyNet recovery
   kCpu,         // pipeline-level events (squashes, restarts)
+  kPhase,       // harness phase spans from the span profiler (µs timeline)
 };
 
 const char* traceKindName(TraceKind k);

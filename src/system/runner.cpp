@@ -1,14 +1,19 @@
 #include "system/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
 #include "obs/run_report.hpp"
+#include "obs/spans.hpp"
 #include "system/system.hpp"
 #include "verify/trace.hpp"
 #include "verify/trace_sink.hpp"
@@ -16,6 +21,13 @@
 namespace dvmc {
 
 namespace {
+
+std::uint64_t steadyMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// --capture-trace support: the first completed capture of the process
 /// wins the file (mirrors the tracer's first-run-only semantics). Written
@@ -34,13 +46,13 @@ void reportSpillOnce() {
   if (!g_spillSink) return;
   const obs::ObsOptions& opts = obs::options();
   if (!g_spillSink->ok()) {
-    std::fprintf(stderr, "obs: capture-trace spill failed: %s\n",
-                 g_spillSink->error().c_str());
+    obs::logError("runner", "capture-trace spill failed",
+                  Json::object().set("error", Json::str(g_spillSink->error())));
   } else {
-    std::fprintf(stderr,
-                 "obs: streamed %llu trace record(s) to %s (chunked v2)\n",
-                 static_cast<unsigned long long>(g_spillSink->recordsWritten()),
-                 opts.captureTraceFile.c_str());
+    obs::logInfo("runner", "streamed capture trace (chunked v2)",
+                 Json::object()
+                     .set("records", Json::num(g_spillSink->recordsWritten()))
+                     .set("file", Json::str(opts.captureTraceFile)));
   }
   g_spillSink.reset();
 }
@@ -177,23 +189,39 @@ void writeCaptureFileOnce(
   if (g_captureTraceWritten.exchange(true)) return;
   std::string err;
   if (!verify::writeTraceFile(opts.captureTraceFile, *trace, &err)) {
-    std::fprintf(stderr, "obs: cannot write capture-trace file: %s\n",
-                 err.c_str());
+    obs::logError("runner", "cannot write capture-trace file",
+                  Json::object().set("error", Json::str(err)));
   } else {
-    std::fprintf(stderr, "obs: wrote %llu trace record(s) to %s\n",
-                 static_cast<unsigned long long>(trace->records.size()),
-                 opts.captureTraceFile.c_str());
+    obs::logInfo(
+        "runner", "wrote capture trace",
+        Json::object()
+            .set("records", Json::num(std::uint64_t{trace->records.size()}))
+            .set("file", Json::str(opts.captureTraceFile)));
   }
 }
 
 RunResult runOnce(const SystemConfig& cfg) {
   SystemConfig c = cfg;
   armCaptureFromObs(c);
-  System sys(c);
-  RunResult r = sys.run();
-  writeCaptureFileOnce(r.trace);
-  reportSpillOnce();
-  if (obs::reportingActive()) recordReport("runOnce", c, toJson(r));
+  std::optional<System> sys;
+  {
+    obs::ScopedSpan span("build");
+    sys.emplace(c);
+  }
+  RunResult r;
+  {
+    obs::ScopedSpan span("run");
+    r = sys->run();
+  }
+  {
+    obs::ScopedSpan span("capture");
+    writeCaptureFileOnce(r.trace);
+    reportSpillOnce();
+  }
+  if (obs::reportingActive()) {
+    obs::ScopedSpan span("report");
+    recordReport("runOnce", c, toJson(r));
+  }
   return r;
 }
 
@@ -255,6 +283,20 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
   armCaptureFromObs(cfg);
   std::vector<RunResult> results(static_cast<std::size_t>(seedCount));
   const int jobs = resolveJobs(cfg);
+  const std::size_t total = static_cast<std::size_t>(seedCount);
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::uint64_t> detectionsSoFar{0};
+  std::atomic<std::uint64_t> lastProgressMs{0};
+  obs::StatusWriter* status = obs::activeStatusWriter();
+  const std::uint64_t startedMs = steadyMs();
+  if (status != nullptr) {
+    status->update(Json::object()
+                       .set("phase", Json::str("runSeeds"))
+                       .set("state", Json::str("running"))
+                       .set("total", Json::num(std::uint64_t{total}))
+                       .set("done", Json::num(std::uint64_t{0})),
+                   /*force=*/true);
+  }
   parallelFor(
       static_cast<std::size_t>(seedCount), static_cast<unsigned>(jobs),
       [&](std::size_t s) {
@@ -270,12 +312,58 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
         }
         // Per-seed results are folded into one report entry below, not
         // recorded individually — build the System directly.
-        System sys(c);
-        results[s] = sys.run();
+        const std::uint64_t seedStartMs = steadyMs();
+        {
+          obs::ScopedSpan span("run");
+          System sys(c);
+          results[s] = sys.run();
+        }
+        const RunResult& r = results[s];
+        const std::size_t done = completed.fetch_add(1) + 1;
+        detectionsSoFar.fetch_add(r.detections, std::memory_order_relaxed);
+        const std::uint64_t now = steadyMs();
+        // Per-seed progress is debug-level (off by default — the merged
+        // output stays bit-identical either way) and rate-limited to one
+        // record per 100 ms, except the final seed which always logs.
+        if (obs::Logger::instance().enabled(obs::LogLevel::kDebug)) {
+          std::uint64_t last = lastProgressMs.load(std::memory_order_relaxed);
+          const bool due = now - last >= 100 || done == total;
+          if (due && (lastProgressMs.compare_exchange_strong(last, now) ||
+                      done == total)) {
+            obs::logDebug(
+                "runner", "seed finished",
+                Json::object()
+                    .set("seed", Json::num(c.seed))
+                    .set("cycles", Json::num(r.cycles))
+                    .set("detections", Json::num(r.detections))
+                    .set("wallMs", Json::num(now - seedStartMs))
+                    .set("done", Json::num(std::uint64_t{done}))
+                    .set("total", Json::num(std::uint64_t{total})));
+          }
+        }
+        if (status != nullptr) {
+          const std::uint64_t elapsed = now - startedMs;
+          const std::uint64_t eta =
+              done > 0 ? elapsed * (total - done) / done : 0;
+          status->update(
+              Json::object()
+                  .set("phase", Json::str("runSeeds"))
+                  .set("state",
+                       Json::str(done == total ? "done" : "running"))
+                  .set("total", Json::num(std::uint64_t{total}))
+                  .set("done", Json::num(std::uint64_t{done}))
+                  .set("detections",
+                       Json::num(detectionsSoFar.load(
+                           std::memory_order_relaxed)))
+                  .set("elapsedMs", Json::num(elapsed))
+                  .set("etaMs", Json::num(eta)),
+              /*force=*/done == total);
+        }
       });
 
   MultiRunResult out;
   if (cfg.effectiveTrace().capture) {
+    obs::ScopedSpan span("capture");
     out.traces.reserve(results.size());
     for (const RunResult& r : results) out.traces.push_back(r.trace);
     // The file mirrors the first seed's capture, like the tracer/series.
@@ -299,6 +387,7 @@ MultiRunResult runSeeds(SystemConfig cfg, int seedCount,
     out.metrics.merge(r.metrics);
   }
   if (obs::reportingActive()) {
+    obs::ScopedSpan span("report");
     Json merged = toJson(out);
     merged.set("seedBase", Json::num(seedBase));
     merged.set("seedCount", Json::num(static_cast<std::int64_t>(seedCount)));

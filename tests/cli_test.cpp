@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/version.hpp"
 #include "obs/run_report.hpp"
 #include "system/runner.hpp"
 
@@ -226,9 +227,31 @@ TEST(CliParser, ObsGroupMarkdownCoversTheDocumentedFlags) {
   for (const char* flag :
        {"`--trace`", "`--report-json`", "`--forensics`", "`--capture-trace`",
         "`--capture-trace-limit`", "`--capture-trace-spill`",
-        "`--sample-every`", "`--sample-capacity`"}) {
+        "`--sample-every`", "`--sample-capacity`", "`--log-level`",
+        "`--log-json`", "`--profile-out`", "`--status-file`"}) {
     EXPECT_NE(md.find(flag), std::string::npos) << "missing " << flag;
   }
+  obs::resetObs();
+}
+
+// --version is a built-in like --help: recognized by every parser without
+// registration, reported via versionRequested() in test mode.
+TEST(CliParser, VersionFlagIsBuiltIn) {
+  CliParser cli("t", "test");
+  cli.exitOnError(false);
+  std::vector<std::string> args = {"t", "--version"};
+  std::vector<char*> argv = makeArgv(args);
+  cli.parse(static_cast<int>(args.size()), argv.data());
+  EXPECT_TRUE(cli.versionRequested());
+  EXPECT_FALSE(cli.helpRequested());
+}
+
+// The build identity every artifact records: "dvmc <describe> (<type>...)".
+TEST(Version, VersionStringNamesTheBuild) {
+  const std::string v = versionString();
+  EXPECT_EQ(v.rfind("dvmc ", 0), 0u) << v;
+  EXPECT_NE(v.find('('), std::string::npos) << v;
+  EXPECT_STREQ(versionString(), versionString());  // stable pointer
 }
 
 }  // namespace

@@ -312,8 +312,12 @@ TEST(RunReport, EnvelopeCarriesSchemaAndVersion) {
   runs.push(Json::object().set("kind", Json::str("test")));
   const std::string s = obs::reportEnvelope(std::move(runs)).dump();
   EXPECT_NE(s.find("\"schema\":\"dvmc-run-report\""), std::string::npos);
-  EXPECT_NE(s.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"version\":2"), std::string::npos);
   EXPECT_NE(s.find("\"runs\":["), std::string::npos);
+  // v2 adds the host-resource section and a build-identity generator.
+  EXPECT_NE(s.find("\"resource\":{"), std::string::npos);
+  EXPECT_NE(s.find("\"peakRssBytes\""), std::string::npos);
+  EXPECT_NE(s.find("\"generator\":\"dvmc "), std::string::npos);
 }
 
 TEST(RunReport, RunResultSerializationIncludesMetrics) {

@@ -786,5 +786,38 @@ TEST(TraceSinkV2, RecorderStreamingModeMatchesInMemoryCapture) {
   EXPECT_FALSE(sink.trace()->records.back().performed());
 }
 
+// I/O errors are sticky, not fatal: a sink pointed at an unwritable
+// directory keeps accepting the stream (the run must not die because its
+// spill target vanished) but reports the failure through ok()/error().
+TEST(TraceSinkV2, ChunkedSinkSurfacesUnwritableTargets) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kTSO, 1,
+      {rec(TraceOp::kStore, 0, 1, ConsistencyModel::kTSO, kX, 1, 10)});
+  verify::ChunkedTraceFileSink sink("/nonexistent-dvmc-dir/x/spill.trace");
+  verify::streamCapturedTrace(t, sink, 4);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_NE(sink.error().find("/nonexistent-dvmc-dir/x/spill.trace"),
+            std::string::npos)
+      << sink.error();
+  EXPECT_EQ(sink.recordsWritten(), 0u);
+}
+
+// A tee must keep feeding its healthy child when the other child's I/O
+// fails — the streaming oracle still judges the run even when the spill
+// file cannot be written.
+TEST(TraceSinkV2, TeeKeepsTheHealthyChildFedWhenOneChildFails) {
+  CapturedTrace t = makeTrace(
+      ConsistencyModel::kTSO, 2,
+      {rec(TraceOp::kStore, 0, 1, ConsistencyModel::kTSO, kX, 7, 10),
+       rec(TraceOp::kLoad, 1, 1, ConsistencyModel::kTSO, kX, 7, 20)});
+  verify::ChunkedTraceFileSink broken("/nonexistent-dvmc-dir/x/tee.trace");
+  verify::MemoryTraceSink healthy;
+  verify::TeeTraceSink tee(&broken, &healthy);
+  verify::streamCapturedTrace(t, tee, 1);
+  EXPECT_FALSE(broken.ok());
+  ASSERT_NE(healthy.trace(), nullptr);
+  EXPECT_EQ(healthy.trace()->serialize(), t.serialize());
+}
+
 }  // namespace
 }  // namespace dvmc

@@ -3,6 +3,7 @@
 
 Usage:
   check_perf.py BASELINE CURRENT [--max-regression 0.30]
+  check_perf.py --rss FILE --rss-ceiling-mb N
 
 Both files must follow the "dvmc-bench" schema written by the bench
 binaries' --json flag (see bench/bench_common.hpp). For every row name
@@ -13,12 +14,44 @@ do not fail (benchmarks get added and retired), and the machines running
 baseline and current may differ, which is why the default margin is a
 deliberately loose 30%.
 
-Exit status: 0 = within budget, 1 = regression, 2 = bad input.
+The --rss mode gates the in-process memory sampler instead: FILE is a
+dvmc-run-report or dvmc-status document whose "resource" section carries
+peakRssBytes (getrusage high-water mark of the producing process); the
+gate fails when it exceeds --rss-ceiling-mb. This replaces the old
+shell-level getrusage(RUSAGE_CHILDREN) wrapper in CI, which charged every
+subprocess in the step to the same ceiling.
+
+Exit status: 0 = within budget, 1 = regression/breach, 2 = bad input.
 """
 
 import argparse
 import json
 import sys
+
+
+def check_rss(path, ceiling_mb):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        return 2
+    resource = doc.get("resource")
+    # Accept both the nested v2 report/status layout and a bare
+    # {"peakRssBytes"/"peak_rss_bytes": N} document.
+    holder = resource if isinstance(resource, dict) else doc
+    peak = holder.get("peakRssBytes", holder.get("peak_rss_bytes"))
+    if not isinstance(peak, (int, float)) or peak <= 0:
+        print(f"error: {path}: no peakRssBytes in the resource section",
+              file=sys.stderr)
+        return 2
+    peak_mb = peak / (1024 * 1024)
+    if peak_mb > ceiling_mb:
+        print(f"FAIL: peak RSS {peak_mb:.1f} MB exceeds the "
+              f"{ceiling_mb} MB ceiling", file=sys.stderr)
+        return 1
+    print(f"OK: peak RSS {peak_mb:.1f} MB within the {ceiling_mb} MB ceiling")
+    return 0
 
 
 def load_rows(path):
@@ -50,11 +83,23 @@ def load_rows(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("current", nargs="?")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="allowed fractional slowdown (default 0.30)")
+    ap.add_argument("--rss", metavar="FILE",
+                    help="gate peakRssBytes from a run-report/status file "
+                         "instead of comparing benchmarks")
+    ap.add_argument("--rss-ceiling-mb", type=float, default=256,
+                    help="peak-RSS ceiling for --rss mode (default 256)")
     args = ap.parse_args()
+
+    if args.rss:
+        if args.baseline or args.current:
+            ap.error("--rss mode takes no baseline/current arguments")
+        return check_rss(args.rss, args.rss_ceiling_mb)
+    if not args.baseline or not args.current:
+        ap.error("baseline and current are required without --rss")
 
     base = load_rows(args.baseline)
     cur = load_rows(args.current)

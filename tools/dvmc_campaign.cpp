@@ -29,13 +29,21 @@
 //                 [--clean-only | --faulted] [--jobs N]
 //                 [--escape-dir DIR] [--sample-trace FILE]
 //                 [--batch-oracle] [--max-resident-events N]
+//                 [observability flags — --log-json, --status-file,
+//                  --profile-out, ...: see --help]
+//
+// With --status-file the driver atomically rewrites a live dvmc-status
+// snapshot (configs done/escaped, in-flight heartbeats, peak RSS, ETA);
+// `dvmc_inspect watch FILE` tails it.
 //
 // Exit codes: 0 = full agreement, 1 = escape or false positive, 2 = usage.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -45,6 +53,10 @@
 #include "common/thread_pool.hpp"
 #include "faults/injector.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
+#include "obs/run_report.hpp"
+#include "obs/spans.hpp"
 #include "system/runner.hpp"
 #include "system/system.hpp"
 #include "verify/oracle.hpp"
@@ -121,10 +133,15 @@ CaseOutcome runClean(int param, const CampaignOptions& opt,
   verify::StreamingOracle oracle(so);
   const bool streaming = armOracle(cfg, opt, oracle, keepTrace);
   System sys(cfg);
-  RunResult r = sys.run();
-  // Final sweep: epochs still open at program end carry unchecked state;
-  // flushing them through the MET keeps the clean/faulted cases symmetric.
-  sys.drainCheckers();
+  RunResult r;
+  {
+    obs::ScopedSpan span("run");
+    r = sys.run();
+    // Final sweep: epochs still open at program end carry unchecked state;
+    // flushing them through the MET keeps the clean/faulted cases
+    // symmetric.
+    sys.drainCheckers();
+  }
   r = sys.collectResult(r.completed, r.cycles);
   CaseOutcome out;
   out.ran = true;
@@ -132,17 +149,20 @@ CaseOutcome runClean(int param, const CampaignOptions& opt,
   out.checkersDetected = r.detections > 0;
   verify::OracleResult batchRes;
   const verify::OracleResult* o = nullptr;
-  if (streaming) {
-    // A clean in-window stream is the common case and never needed the
-    // trace; everything else re-runs the deterministic config with the
-    // capture resident and judges by the batch oracle.
-    if (!streamingVerdictUsable(oracle, &o)) {
-      return runClean(param, opt, /*keepTrace=*/true);
+  {
+    obs::ScopedSpan span("oracle");
+    if (streaming) {
+      // A clean in-window stream is the common case and never needed the
+      // trace; everything else re-runs the deterministic config with the
+      // capture resident and judges by the batch oracle.
+      if (!streamingVerdictUsable(oracle, &o)) {
+        return runClean(param, opt, /*keepTrace=*/true);
+      }
+    } else {
+      batchRes = verify::checkTrace(*r.trace);
+      o = &batchRes;
+      out.trace = r.trace;
     }
-  } else {
-    batchRes = verify::checkTrace(*r.trace);
-    o = &batchRes;
-    out.trace = r.trace;
   }
   out.oracleViolation = !o->clean;
   if (!o->clean) {
@@ -181,39 +201,47 @@ CaseOutcome runFaulted(int param, const CampaignOptions& opt,
   out.fault = fault;
 
   auto done = [&] { return sys.allCoresDone(); };
-  sys.runUntil([&] { return sys.sim().now() >= 3'000 || done(); });
-  const std::uint64_t flushesBefore = totalFlushes(sys);
-  auto detected = [&] {
-    return sys.sink().any() || totalFlushes(sys) > flushesBefore;
-  };
-  for (int round = 0; round < 40 && !detected() && !done(); ++round) {
-    if (inj.inject(fault)) ++out.injections;
-    const Cycle until = sys.sim().now() + 20'000;
-    sys.runUntil(
-        [&] { return detected() || done() || sys.sim().now() >= until; });
-  }
-  // Let the run settle so in-flight effects of the fault reach the trace.
-  const Cycle settle = sys.sim().now() + 30'000;
-  sys.runUntil([&] { return done() || sys.sim().now() >= settle; });
+  {
+    obs::ScopedSpan span("run");
+    sys.runUntil([&] { return sys.sim().now() >= 3'000 || done(); });
+    const std::uint64_t flushesBefore = totalFlushes(sys);
+    auto detected = [&] {
+      return sys.sink().any() || totalFlushes(sys) > flushesBefore;
+    };
+    for (int round = 0; round < 40 && !detected() && !done(); ++round) {
+      if (inj.inject(fault)) ++out.injections;
+      const Cycle until = sys.sim().now() + 20'000;
+      sys.runUntil(
+          [&] { return detected() || done() || sys.sim().now() >= until; });
+    }
+    // Let the run settle so in-flight effects of the fault reach the
+    // trace.
+    const Cycle settle = sys.sim().now() + 30'000;
+    sys.runUntil([&] { return done() || sys.sim().now() >= settle; });
 
-  // Final sweep: a corruption living in a still-open epoch is only checked
-  // once that epoch's inform reaches the MET, so flush before judging.
-  sys.finishTraceCapture();
-  sys.drainCheckers();
+    // Final sweep: a corruption living in a still-open epoch is only
+    // checked once that epoch's inform reaches the MET, so flush before
+    // judging.
+    sys.finishTraceCapture();
+    sys.drainCheckers();
+    out.checkersDetected = detected();
+  }
 
   RunResult r = sys.collectResult(done(), sys.sim().now());
   out.completed = r.completed;
-  out.checkersDetected = detected();
   verify::OracleResult batchRes;
   const verify::OracleResult* o = nullptr;
-  if (streaming) {
-    if (!streamingVerdictUsable(oracle, &o)) {
-      return runFaulted(param, opt, seedBase, /*keepTrace=*/true);
+  {
+    obs::ScopedSpan span("oracle");
+    if (streaming) {
+      if (!streamingVerdictUsable(oracle, &o)) {
+        return runFaulted(param, opt, seedBase, /*keepTrace=*/true);
+      }
+    } else {
+      batchRes = verify::checkTrace(*r.trace);
+      o = &batchRes;
+      out.trace = r.trace;
     }
-  } else {
-    batchRes = verify::checkTrace(*r.trace);
-    o = &batchRes;
-    out.trace = r.trace;
   }
   out.oracleViolation = !o->clean;
   if (!o->clean) {
@@ -232,8 +260,10 @@ void dumpEscape(const CampaignOptions& opt, int param, const char* kind,
   std::string err;
   if (out.trace != nullptr &&
       !verify::writeTraceFile(base + ".trace", *out.trace, &err)) {
-    std::fprintf(stderr, "campaign: cannot write %s.trace: %s\n",
-                 base.c_str(), err.c_str());
+    obs::logError("campaign", "cannot write escape trace",
+                  Json::object()
+                      .set("file", Json::str(base + ".trace"))
+                      .set("error", Json::str(err)));
   }
   Json j = Json::object();
   j.set("kind", Json::str(kind));
@@ -284,6 +314,7 @@ int main(int argc, char** argv) {
             "streaming: ceiling on live oracle records; a breach reruns "
             "the case under the batch oracle (default: unbounded)");
   addRunnerFlags(cli);
+  obs::addObsFlags(cli);
   cli.noPositionals();
   argc = cli.parse(argc, argv);
   (void)argc;
@@ -303,17 +334,85 @@ int main(int argc, char** argv) {
   std::vector<CaseOutcome> cleanOut(opt.clean ? n : 0);
   std::vector<CaseOutcome> faultOut(opt.faulted ? n : 0);
   std::atomic<std::size_t> doneCount{0};
+  std::atomic<std::size_t> escapesSoFar{0};
+  std::atomic<std::size_t> falsePositivesSoFar{0};
+
+  // Live health surface: currently in-flight params (the heartbeat — a
+  // shard stuck on one param shows up as a stale startedUnixMs), counts,
+  // and an ETA, published atomically whenever --status-file is armed.
+  obs::StatusWriter* status = obs::activeStatusWriter();
+  std::mutex inFlightMu;
+  std::map<int, std::uint64_t> inFlight;  // param -> unix ms started
+  const auto nowUnixMs = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  };
+  const auto nowSteadyMs = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  };
+  const std::uint64_t startedMs = nowSteadyMs();
+  const auto publishStatus = [&](const char* state, bool force) {
+    if (status == nullptr) return;
+    const std::size_t d = doneCount.load();
+    Json heartbeats = Json::array();
+    {
+      std::lock_guard<std::mutex> lock(inFlightMu);
+      for (const auto& [param, since] : inFlight) {
+        heartbeats.push(Json::object()
+                            .set("param", Json::num(std::int64_t{param}))
+                            .set("startedUnixMs", Json::num(since)));
+      }
+    }
+    const std::uint64_t elapsed = nowSteadyMs() - startedMs;
+    Json body = Json::object();
+    body.set("phase", Json::str("campaign"));
+    body.set("state", Json::str(state));
+    body.set("total", Json::num(std::uint64_t{n}));
+    body.set("done", Json::num(std::uint64_t{d}));
+    body.set("escapes", Json::num(std::uint64_t{escapesSoFar.load()}));
+    body.set("falsePositives",
+             Json::num(std::uint64_t{falsePositivesSoFar.load()}));
+    body.set("running", std::move(heartbeats));
+    body.set("elapsedMs", Json::num(elapsed));
+    body.set("etaMs", Json::num(d > 0 ? elapsed * (n - d) / d : 0));
+    status->update(body, force);
+  };
+  publishStatus("running", /*force=*/true);
 
   SystemConfig jobsProbe;  // resolveJobs needs a config; use the default
   const unsigned workers = static_cast<unsigned>(resolveJobs(jobsProbe));
   parallelFor(n, workers, [&](std::size_t s) {
+    obs::ScopedSpan span("case");
     const int param = opt.paramBase + static_cast<int>(s);
-    if (opt.clean) cleanOut[s] = runClean(param, opt);
-    if (opt.faulted) faultOut[s] = runFaulted(param, opt, opt.seedBase);
+    {
+      std::lock_guard<std::mutex> lock(inFlightMu);
+      inFlight[param] = nowUnixMs();
+    }
+    if (opt.clean) {
+      cleanOut[s] = runClean(param, opt);
+      if (cleanOut[s].falsePositive) ++falsePositivesSoFar;
+    }
+    if (opt.faulted) {
+      faultOut[s] = runFaulted(param, opt, opt.seedBase);
+      if (faultOut[s].escape) ++escapesSoFar;
+    }
+    {
+      std::lock_guard<std::mutex> lock(inFlightMu);
+      inFlight.erase(param);
+    }
     const std::size_t d = ++doneCount;
     if (d % 25 == 0 || d == n) {
-      std::fprintf(stderr, "campaign: %zu/%zu configs done\n", d, n);
+      obs::logInfo("campaign", "progress",
+                   Json::object()
+                       .set("done", Json::num(std::uint64_t{d}))
+                       .set("total", Json::num(std::uint64_t{n})));
     }
+    publishStatus("running", /*force=*/false);
   });
 
   std::size_t falsePositives = 0, escapes = 0, detections = 0, masked = 0,
@@ -358,8 +457,8 @@ int main(int argc, char** argv) {
     std::string err;
     if (sample != nullptr &&
         !verify::writeTraceFile(opt.sampleTrace, *sample, &err)) {
-      std::fprintf(stderr, "campaign: cannot write sample trace: %s\n",
-                   err.c_str());
+      obs::logError("campaign", "cannot write sample trace",
+                    Json::object().set("error", Json::str(err)));
     }
   }
 
@@ -368,10 +467,13 @@ int main(int argc, char** argv) {
       "masked=%zu false-positives=%zu escapes=%zu\n",
       opt.configs, opt.clean ? " +clean" : "", opt.faulted ? " +faulted" : "",
       detections, agreements, masked, falsePositives, escapes);
-  if (falsePositives + escapes > 0) {
+  const bool failed = falsePositives + escapes > 0;
+  publishStatus(failed ? "failed" : "done", /*force=*/true);
+  const int obsRc = obs::finalizeObs();
+  if (failed) {
     std::printf("campaign: FAILED — see %s/\n", opt.escapeDir.c_str());
     return 1;
   }
   std::printf("campaign: checkers and oracle agree on every case\n");
-  return 0;
+  return obsRc;
 }

@@ -1,31 +1,42 @@
 // dvmc-inspect: query tool for DVMC observability artifacts.
 //
-// Loads the JSON files the simulator emits — run reports (--report-json),
-// forensics bundles (--forensics), and Chrome event traces (--trace) — and
-// answers the questions a detection post-mortem starts with, without
-// loading anything into a browser or writing throwaway scripts:
+// Loads the files the simulator emits — run reports (--report-json),
+// forensics bundles (--forensics), Chrome event traces (--trace), status
+// snapshots (--status-file), JSONL logs (--log-json), and collapsed-stack
+// profiles (--profile-out) — and answers the questions a detection
+// post-mortem starts with, without loading anything into a browser or
+// writing throwaway scripts:
 //
 //   dvmc_inspect summary FILE...            what is in this artifact?
 //   dvmc_inspect detections FILE...         every detection, with the
 //                                           firing checker's state dump
 //   dvmc_inspect timeline --addr=A FILE...  events touching a block
 //   dvmc_inspect series --metric=M FILE...  one sampled telemetry column
+//   dvmc_inspect watch FILE                 tail a live --status-file
+//                                           snapshot until the run ends
 //
 // File types are auto-detected from the content ("schema" field for
-// reports/forensics, "traceEvents" for traces). Exit codes: 0 on success,
-// 1 on a parse/schema error, 2 on a usage error.
+// reports/forensics/status, "traceEvents" for traces, a dvmc-log meta
+// first line for JSONL logs, "path count" lines for collapsed stacks).
+// Exit codes: 0 on success, 1 on a parse/schema error, 2 on a usage
+// error.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/types.hpp"
 #include "obs/forensics.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/resource.hpp"
 #include "obs/run_report.hpp"
 
 using dvmc::Addr;
@@ -33,12 +44,16 @@ using dvmc::Json;
 
 namespace {
 
-enum class ArtifactKind { kReport, kForensics, kTrace };
+enum class ArtifactKind { kReport, kForensics, kTrace, kStatus, kLog,
+                          kProfile };
 
 struct Artifact {
   std::string path;
   ArtifactKind kind;
   Json root;
+  /// kLog: {"meta": {...}, "records": [...]} lives in `root`.
+  /// kProfile: the raw collapsed-stack text (root stays null).
+  std::string text;
 };
 
 int usage() {
@@ -48,8 +63,71 @@ int usage() {
       "  summary FILE...              what each artifact contains\n"
       "  detections FILE...           every detection with checker state\n"
       "  timeline --addr=A FILE...    events touching block A (hex ok)\n"
-      "  series --metric=M FILE...    sampled values of telemetry column M\n");
+      "  series --metric=M FILE...    sampled values of telemetry column M\n"
+      "  watch FILE                   tail a live status snapshot "
+      "(--once: render and exit)\n");
   return 2;
+}
+
+/// True when `text` looks like collapsed-stack profile lines: every
+/// non-empty line is "frame[;frame...] <digits>" (the speedscope /
+/// flamegraph.pl input format).
+bool looksLikeCollapsedStacks(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 ||
+        space + 1 == line.size()) {
+      return false;
+    }
+    for (std::size_t i = space + 1; i < line.size(); ++i) {
+      if (line[i] < '0' || line[i] > '9') return false;
+    }
+    ++lines;
+  }
+  return lines > 0;
+}
+
+/// Parses a dvmc-log JSONL stream into {"meta": {...}, "records": [...]}.
+bool loadLogLines(const std::string& path, const std::string& text,
+                  Artifact* out) {
+  std::istringstream in(text);
+  std::string line;
+  Json records = Json::array();
+  Json meta;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::string err;
+    std::optional<Json> parsed = Json::parse(line, &err);
+    if (!parsed) {
+      std::fprintf(stderr, "dvmc_inspect: %s:%zu: %s\n", path.c_str(), lineNo,
+                   err.c_str());
+      return false;
+    }
+    if (lineNo == 1) {
+      const std::uint64_t version =
+          parsed->find("version") ? parsed->find("version")->asUint() : 0;
+      if (version > dvmc::obs::kLogSchemaVersion) {
+        std::fprintf(stderr, "dvmc_inspect: %s: log version %llu is newer "
+                             "than this tool understands\n",
+                     path.c_str(), static_cast<unsigned long long>(version));
+        return false;
+      }
+      meta = std::move(*parsed);
+      continue;
+    }
+    records.push(std::move(*parsed));
+  }
+  out->kind = ArtifactKind::kLog;
+  out->root =
+      Json::object().set("meta", std::move(meta)).set("records",
+                                                      std::move(records));
+  return true;
 }
 
 /// Loads and classifies one artifact; prints the reason and returns false
@@ -62,13 +140,35 @@ bool load(const std::string& path, Artifact* out) {
   }
   std::ostringstream ss;
   ss << in.rdbuf();
+  const std::string text = ss.str();
+  out->path = path;
+
+  // A dvmc-log JSONL stream is many documents, so classify it by its
+  // first-line meta stamp before trying a whole-file parse.
+  const std::size_t firstNl = text.find('\n');
+  const std::string firstLine =
+      firstNl == std::string::npos ? text : text.substr(0, firstNl);
+  if (firstLine.find("\"dvmc-log\"") != std::string::npos) {
+    if (std::optional<Json> metaLine = Json::parse(firstLine)) {
+      const Json* schema = metaLine->find("schema");
+      if (schema != nullptr &&
+          schema->asString() == dvmc::obs::kLogSchemaName) {
+        return loadLogLines(path, text, out);
+      }
+    }
+  }
+
   std::string err;
-  std::optional<Json> parsed = Json::parse(ss.str(), &err);
+  std::optional<Json> parsed = Json::parse(text, &err);
   if (!parsed) {
+    if (looksLikeCollapsedStacks(text)) {
+      out->kind = ArtifactKind::kProfile;
+      out->text = text;
+      return true;
+    }
     std::fprintf(stderr, "dvmc_inspect: %s: %s\n", path.c_str(), err.c_str());
     return false;
   }
-  out->path = path;
   out->root = std::move(*parsed);
   if (const Json* schema = out->root.find("schema")) {
     const std::string& name = schema->asString();
@@ -88,6 +188,16 @@ bool load(const std::string& path, Artifact* out) {
       out->kind = ArtifactKind::kForensics;
       if (version > dvmc::kForensicsSchemaVersion) {
         std::fprintf(stderr, "dvmc_inspect: %s: forensics version %llu is "
+                             "newer than this tool understands\n",
+                     path.c_str(), static_cast<unsigned long long>(version));
+        return false;
+      }
+      return true;
+    }
+    if (name == dvmc::obs::kStatusSchemaName) {
+      out->kind = ArtifactKind::kStatus;
+      if (version > dvmc::obs::kStatusSchemaVersion) {
+        std::fprintf(stderr, "dvmc_inspect: %s: status version %llu is "
                              "newer than this tool understands\n",
                      path.c_str(), static_cast<unsigned long long>(version));
         return false;
@@ -114,6 +224,9 @@ const char* kindName(ArtifactKind k) {
     case ArtifactKind::kReport: return "run report";
     case ArtifactKind::kForensics: return "forensics";
     case ArtifactKind::kTrace: return "event trace";
+    case ArtifactKind::kStatus: return "status snapshot";
+    case ArtifactKind::kLog: return "log stream";
+    case ArtifactKind::kProfile: return "collapsed-stack profile";
   }
   return "?";
 }
@@ -202,6 +315,149 @@ void summarizeTrace(const Artifact& a) {
               a.path.c_str(), n, static_cast<unsigned long long>(first),
               static_cast<unsigned long long>(last),
               static_cast<unsigned long long>(detections));
+}
+
+/// One-line digest of a dvmc-status snapshot ("campaign 42/200 done ...").
+void printStatusLine(const Json& root) {
+  const std::string phase = strField(root, "phase");
+  const std::string state = strField(root, "state");
+  std::printf("%s %llu/%llu %s", phase.c_str(),
+              static_cast<unsigned long long>(uintField(root, "done")),
+              static_cast<unsigned long long>(uintField(root, "total")),
+              state.c_str());
+  if (const Json* v = root.find("escapes"); v != nullptr && v->asUint() > 0) {
+    std::printf("  escapes=%llu",
+                static_cast<unsigned long long>(v->asUint()));
+  }
+  if (const Json* v = root.find("falsePositives");
+      v != nullptr && v->asUint() > 0) {
+    std::printf("  false-positives=%llu",
+                static_cast<unsigned long long>(v->asUint()));
+  }
+  if (const Json* running = arrField(root, "running");
+      running != nullptr && running->size() > 0) {
+    std::printf("  in-flight=%zu", running->size());
+  }
+  if (const Json* res = objField(root, "resource")) {
+    std::printf("  rss=%lluMB",
+                static_cast<unsigned long long>(
+                    uintField(*res, "peakRssBytes") / (1024 * 1024)));
+  }
+  const std::uint64_t eta = uintField(root, "etaMs");
+  if (eta > 0) {
+    std::printf("  eta=%llus", static_cast<unsigned long long>(eta / 1000));
+  }
+  std::printf("\n");
+}
+
+void summarizeStatus(const Artifact& a) {
+  std::printf("%s: status snapshot (%s)\n  ", a.path.c_str(),
+              strField(a.root, "generator").c_str());
+  printStatusLine(a.root);
+  if (const Json* running = arrField(a.root, "running")) {
+    for (std::size_t i = 0; i < running->size(); ++i) {
+      const Json& h = running->at(i);
+      std::printf("  in-flight param %lld since unix ms %llu\n",
+                  static_cast<long long>(
+                      h.find("param") ? h.find("param")->asInt() : 0),
+                  static_cast<unsigned long long>(
+                      uintField(h, "startedUnixMs")));
+    }
+  }
+}
+
+void summarizeLog(const Artifact& a) {
+  const Json* records = arrField(a.root, "records");
+  const std::size_t n = records ? records->size() : 0;
+  std::map<std::string, std::size_t> byLevel;
+  std::map<std::string, std::size_t> byComponent;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& r = records->at(i);
+    ++byLevel[strField(r, "level")];
+    ++byComponent[strField(r, "component")];
+  }
+  const Json* meta = objField(a.root, "meta");
+  std::printf("%s: log stream, %zu record%s (%s)\n", a.path.c_str(), n,
+              n == 1 ? "" : "s",
+              meta != nullptr ? strField(*meta, "generator").c_str() : "?");
+  for (const auto& [level, count] : byLevel) {
+    std::printf("  %-5s %zu\n", level.c_str(), count);
+  }
+  for (const auto& [component, count] : byComponent) {
+    std::printf("  component %-10s %zu\n", component.c_str(), count);
+  }
+}
+
+void summarizeProfile(const Artifact& a) {
+  std::istringstream in(a.text);
+  std::string line;
+  std::size_t stacks = 0;
+  std::uint64_t totalUs = 0;
+  std::string hottest;
+  std::uint64_t hottestUs = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    const std::uint64_t us = std::strtoull(line.c_str() + space + 1,
+                                           nullptr, 10);
+    totalUs += us;
+    if (us > hottestUs) {
+      hottestUs = us;
+      hottest = line.substr(0, space);
+    }
+    ++stacks;
+  }
+  std::printf("%s: collapsed-stack profile, %zu stack%s, %llu us total\n",
+              a.path.c_str(), stacks, stacks == 1 ? "" : "s",
+              static_cast<unsigned long long>(totalUs));
+  if (!hottest.empty()) {
+    std::printf("  hottest: %s (%llu us self)\n", hottest.c_str(),
+                static_cast<unsigned long long>(hottestUs));
+  }
+}
+
+// --- watch -----------------------------------------------------------------
+
+/// Tails a --status-file snapshot: re-reads it every 500 ms, prints a
+/// digest line whenever updatedUnixMs advances, and exits 0 once the
+/// state leaves "running". With `once`, renders the current snapshot and
+/// exits immediately (schema errors are exit 1, like every other load).
+int watchStatus(const std::string& path, bool once) {
+  std::uint64_t lastUpdated = 0;
+  bool sawFile = false;
+  for (;;) {
+    Artifact a;
+    {
+      std::ifstream probe(path);
+      if (probe) {
+        if (!load(path, &a)) return 1;
+        if (a.kind != ArtifactKind::kStatus) {
+          std::fprintf(stderr,
+                       "dvmc_inspect: %s: watch needs a status snapshot, "
+                       "not a %s\n",
+                       path.c_str(), kindName(a.kind));
+          return 1;
+        }
+        sawFile = true;
+        const std::uint64_t updated = uintField(a.root, "updatedUnixMs");
+        if (updated != lastUpdated) {
+          lastUpdated = updated;
+          printStatusLine(a.root);
+          std::fflush(stdout);
+        }
+        const std::string state = strField(a.root, "state");
+        if (once || (state != "running" && state != "?")) {
+          return state == "failed" ? 1 : 0;
+        }
+      } else if (once) {
+        std::fprintf(stderr, "dvmc_inspect: cannot open %s\n", path.c_str());
+        return 1;
+      } else if (!sawFile) {
+        // The producer may not have written its first snapshot yet.
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
 }
 
 // --- detections ------------------------------------------------------------
@@ -436,12 +692,16 @@ int main(int argc, char** argv) {
                       "query tool for DVMC observability artifacts "
                       "(run reports, forensics bundles, event traces)");
   cli.usageLine(
-      "dvmc_inspect {summary|detections|timeline|series} [options] FILE...");
+      "dvmc_inspect {summary|detections|timeline|series|watch} [options] "
+      "FILE...");
   std::string addrText, metric;
+  bool once = false;
   cli.option("--addr", &addrText, "A",
              "block address for the timeline command (hex ok)");
   cli.option("--metric", &metric, "NAME",
              "telemetry column for the series command");
+  cli.flag("--once", &once,
+           "watch: render the current status snapshot and exit");
   argc = cli.parse(argc, argv);
   const bool haveAddr = !addrText.empty();
   const bool haveMetric = !metric.empty();
@@ -472,6 +732,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dvmc_inspect: series requires --metric=NAME\n");
       return usage();
     }
+  } else if (cmd == "watch") {
+    if (args.size() != 1) {
+      std::fprintf(stderr, "dvmc_inspect: watch takes exactly one FILE\n");
+      return usage();
+    }
+    return watchStatus(args[0], once);
   } else if (cmd != "summary" && cmd != "detections") {
     std::fprintf(stderr, "dvmc_inspect: unknown command '%s'\n", cmd.c_str());
     return usage();
@@ -489,6 +755,9 @@ int main(int argc, char** argv) {
         case ArtifactKind::kReport: summarizeReport(a); break;
         case ArtifactKind::kForensics: summarizeForensics(a); break;
         case ArtifactKind::kTrace: summarizeTrace(a); break;
+        case ArtifactKind::kStatus: summarizeStatus(a); break;
+        case ArtifactKind::kLog: summarizeLog(a); break;
+        case ArtifactKind::kProfile: summarizeProfile(a); break;
       }
     } else if (cmd == "detections") {
       int r = 0;
@@ -496,6 +765,15 @@ int main(int argc, char** argv) {
         case ArtifactKind::kReport: r = detectionsReport(a); break;
         case ArtifactKind::kForensics: r = detectionsForensics(a); break;
         case ArtifactKind::kTrace: r = detectionsTrace(a); break;
+        case ArtifactKind::kStatus:
+        case ArtifactKind::kLog:
+        case ArtifactKind::kProfile:
+          std::fprintf(stderr,
+                       "dvmc_inspect: %s: detections needs a report, "
+                       "forensics, or trace file, not a %s\n",
+                       a.path.c_str(), kindName(a.kind));
+          r = 1;
+          break;
       }
       if (r != 0) rc = r;
     } else if (cmd == "timeline") {

@@ -17,6 +17,9 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "obs/log.hpp"
+#include "obs/run_report.hpp"
+#include "obs/spans.hpp"
 #include "verify/oracle.hpp"
 #include "verify/streaming_oracle.hpp"
 #include "verify/trace.hpp"
@@ -59,9 +62,7 @@ void printViolation(const verify::CapturedTrace& t,
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int runOracle(int argc, char** argv) {
   CliParser cli("dvmc_oracle",
                 "offline consistency oracle over dvmc-trace captures");
   cli.usageLine("dvmc_oracle [options] {check|explain|stats} FILE");
@@ -85,6 +86,7 @@ int main(int argc, char** argv) {
             "streaming: worker threads for sharded read justification "
             "(default 1; verdict identical for every value)")
       .alias("-j");
+  obs::addObsFlags(cli);
   argc = cli.parse(argc, argv);
   if (batch && streaming) {
     std::fprintf(stderr, "dvmc_oracle: --batch and --streaming conflict\n");
@@ -97,9 +99,12 @@ int main(int argc, char** argv) {
 
   verify::CapturedTrace t;
   std::string err;
-  if (!verify::readTraceFile(argv[2], &t, &err)) {
-    std::fprintf(stderr, "dvmc_oracle: %s: %s\n", argv[2], err.c_str());
-    return 2;
+  {
+    obs::ScopedSpan span("read");
+    if (!verify::readTraceFile(argv[2], &t, &err)) {
+      std::fprintf(stderr, "dvmc_oracle: %s: %s\n", argv[2], err.c_str());
+      return 2;
+    }
   }
 
   verify::OracleOptions opts;
@@ -108,25 +113,28 @@ int main(int argc, char** argv) {
   verify::OracleResult res;
   const char* mode = "batch";
   std::size_t peakResident = 0;
-  if (!batch) {
-    verify::StreamingOracleOptions so;
-    so.maxViolations = opts.maxViolations;
-    if (horizon != 0) so.settleHorizon = horizon;
-    so.maxResidentEvents = static_cast<std::size_t>(maxResident);
-    if (jobs != 0) so.jobs = static_cast<int>(jobs);
-    bool exceeded = false;
-    res = verify::checkTraceStreaming(t, so, /*chunkRecords=*/4096,
-                                      &exceeded, &peakResident);
-    if (exceeded) {
-      std::fprintf(stderr,
-                   "dvmc_oracle: trace left the streaming settle window; "
-                   "falling back to the batch oracle\n");
-      res = verify::checkTrace(t, opts);
+  {
+    obs::ScopedSpan span("oracle");
+    if (!batch) {
+      verify::StreamingOracleOptions so;
+      so.maxViolations = opts.maxViolations;
+      if (horizon != 0) so.settleHorizon = horizon;
+      so.maxResidentEvents = static_cast<std::size_t>(maxResident);
+      if (jobs != 0) so.jobs = static_cast<int>(jobs);
+      bool exceeded = false;
+      res = verify::checkTraceStreaming(t, so, /*chunkRecords=*/4096,
+                                        &exceeded, &peakResident);
+      if (exceeded) {
+        obs::logWarn("oracle",
+                     "trace left the streaming settle window; falling back "
+                     "to the batch oracle");
+        res = verify::checkTrace(t, opts);
+      } else {
+        mode = "streaming";
+      }
     } else {
-      mode = "streaming";
+      res = verify::checkTrace(t, opts);
     }
-  } else {
-    res = verify::checkTrace(t, opts);
   }
 
   if (cmd == "stats") {
@@ -161,4 +169,12 @@ int main(int argc, char** argv) {
   }
   std::printf("VIOLATION: %zu violation(s) found\n", res.violations.size());
   return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = runOracle(argc, argv);
+  const int obsRc = obs::finalizeObs();
+  return rc != 0 ? rc : obsRc;
 }
