@@ -13,11 +13,14 @@
 // docs/performance.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -38,11 +41,15 @@ inline constexpr int kBenchSchemaVersion = 1;
 inline constexpr const char* kBenchSchemaName = "dvmc-bench";
 
 /// One measured row: a configuration (or microbenchmark) name, its event
-/// throughput, and the host wall time spent measuring it.
+/// throughput, and the host wall time spent measuring it. Rows from
+/// binaries built with the allocation hook (see DVMC_BENCH_ALLOC_HOOK)
+/// additionally carry counted heap allocations per executed event;
+/// negative means "not measured" and the key is omitted from the JSON.
 struct BenchJsonRow {
   std::string name;
   double eventsPerSec = 0;
   double wallMs = 0;
+  double allocsPerEvent = -1;
 };
 
 inline std::string& benchJsonPath() {
@@ -60,10 +67,10 @@ inline std::vector<BenchJsonRow>& benchJsonRows() {
 /// mains record from their reporter). No-op cost when --json is off is a
 /// branch — callers may record unconditionally.
 inline void recordBenchResult(std::string name, double eventsPerSec,
-                              double wallMs) {
+                              double wallMs, double allocsPerEvent = -1) {
   if (benchJsonPath().empty()) return;
   benchJsonRows().push_back(
-      BenchJsonRow{std::move(name), eventsPerSec, wallMs});
+      BenchJsonRow{std::move(name), eventsPerSec, wallMs, allocsPerEvent});
 }
 
 /// Writes the dvmc-bench document if --json was given. Call once at the
@@ -86,6 +93,9 @@ inline void writeBenchJson(const char* benchId) {
     row.set("name", Json::str(r.name))
         .set("eventsPerSec", Json::num(r.eventsPerSec))
         .set("wallMs", Json::num(r.wallMs));
+    if (r.allocsPerEvent >= 0) {
+      row.set("allocsPerEvent", Json::num(r.allocsPerEvent));
+    }
     results.push(std::move(row));
   }
   root.set("results", std::move(results));
@@ -247,4 +257,84 @@ inline std::string ratioCell(const RunningStat& s) {
   return buf;
 }
 
+// --- allocation-counting operator-new hook (DVMC_BENCH_ALLOC_HOOK) ---------
+//
+// bench_micro_sim proves the event kernel's zero-allocation claim by
+// *counting*, not assuming: the binary defines DVMC_BENCH_ALLOC_HOOK before
+// including this header, which replaces the global allocation functions
+// with counting wrappers. Each bench binary is a single translation unit,
+// so the replacement is well-defined and program-wide (it counts the
+// harness too — which is the point: resetAllocCount() right before the
+// measured region, and any stray heap traffic shows up in the quotient).
+// Counting is a relaxed atomic increment, cheap enough to leave always-on
+// in hooked binaries.
+
+inline std::atomic<std::uint64_t>& allocHookCounter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+/// Heap allocations observed since the last resetAllocCount(). Always 0 in
+/// binaries built without DVMC_BENCH_ALLOC_HOOK.
+inline std::uint64_t allocCount() {
+  return allocHookCounter().load(std::memory_order_relaxed);
+}
+
+inline void resetAllocCount() {
+  allocHookCounter().store(0, std::memory_order_relaxed);
+}
+
 }  // namespace dvmc::bench
+
+#if defined(DVMC_BENCH_ALLOC_HOOK)
+
+void* operator new(std::size_t size) {
+  dvmc::bench::allocHookCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  dvmc::bench::allocHookCounter().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  dvmc::bench::allocHookCounter().fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded != 0 ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // DVMC_BENCH_ALLOC_HOOK

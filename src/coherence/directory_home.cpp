@@ -233,21 +233,23 @@ void DirectoryHome::handlePutM(const Message& msg, DirEntry& e) {
 }
 
 void DirectoryHome::sendDataFromMemory(Addr blk, NodeId dest, int ackCount) {
-  const DataBlock d = memory_.read(blk, sink_, node_, sim_.now());
-  sim_.schedule(timings_.memLatency, [this, blk, dest, ackCount, d,
-                                      g = gen_] {
-    if (g != gen_) return;
-    Message m;
-    m.type = MsgType::kData;
-    m.src = node_;
-    m.dest = dest;
-    m.addr = blk;
-    m.ackCount = ackCount;
-    m.hasData = true;
-    m.data = d;
-    m.fromMemory = true;
-    send(m);
-  });
+  // The reply (memory image included) is built at the *read* point and
+  // parked in the pool for the memory latency; the scheduled event carries
+  // a 16-byte handle instead of a DataBlock capture.
+  Message m;
+  m.type = MsgType::kData;
+  m.src = node_;
+  m.dest = dest;
+  m.addr = blk;
+  m.ackCount = ackCount;
+  m.hasData = true;
+  m.data = memory_.read(blk, sink_, node_, sim_.now());
+  m.fromMemory = true;
+  sim_.schedule(timings_.memLatency,
+                [this, pm = pool_.acquire(std::move(m)), g = gen_]() mutable {
+                  if (g != gen_) return;
+                  send(std::move(*pm));
+                });
   cMemData_.inc();
 }
 

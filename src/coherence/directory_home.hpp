@@ -70,6 +70,7 @@ class DirectoryHome {
 
   Simulator& sim_;
   TorusNetwork& net_;
+  MessagePool pool_;  // parks memory-latency data replies in flight
   NodeId node_;
   MemoryMap map_;
   CoherenceTimings timings_;

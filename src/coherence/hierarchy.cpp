@@ -26,15 +26,16 @@ void CacheHierarchy::onReadPermissionLost(Addr blk, bool remoteWrite) {
 }
 
 void CacheHierarchy::access(const CacheOp& op, CacheOpCallback cb) {
-  const Addr blk = blockAddr(op.addr);
   const bool isLoad = op.kind == CacheOp::Kind::kLoad ||
                       op.kind == CacheOp::Kind::kReplayLoad;
-  const bool isReplay = op.kind == CacheOp::Kind::kReplayLoad;
 
   if (isLoad) {
-    sim_.schedule(timings_.l1Latency, [this, op, cb = std::move(cb), blk,
-                                       isReplay] {
-      CacheLine* line = l1_.find(blk);
+    // blk and isReplay are derived from `op` inside the event rather than
+    // captured: [this, op, cb] is the exact inline-capacity budget of
+    // Simulator::Action, and this fires for every load in the machine.
+    sim_.schedule(timings_.l1Latency, [this, op, cb = std::move(cb)] {
+      const bool isReplay = op.kind == CacheOp::Kind::kReplayLoad;
+      CacheLine* line = l1_.find(blockAddr(op.addr));
       if (line != nullptr) {
         (isReplay ? cReplayHit_ : cHit_).inc();
         finishLoadFromL1(op, cb, *line);

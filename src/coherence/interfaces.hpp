@@ -32,18 +32,20 @@ struct CacheOp {
   };
 
   Kind kind = Kind::kLoad;
-  Addr addr = 0;
-  std::size_t size = 8;
-  std::uint64_t value = 0;    // store value / atomic new value
-  std::uint64_t compare = 0;  // kAtomicCas: expected old value
 
   // True when this access is the operation's *perform* point, i.e. the CET
   // rule-1 check and the AR checker's perform event should fire. The CPU
   // sets this per the model: stores always; loads at replay for ordered-load
-  // models, at execution for RMO.
+  // models, at execution for RMO. (Declared beside `kind` so the two flags
+  // share one padding slot: CacheOp rides inside scheduled-event captures
+  // that must fit Simulator::kActionCapacityBytes.)
   bool countsAsPerform = false;
 
-  std::uint64_t tag = 0;  // caller-owned token, echoed in the result
+  Addr addr = 0;
+  std::size_t size = 8;
+  std::uint64_t value = 0;    // store value / atomic new value
+  std::uint64_t compare = 0;  // kAtomicCas: expected old value
+  std::uint64_t tag = 0;      // caller-owned token, echoed in the result
 };
 
 struct CacheOpResult {

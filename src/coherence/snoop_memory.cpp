@@ -145,19 +145,21 @@ void SnoopMemoryController::onMessage(const Message& msg) {
 }
 
 void SnoopMemoryController::supplyData(Addr blk, NodeId dest) {
-  const DataBlock d = memory_.read(blk, sink_, node_, sim_.now());
-  sim_.schedule(timings_.memLatency, [this, blk, dest, d, g = gen_] {
-    if (g != gen_) return;  // squashed by BER recovery
-    Message m;
-    m.type = MsgType::kSnpData;
-    m.src = node_;
-    m.dest = dest;
-    m.addr = blk;
-    m.hasData = true;
-    m.data = d;
-    m.fromMemory = true;
-    dataNet_.send(m);
-  });
+  // Built at the read point, parked in the pool for the memory latency:
+  // the scheduled event carries a 16-byte handle, not a DataBlock capture.
+  Message m;
+  m.type = MsgType::kSnpData;
+  m.src = node_;
+  m.dest = dest;
+  m.addr = blk;
+  m.hasData = true;
+  m.data = memory_.read(blk, sink_, node_, sim_.now());
+  m.fromMemory = true;
+  sim_.schedule(timings_.memLatency,
+                [this, pm = pool_.acquire(std::move(m)), g = gen_]() mutable {
+                  if (g != gen_) return;  // squashed by BER recovery
+                  dataNet_.send(std::move(*pm));
+                });
   cDataSupplied_.inc();
 }
 

@@ -62,6 +62,7 @@ class SnoopMemoryController {
 
   Simulator& sim_;
   TorusNetwork& dataNet_;
+  MessagePool pool_;  // parks memory-latency data replies in flight
   NodeId node_;
   MemoryMap map_;
   CoherenceTimings timings_;

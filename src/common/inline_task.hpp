@@ -1,0 +1,119 @@
+// Move-only type-erased callable with fixed inline capture storage.
+//
+// The simulation kernel schedules tens of millions of events per second,
+// and nearly every one captures more than the ~16 bytes a libstdc++
+// std::function keeps inline — so the old `std::function<void()>` Action
+// heap-allocated on almost every schedule() despite the slab-backed event
+// queue. InlineTask is the replacement: captures live directly inside the
+// task object (and therefore inside the slab Event node), there is no heap
+// path at all, and a capture that outgrows the budget is a compile error at
+// the schedule() call site rather than a silent allocation.
+//
+// Differences from std::function, all deliberate:
+//   - move-only (captures own pooled handles and moved-in callbacks);
+//   - invoking an empty task is a programming error (asserted), not a
+//     throw;
+//   - the stored callable must be nothrow-move-constructible, because the
+//     kernel relocates tasks between the event node and the dispatch frame.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dvmc {
+
+template <std::size_t Capacity>
+class InlineTask {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InlineTask() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineTask>>>
+  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "InlineTask capture exceeds the inline capacity budget — "
+                  "shrink the capture (pool large payloads) or raise the "
+                  "capacity at the owning declaration");
+    static_assert(alignof(Fn) <= alignof(void*),
+                  "InlineTask capture is over-aligned: storage is "
+                  "pointer-aligned so the task packs tightly into slab "
+                  "event nodes");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineTask requires nothrow-move-constructible captures");
+    static_assert(std::is_invocable_r_v<void, Fn&>,
+                  "InlineTask callable must be invocable as void()");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineTask(InlineTask&& other) noexcept { moveFrom(other); }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  /// Destroys the stored callable (if any); the task becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    DVMC_ASSERT(ops_ != nullptr, "invoking an empty InlineTask");
+    ops_->invoke(storage_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into `dst` and destroys `src` in one step: the only
+    // relocation the kernel needs, and it keeps the vtable to two entries.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* f = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  void moveFrom(InlineTask& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(void*) unsigned char storage_[Capacity];
+};
+
+}  // namespace dvmc

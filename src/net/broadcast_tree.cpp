@@ -31,17 +31,13 @@ void BroadcastTree::broadcast(Message msg) {
         return;
       case NetFaultAction::kDuplicate:
         // Re-enter; the duplicate gets its own slot in the total order.
-        {
-          Message dup = msg;
-          sim_.schedule(1, [this, dup] {
-            Message d2 = dup;
-            // Bypass the filter for the duplicate to avoid infinite loops.
-            auto saved = std::move(faultFilter_);
-            faultFilter_ = nullptr;
-            broadcast(std::move(d2));
-            faultFilter_ = std::move(saved);
-          });
-        }
+        sim_.schedule(1, [this, pm = pool_.acquire(msg)]() mutable {
+          // Bypass the filter for the duplicate to avoid infinite loops.
+          auto saved = std::move(faultFilter_);
+          faultFilter_ = nullptr;
+          broadcast(std::move(*pm));
+          faultFilter_ = std::move(saved);
+        });
         break;
       case NetFaultAction::kDelay:
         // Ordered-network reordering fault: the broadcast keeps its slot in
@@ -62,14 +58,16 @@ void BroadcastTree::broadcast(Message msg) {
   totalBytes_ += msg.sizeBytes() * n_;  // fan-out to every leaf
 
   const Cycle deliverAt = start + ser + cfg_.treeLatency + extraDelay;
-  sim_.scheduleAt(deliverAt, [this, msg] {
-    if (msg.netEpoch != epoch_) return;  // squashed by BER recovery
+  sim_.scheduleAt(deliverAt, [this, pm = pool_.acquire(std::move(msg))] {
+    if (pm->netEpoch != epoch_) return;  // squashed by BER recovery
     for (std::size_t node = 0; node < n_; ++node) {
       DVMC_ASSERT(endpoints_[node] != nullptr,
                   "broadcast delivered to unattached node");
-      Message copy = msg;
-      copy.dest = static_cast<NodeId>(node);
-      endpoints_[node]->onMessage(copy);
+      // The leaves see the one pooled copy with dest patched per endpoint;
+      // onMessage takes const Message& and may not retain the reference
+      // (the old per-leaf stack copy died on return just the same).
+      pm->dest = static_cast<NodeId>(node);
+      endpoints_[node]->onMessage(*pm);
     }
   });
 }

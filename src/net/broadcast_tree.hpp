@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/message_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace dvmc {
@@ -47,6 +48,7 @@ class BroadcastTree {
   std::size_t n_;
   BroadcastTreeConfig cfg_;
   std::vector<NetworkEndpoint*> endpoints_;
+  MessagePool pool_;  // in-flight broadcasts; scheduled deliveries carry handles
   Cycle rootFree_ = 0;
   std::uint32_t epoch_ = 0;
   std::uint64_t order_ = 0;

@@ -1,0 +1,139 @@
+// Slab-backed free-list pool for in-flight interconnect messages.
+//
+// A Message carries a full 64-byte DataBlock, so letting the networks
+// capture messages by value in scheduled lambdas re-copied the payload at
+// every torus hop, retry, and broadcast delivery — and pushed every such
+// capture past any inline small-buffer budget. Instead, a message is moved
+// into a pooled node once at injection and the scheduled events carry a
+// 16-byte RAII handle. Nodes come from slabs and recycle through a free
+// list, so steady-state traffic performs zero allocations; the pool only
+// grows when the number of simultaneously in-flight messages exceeds every
+// previous high-water mark.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "net/message.hpp"
+
+namespace dvmc {
+
+class PooledMessage;
+
+class MessagePool {
+ public:
+  MessagePool() = default;
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  /// Moves `m` into a recycled (or freshly slabbed) node.
+  inline PooledMessage acquire(Message m);
+
+  /// Messages currently checked out (for tests and sizing diagnostics).
+  std::size_t liveCount() const { return live_; }
+  /// Total nodes ever created — the in-flight high-water mark, rounded up
+  /// to slab granularity.
+  std::size_t capacity() const { return slabs_.size() * kSlabMessages; }
+
+ private:
+  friend class PooledMessage;
+  struct Node {
+    Message msg;
+    Node* next = nullptr;
+  };
+  static constexpr std::size_t kSlabMessages = 64;
+
+  Node* take() {
+    if (freeList_ == nullptr) grow();
+    Node* n = freeList_;
+    freeList_ = n->next;
+    ++live_;
+    return n;
+  }
+
+  void grow() {
+    slabs_.emplace_back(new Node[kSlabMessages]);
+    Node* slab = slabs_.back().get();
+    for (std::size_t i = 0; i < kSlabMessages; ++i) {
+      slab[i].next = freeList_;
+      freeList_ = &slab[i];
+    }
+  }
+
+  void releaseNode(Node* n) {
+    DVMC_ASSERT(live_ > 0, "MessagePool release without a live message");
+    n->next = freeList_;
+    freeList_ = n;
+    --live_;
+  }
+
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  Node* freeList_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+/// Move-only owning handle to a pooled Message. Destruction (or release())
+/// returns the node to the pool; a moved-from or default-constructed handle
+/// is empty and releasing it is a no-op, so double-release cannot corrupt
+/// the free list.
+class PooledMessage {
+ public:
+  PooledMessage() = default;
+  PooledMessage(PooledMessage&& other) noexcept
+      : pool_(other.pool_), node_(other.node_) {
+    other.pool_ = nullptr;
+    other.node_ = nullptr;
+  }
+  PooledMessage& operator=(PooledMessage&& other) noexcept {
+    if (this != &other) {
+      release();
+      pool_ = other.pool_;
+      node_ = other.node_;
+      other.pool_ = nullptr;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+  PooledMessage(const PooledMessage&) = delete;
+  PooledMessage& operator=(const PooledMessage&) = delete;
+  ~PooledMessage() { release(); }
+
+  explicit operator bool() const noexcept { return node_ != nullptr; }
+
+  Message& operator*() const {
+    DVMC_ASSERT(node_ != nullptr, "dereferencing an empty PooledMessage");
+    return node_->msg;
+  }
+  Message* operator->() const {
+    DVMC_ASSERT(node_ != nullptr, "dereferencing an empty PooledMessage");
+    return &node_->msg;
+  }
+
+  /// Returns the message to the pool early; safe to call repeatedly.
+  void release() noexcept {
+    if (node_ != nullptr) {
+      pool_->releaseNode(node_);
+      pool_ = nullptr;
+      node_ = nullptr;
+    }
+  }
+
+ private:
+  friend class MessagePool;
+  PooledMessage(MessagePool* pool, MessagePool::Node* node)
+      : pool_(pool), node_(node) {}
+
+  MessagePool* pool_ = nullptr;
+  MessagePool::Node* node_ = nullptr;
+};
+
+inline PooledMessage MessagePool::acquire(Message m) {
+  Node* n = take();
+  n->msg = std::move(m);
+  return PooledMessage(this, n);
+}
+
+}  // namespace dvmc

@@ -24,6 +24,20 @@ TorusNetwork::TorusNetwork(Simulator& sim, std::size_t numNodes,
   endpoints_.resize(n_, nullptr);
   linkFree_.resize(n_ * 4, 0);
   linkBytes_.resize(n_ * 4, 0);
+  xOf_.resize(n_);
+  yOf_.resize(n_);
+  for (NodeId node = 0; node < n_; ++node) {
+    xOf_[node] = static_cast<std::uint8_t>(node % cols_);
+    yOf_[node] = static_cast<std::uint8_t>(node / cols_);
+  }
+  nbr_.resize(n_ * 4);
+  for (NodeId node = 0; node < n_; ++node) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      nbr_[linkId(node, static_cast<Dir>(d))] =
+          neighborArith(node, static_cast<Dir>(d));
+    }
+  }
+  serCache_.resize(256, 0);
 }
 
 void TorusNetwork::attach(NodeId node, NetworkEndpoint* ep) {
@@ -31,7 +45,7 @@ void TorusNetwork::attach(NodeId node, NetworkEndpoint* ep) {
   endpoints_[node] = ep;
 }
 
-NodeId TorusNetwork::neighbor(NodeId node, Dir d) const {
+NodeId TorusNetwork::neighborArith(NodeId node, Dir d) const {
   const std::size_t x = node % cols_;
   const std::size_t y = node / cols_;
   switch (d) {
@@ -43,29 +57,34 @@ NodeId TorusNetwork::neighbor(NodeId node, Dir d) const {
   return node;
 }
 
-std::vector<std::size_t> TorusNetwork::route(NodeId src, NodeId dest) const {
-  std::vector<std::size_t> links;
-  NodeId cur = src;
-  // X dimension first, along the shorter wrap direction.
-  auto xOf = [this](NodeId v) { return v % cols_; };
-  auto yOf = [this](NodeId v) { return v / cols_; };
-  while (xOf(cur) != xOf(dest)) {
-    const std::size_t dx =
-        (xOf(dest) + cols_ - xOf(cur)) % cols_;  // distance going east
-    const Dir d = (dx <= cols_ - dx) ? kEast : kWest;
-    links.push_back(linkId(cur, d));
-    cur = neighbor(cur, d);
+TorusNetwork::Dir TorusNetwork::nextDir(NodeId cur, NodeId dest) const {
+  // X dimension first, along the shorter wrap direction. One step of the
+  // full dimension-order route: recomputing per hop visits exactly the
+  // same link sequence a precomputed route would, without materializing
+  // (and heap-allocating) the link list. Coordinates come from the xOf_/
+  // yOf_ tables — cols_ is a runtime value, so the %/÷ forms are hardware
+  // divides on a per-hop path.
+  const std::size_t xc = xOf_[cur];
+  const std::size_t xd = xOf_[dest];
+  if (xc != xd) {
+    const std::size_t dx = xd >= xc ? xd - xc : xd + cols_ - xc;  // eastward
+    return (dx <= cols_ - dx) ? kEast : kWest;
   }
-  while (yOf(cur) != yOf(dest)) {
-    const std::size_t dy = (yOf(dest) + rows_ - yOf(cur)) % rows_;
-    const Dir d = (dy <= rows_ - dy) ? kSouth : kNorth;
-    links.push_back(linkId(cur, d));
-    cur = neighbor(cur, d);
-  }
-  return links;
+  const std::size_t yc = yOf_[cur];
+  const std::size_t yd = yOf_[dest];
+  const std::size_t dy = yd >= yc ? yd - yc : yd + rows_ - yc;
+  return (dy <= rows_ - dy) ? kSouth : kNorth;
 }
 
-Cycle TorusNetwork::serializationCycles(std::size_t bytes) const {
+Cycle TorusNetwork::serializationCycles(std::size_t bytes) {
+  if (bytes < serCache_.size()) {
+    Cycle& slot = serCache_[bytes];
+    if (slot == 0) {
+      slot = static_cast<Cycle>(
+          std::ceil(static_cast<double>(bytes) / cfg_.bytesPerCycle));
+    }
+    return slot;
+  }
   return static_cast<Cycle>(
       std::ceil(static_cast<double>(bytes) / cfg_.bytesPerCycle));
 }
@@ -85,15 +104,14 @@ void TorusNetwork::send(Message msg) {
       case NetFaultAction::kDuplicate: {
         Message dup = msg;
         dup.id = nextMsgId_++;
-        sim_.schedule(1, [this, dup]() mutable {
-          traverse(dup, route(dup.src, dup.dest), 0);
+        sim_.schedule(1, [this, pm = pool_.acquire(std::move(dup))]() mutable {
+          inject(std::move(pm));
         });
         break;
       }
       case NetFaultAction::kDelay: {
-        Message delayed = msg;
-        sim_.schedule(200, [this, delayed]() mutable {
-          traverse(delayed, route(delayed.src, delayed.dest), 0);
+        sim_.schedule(200, [this, pm = pool_.acquire(std::move(msg))]() mutable {
+          inject(std::move(pm));
         });
         return;
       }
@@ -102,56 +120,58 @@ void TorusNetwork::send(Message msg) {
 
   if (msg.src == msg.dest) {
     // Local delivery (e.g., the home node is the requester's own node).
-    Message local = msg;
-    sim_.schedule(cfg_.localLatency, [this, local] { deliver(local); });
+    sim_.schedule(cfg_.localLatency,
+                  [this, pm = pool_.acquire(std::move(msg))] { deliver(*pm); });
     return;
   }
-  auto links = route(msg.src, msg.dest);
   if (cfg_.yieldCheckerTraffic &&
       trafficClassOf(msg.type) != TrafficClass::kCoherence &&
-      !links.empty() && linkFree_[links.front()] > sim_.now()) {
+      linkFree_[firstLink(msg.src, msg.dest)] > sim_.now()) {
     // Low-priority injection: hold the message at the source until its
     // first link drains, so coherence messages sent meanwhile overtake it.
-    const Cycle retryAt = linkFree_[links.front()];
-    sim_.scheduleAt(retryAt, [this, msg = std::move(msg),
-                              links = std::move(links)]() mutable {
-      if (msg.netEpoch != epoch_) return;  // squashed by BER recovery
-      if (cfg_.yieldCheckerTraffic && !links.empty() &&
-          linkFree_[links.front()] > sim_.now()) {
+    const Cycle retryAt = linkFree_[firstLink(msg.src, msg.dest)];
+    sim_.scheduleAt(retryAt, [this,
+                              pm = pool_.acquire(std::move(msg))]() mutable {
+      if (pm->netEpoch != epoch_) return;  // squashed by BER recovery
+      const std::size_t l0 = firstLink(pm->src, pm->dest);
+      if (cfg_.yieldCheckerTraffic && linkFree_[l0] > sim_.now()) {
         // Still busy (someone grabbed it again): keep yielding.
-        const Cycle again = linkFree_[links.front()];
-        Message m2 = std::move(msg);
-        sim_.scheduleAt(again, [this, m2 = std::move(m2),
-                                links = std::move(links)]() mutable {
+        const Cycle again = linkFree_[l0];
+        sim_.scheduleAt(again, [this, pm = std::move(pm)]() mutable {
           // Second retry proceeds regardless: bounded injection delay.
-          traverse(std::move(m2), std::move(links), 0);
+          inject(std::move(pm));
         });
         return;
       }
-      traverse(std::move(msg), std::move(links), 0);
+      inject(std::move(pm));
     });
     return;
   }
-  traverse(std::move(msg), std::move(links), 0);
+  inject(pool_.acquire(std::move(msg)));
 }
 
-void TorusNetwork::traverse(Message msg, std::vector<std::size_t> links,
-                            std::size_t idx) {
-  if (idx >= links.size()) {
-    deliver(msg);
+void TorusNetwork::inject(PooledMessage pm) {
+  const NodeId src = pm->src;
+  traverse(std::move(pm), src);
+}
+
+void TorusNetwork::traverse(PooledMessage pm, NodeId cur) {
+  if (cur == pm->dest) {
+    deliver(*pm);  // pm's destruction recycles the node
     return;
   }
-  const std::size_t link = links[idx];
+  const Dir d = nextDir(cur, pm->dest);
+  const std::size_t link = linkId(cur, d);
   const Cycle depart = std::max(sim_.now(), linkFree_[link]);
-  const Cycle ser = serializationCycles(msg.sizeBytes());
+  const std::size_t bytes = pm->sizeBytes();
+  const Cycle ser = serializationCycles(bytes);
   linkFree_[link] = depart + ser;
-  linkBytes_[link] += msg.sizeBytes();
-  classBytes_[static_cast<std::size_t>(trafficClassOf(msg.type))] +=
-      msg.sizeBytes();
+  linkBytes_[link] += bytes;
+  classBytes_[static_cast<std::size_t>(trafficClassOf(pm->type))] += bytes;
   const Cycle arrive = depart + ser + cfg_.hopLatency;
-  sim_.scheduleAt(arrive, [this, msg = std::move(msg),
-                           links = std::move(links), idx]() mutable {
-    traverse(std::move(msg), std::move(links), idx + 1);
+  const NodeId next = neighbor(cur, d);
+  sim_.scheduleAt(arrive, [this, pm = std::move(pm), next]() mutable {
+    traverse(std::move(pm), next);
   });
 }
 

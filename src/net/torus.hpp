@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/message_pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace dvmc {
@@ -70,11 +71,23 @@ class TorusNetwork {
   enum Dir : std::size_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
 
   std::size_t linkId(NodeId node, Dir d) const { return node * 4 + d; }
-  NodeId neighbor(NodeId node, Dir d) const;
-  std::vector<std::size_t> route(NodeId src, NodeId dest) const;
-  void traverse(Message msg, std::vector<std::size_t> links, std::size_t idx);
+  /// Table lookup (nbr_, filled once in the constructor): the routing hot
+  /// path runs this per hop, and cols_/rows_ are runtime values, so the
+  /// arithmetic form costs hardware div/mod per call.
+  NodeId neighbor(NodeId node, Dir d) const { return nbr_[linkId(node, d)]; }
+  NodeId neighborArith(NodeId node, Dir d) const;
+  /// Next hop under dimension-order routing (X first, shorter wrap
+  /// direction); requires cur != dest. Routing is stateless, so in-flight
+  /// messages carry only their current node — no materialized route.
+  Dir nextDir(NodeId cur, NodeId dest) const;
+  std::size_t firstLink(NodeId src, NodeId dest) const {
+    return linkId(src, nextDir(src, dest));
+  }
+  /// Advances a pooled message one hop from `cur` (delivering at dest).
+  void traverse(PooledMessage pm, NodeId cur);
+  void inject(PooledMessage pm);
   void deliver(const Message& msg);
-  Cycle serializationCycles(std::size_t bytes) const;
+  Cycle serializationCycles(std::size_t bytes);
 
   Simulator& sim_;
   std::size_t n_;
@@ -82,6 +95,12 @@ class TorusNetwork {
   std::size_t rows_;
   TorusConfig cfg_;
   std::vector<NetworkEndpoint*> endpoints_;
+  MessagePool pool_;  // in-flight messages; scheduled hops carry handles
+  std::vector<NodeId> nbr_;            // [linkId]: precomputed neighbor
+  std::vector<std::uint8_t> xOf_, yOf_;  // [node]: torus coordinates
+  // Lazily filled ceil(bytes / bytesPerCycle) for small wire sizes (the
+  // handful of distinct Message::sizeBytes() values); 0 marks unfilled.
+  std::vector<Cycle> serCache_;
   std::vector<Cycle> linkFree_;
   std::vector<std::uint64_t> linkBytes_;
   std::array<std::uint64_t, kNumTrafficClasses> classBytes_{};

@@ -28,7 +28,7 @@ Simulator::Event* Simulator::allocEvent(Cycle when, Action fn) {
 }
 
 void Simulator::releaseEvent(Event* e) {
-  e->fn = nullptr;
+  e->fn.reset();
   e->next = freeList_;
   freeList_ = e;
 }
@@ -120,9 +120,7 @@ void Simulator::scheduleAt(Cycle when, Action fn) {
   ++size_;
 }
 
-bool Simulator::step() {
-  if (size_ == 0) return false;
-  const Cycle t = peekWhen();
+void Simulator::dispatch(Cycle t) {
   now_ = t;
   // Heap events whose cycle has arrived join the calendar so that events
   // from both structures interleave in global scheduling order.
@@ -143,13 +141,27 @@ bool Simulator::step() {
   Action fn = std::move(e->fn);
   releaseEvent(e);
   fn();
+}
+
+bool Simulator::step() {
+  if (size_ == 0) return false;
+  dispatch(peekWhen());
   return true;
 }
 
 std::uint64_t Simulator::run(Cycle limit) {
+  // The inner loop is the single hottest path in the whole system, so it
+  // resolves the next event time exactly once per event (the old loop paid
+  // the bucket-mask rotate/scan twice: once in the loop condition and once
+  // again inside step()). There is deliberately no per-event tracer branch
+  // here either — the tracer hangs off the kernel for *components* to
+  // consult at their instrumentation sites; with no tracer attached the
+  // loop below is pop → dispatch → repeat with nothing hoistable left.
   std::uint64_t n = 0;
-  while (size_ != 0 && peekWhen() <= limit) {
-    step();
+  while (size_ != 0) {
+    const Cycle t = peekWhen();
+    if (t > limit) break;
+    dispatch(t);
     ++n;
   }
   if (now_ < limit && limit != kNoEvent) now_ = limit;
@@ -158,8 +170,10 @@ std::uint64_t Simulator::run(Cycle limit) {
 
 bool Simulator::runUntil(const std::function<bool()>& pred, Cycle limit) {
   if (pred()) return true;
-  while (size_ != 0 && peekWhen() <= limit) {
-    step();
+  while (size_ != 0) {
+    const Cycle t = peekWhen();
+    if (t > limit) break;
+    dispatch(t);
     if (pred()) return true;
   }
   return false;

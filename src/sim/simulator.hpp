@@ -11,7 +11,11 @@
 // one per upcoming cycle, nonemptiness tracked in a single 64-bit mask —
 // and spills only far-future events (checkpoint intervals, membar-injection
 // timers) to a binary heap. Event nodes come from a slab-backed free list,
-// so steady-state scheduling performs zero allocations.
+// and the action is an InlineTask whose captures live *inside* the slab
+// node (one node = exactly two cache lines), so steady-state scheduling
+// performs zero allocations — including for the captures, which under the
+// old std::function Action heap-allocated whenever they exceeded ~16 bytes
+// (i.e. nearly always).
 #pragma once
 
 #include <array>
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/inline_task.hpp"
 #include "common/types.hpp"
 
 namespace dvmc {
@@ -29,7 +34,14 @@ class EventTracer;
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Inline capture budget for scheduled actions. 96 bytes fits the widest
+  /// hot-path capture — a coherence controller's [this, CacheOp,
+  /// CacheOpCallback, generation] — and lands sizeof(Event) on exactly two
+  /// cache lines. Captures that exceed it fail to compile at the
+  /// schedule() call site: pool the payload (see MessagePool) instead of
+  /// raising the budget.
+  static constexpr std::size_t kActionCapacityBytes = 96;
+  using Action = InlineTask<kActionCapacityBytes>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -71,9 +83,12 @@ class Simulator {
   struct Event {
     Cycle when = 0;
     std::uint64_t order = 0;
-    Action fn;
+    Action fn;              // captures stored inline — see kActionCapacityBytes
     Event* next = nullptr;  // bucket chain / free list
   };
+  static_assert(sizeof(Event) == 128,
+                "Event should stay exactly two cache lines; re-tune "
+                "kActionCapacityBytes if a field changes");
 
   // Delays below kNearWindow go to the calendar; the window width matches
   // the bucket count so each bucket holds at most one distinct cycle.
@@ -82,6 +97,8 @@ class Simulator {
 
   Event* allocEvent(Cycle when, Action fn);
   void releaseEvent(Event* e);
+  /// Executes the earliest pending event; `t` must equal peekWhen().
+  void dispatch(Cycle t);
   void pushBucket(Event* e);
   void insertBucketOrdered(Event* e);
   void pushHeap(Event* e);

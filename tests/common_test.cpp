@@ -2,7 +2,9 @@
 // wrapping 16-bit logical time, the deterministic RNG, and statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/crc16.hpp"
 #include "common/data_block.hpp"
@@ -101,6 +103,33 @@ TEST(Crc16, DetectsShortBursts) {
     for (std::size_t b = 100; b < 100 + len; ++b) c.flipBit(b);
     EXPECT_NE(hashBlock(c), clean) << "burst length " << len;
   }
+}
+
+TEST(Crc16, SlicedMatchesScalarReference) {
+  // The slice-by-8 fast path must be output-identical to the one-byte
+  // scalar reference for every length (covering the 8-byte folding loop,
+  // the sub-slice tail, and their interaction) and for data that exercises
+  // all byte values.
+  Rng rng(0xC0FFEE);
+  std::vector<std::uint8_t> buf(257);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  for (std::size_t len = 0; len <= buf.size(); ++len) {
+    EXPECT_EQ(crc16(buf.data(), len), crc16Scalar(buf.data(), len))
+        << "length " << len;
+  }
+  // All-identical bytes, each possible value, at a block-sized length.
+  std::vector<std::uint8_t> block(kBlockSizeBytes);
+  for (unsigned v = 0; v < 256; ++v) {
+    std::fill(block.begin(), block.end(), static_cast<std::uint8_t>(v));
+    EXPECT_EQ(crc16(block.data(), block.size()),
+              crc16Scalar(block.data(), block.size()))
+        << "fill byte " << v;
+  }
+}
+
+TEST(Crc16, ScalarKnownVector) {
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16Scalar(data, 9), 0x29B1);
 }
 
 TEST(Crc16, HashDistribution) {

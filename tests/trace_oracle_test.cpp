@@ -13,6 +13,7 @@
 
 #include "consistency/op.hpp"
 #include "faults/injector.hpp"
+#include "system/runner.hpp"
 #include "system/system.hpp"
 #include "verify/oracle.hpp"
 #include "verify/streaming_oracle.hpp"
@@ -402,6 +403,38 @@ TEST(LiveDifferential, SameConfigSameTraceBytes) {
   ASSERT_NE(ra.trace, nullptr);
   ASSERT_NE(rb.trace, nullptr);
   EXPECT_EQ(ra.trace->serialize(), rb.trace->serialize());
+}
+
+// Event-kernel determinism contract: the inline-task/pooled-message event
+// kernel must produce the same execution — and therefore byte-identical
+// captured dvmc-traces — for a fixed seed no matter how many workers fan
+// the seeds out. This is the regression tripwire for any future scheduling
+// change that reorders same-cycle events (the fig3/fig4 bit-identity check
+// in the perf docs is the manual end-to-end variant of this assertion).
+TEST(LiveDifferential, CapturedTraceBitIdenticalAcrossJobs) {
+  SystemConfig cfg = SystemConfig::withDvmc(Protocol::kDirectory,
+                                            ConsistencyModel::kTSO);
+  cfg.numNodes = 4;
+  cfg.workload = WorkloadKind::kOltp;
+  cfg.targetTransactions = 25;
+  cfg.maxCycles = 5'000'000;
+  cfg.trace.capture = true;
+
+  cfg.jobs = 1;
+  const MultiRunResult serial = runSeeds(cfg, 3);
+  cfg.jobs = 4;
+  const MultiRunResult parallel = runSeeds(cfg, 3);
+
+  ASSERT_TRUE(serial.allCompleted);
+  ASSERT_TRUE(parallel.allCompleted);
+  ASSERT_EQ(serial.traces.size(), 3u);
+  ASSERT_EQ(parallel.traces.size(), 3u);
+  for (std::size_t s = 0; s < serial.traces.size(); ++s) {
+    ASSERT_NE(serial.traces[s], nullptr) << "seed " << s;
+    ASSERT_NE(parallel.traces[s], nullptr) << "seed " << s;
+    EXPECT_EQ(serial.traces[s]->serialize(), parallel.traces[s]->serialize())
+        << "seed " << s;
+  }
 }
 
 TEST(TraceOptions, DeprecatedCaptureTraceAliasStillArmsCapture) {

@@ -14,6 +14,14 @@ do not fail (benchmarks get added and retired), and the machines running
 baseline and current may differ, which is why the default margin is a
 deliberately loose 30%.
 
+Rows that carry a counted allocsPerEvent figure (binaries built with the
+DVMC_BENCH_ALLOC_HOOK operator-new hook, e.g. bench_micro_sim) are gated
+on it too: current allocations per event may not exceed the baseline by
+more than --max-alloc-growth. A baseline of exactly 0 is a hard
+zero-allocation claim — ANY current allocation in that row fails the
+gate, regardless of the growth margin. Unlike throughput, allocation
+counts are machine-independent, so this gate is tight by design.
+
 The --rss mode gates the in-process memory sampler instead: FILE is a
 dvmc-run-report or dvmc-status document whose "resource" section carries
 peakRssBytes (getrusage high-water mark of the producing process); the
@@ -72,9 +80,22 @@ def load_rows(path):
         if not name or not isinstance(eps, (int, float)) or eps <= 0:
             print(f"error: {path}: malformed row {row!r}", file=sys.stderr)
             sys.exit(2)
-        # Same name measured twice (e.g. repeated configs): keep the best,
-        # matching how a human would read the table.
-        rows[name] = max(rows.get(name, 0), eps)
+        allocs = row.get("allocsPerEvent")
+        if allocs is not None and (not isinstance(allocs, (int, float))
+                                   or allocs < 0):
+            print(f"error: {path}: malformed allocsPerEvent in {row!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        # Same name measured twice (e.g. repeated configs): keep the best
+        # of each column, matching how a human would read the table.
+        if name in rows:
+            prev_eps, prev_allocs = rows[name]
+            eps = max(prev_eps, eps)
+            if allocs is None:
+                allocs = prev_allocs
+            elif prev_allocs is not None:
+                allocs = min(prev_allocs, allocs)
+        rows[name] = (eps, allocs)
     if not rows:
         print(f"error: {path}: no result rows", file=sys.stderr)
         sys.exit(2)
@@ -87,6 +108,10 @@ def main():
     ap.add_argument("current", nargs="?")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="allowed fractional slowdown (default 0.30)")
+    ap.add_argument("--max-alloc-growth", type=float, default=0.10,
+                    help="allowed fractional growth in allocsPerEvent for "
+                         "rows that count it; a baseline of 0 always means "
+                         "zero allocations allowed (default 0.10)")
     ap.add_argument("--rss", metavar="FILE",
                     help="gate peakRssBytes from a run-report/status file "
                          "instead of comparing benchmarks")
@@ -106,30 +131,57 @@ def main():
     floor = 1.0 - args.max_regression
 
     failures = []
+    alloc_failures = []
+
+    def alloc_cell(allocs):
+        return "--" if allocs is None else f"{allocs:.6g}"
+
     width = max(len(n) for n in sorted(set(base) | set(cur)))
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>6}  {'allocs/evt':>10}")
     for name in sorted(set(base) | set(cur)):
         if name not in base:
-            print(f"{name:<{width}}  {'--':>12}  {cur[name]:>12.3e}  (new)")
+            eps, allocs = cur[name]
+            print(f"{name:<{width}}  {'--':>12}  {eps:>12.3e}  "
+                  f"{'(new)':>6}  {alloc_cell(allocs):>10}")
             continue
         if name not in cur:
-            print(f"{name:<{width}}  {base[name]:>12.3e}  {'--':>12}  (gone)")
+            eps, allocs = base[name]
+            print(f"{name:<{width}}  {eps:>12.3e}  {'--':>12}  "
+                  f"{'(gone)':>6}  {alloc_cell(allocs):>10}")
             continue
-        ratio = cur[name] / base[name]
+        base_eps, base_allocs = base[name]
+        cur_eps, cur_allocs = cur[name]
+        ratio = cur_eps / base_eps
         verdict = "" if ratio >= floor else "  REGRESSION"
-        print(f"{name:<{width}}  {base[name]:>12.3e}  {cur[name]:>12.3e}  "
-              f"{ratio:5.2f}x{verdict}")
         if ratio < floor:
             failures.append((name, ratio))
+        if base_allocs is not None and cur_allocs is not None:
+            # Baseline 0 is a zero-allocation claim: no growth margin.
+            allowed = base_allocs * (1.0 + args.max_alloc_growth)
+            if cur_allocs > allowed:
+                alloc_failures.append((name, base_allocs, cur_allocs))
+                verdict += "  ALLOC-REGRESSION"
+        print(f"{name:<{width}}  {base_eps:>12.3e}  {cur_eps:>12.3e}  "
+              f"{ratio:5.2f}x  {alloc_cell(cur_allocs):>10}{verdict}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} row(s) regressed more than "
               f"{args.max_regression:.0%}:", file=sys.stderr)
         for name, ratio in failures:
             print(f"  {name}: {ratio:.2f}x of baseline", file=sys.stderr)
+    if alloc_failures:
+        print(f"\nFAIL: {len(alloc_failures)} row(s) allocate more per "
+              "event than the baseline allows:", file=sys.stderr)
+        for name, base_allocs, cur_allocs in alloc_failures:
+            claim = (" (baseline claims zero allocations)"
+                     if base_allocs == 0 else "")
+            print(f"  {name}: {cur_allocs:.6g} vs baseline "
+                  f"{base_allocs:.6g}{claim}", file=sys.stderr)
+    if failures or alloc_failures:
         return 1
     print(f"\nOK: all shared rows within {args.max_regression:.0%} "
-          "of baseline")
+          "of baseline (and no allocation regressions)")
     return 0
 
 
