@@ -1,0 +1,169 @@
+// Child-process supervision layer (fault-tolerant campaign execution).
+//
+// DVMC's premise is that verification must keep working when the system
+// under test misbehaves — and the harness has to live up to the same
+// standard. Before this existed, dvmc_campaign ran every fuzz/fault
+// configuration in-process, so one wild pointer from an injected fault,
+// one sanitizer abort, or one livelocked config killed the whole nightly
+// shard and discarded every completed result. This header is the cure,
+// in two pieces:
+//
+//   * Subprocess: one fork/exec child with its pipes, caps, and clocks
+//     managed — stdout/stderr captured into bounded newest-kept tail
+//     buffers, setrlimit caps (address space, CPU seconds, core size)
+//     applied in the child, a wall-clock deadline enforced by the parent's
+//     poll loop with SIGTERM -> grace -> SIGKILL escalation against the
+//     child's whole process group, and a typed ExitStatus that
+//     distinguishes clean-exit / nonzero-exit / signaled / timed-out /
+//     spawn-failed so callers can triage instead of guessing at errno.
+//
+//   * Supervisor: schedules N tasks across a bounded worker pool with a
+//     per-task retry policy — bounded attempts, exponential backoff whose
+//     jitter derives deterministically from (seed, task key, attempt) so
+//     a rerun of a flaky shard reproduces the exact same schedule.
+//
+// Everything here is data-in/data-out: no logging, no global state. The
+// campaign driver layers triage bundles, journals, and status heartbeats
+// on top (tools/dvmc_campaign.cpp, docs/robustness.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvmc {
+
+/// Why the child is gone. Timed-out wins over the raw wait status: a child
+/// that the deadline escalation terminated reports kTimedOut even though
+/// the kernel saw an ordinary SIGTERM/SIGKILL death.
+enum class ExitReason : std::uint8_t {
+  kCleanExit,    // exited with status 0
+  kNonZeroExit,  // exited with a nonzero status
+  kSignaled,     // killed by a signal it raised on itself (SEGV, ABRT, ...)
+  kTimedOut,     // wall-clock deadline hit; parent escalated TERM -> KILL
+  kSpawnFailed,  // fork/exec never produced a running child
+};
+
+/// Stable lowercase token for triage bundles and logs.
+const char* exitReasonName(ExitReason r);
+
+/// setrlimit caps applied in the child after fork, before exec. Zero means
+/// "inherit" for memory/CPU; the core limit is always applied (default 0:
+/// crashing children do not litter CI with core files — the triage bundle
+/// carries the stderr tail instead).
+struct SubprocessLimits {
+  std::uint64_t memoryBytes = 0;  // RLIMIT_AS (0 = inherit)
+  std::uint64_t cpuSeconds = 0;   // RLIMIT_CPU (0 = inherit)
+  std::uint64_t coreBytes = 0;    // RLIMIT_CORE (always applied)
+};
+
+struct SubprocessOptions {
+  /// argv[0] is the executable (PATH-resolved via execvp).
+  std::vector<std::string> argv;
+  /// Extra environment entries appended to the parent's environment
+  /// (later entries win on duplicate names).
+  std::vector<std::pair<std::string, std::string>> extraEnv;
+  /// Wall-clock budget in ms; 0 = none. On breach the child's process
+  /// group gets SIGTERM, then SIGKILL graceMs later.
+  std::uint64_t deadlineMs = 0;
+  std::uint64_t graceMs = 2000;
+  /// Per-stream capture cap; older bytes are dropped so the buffer keeps
+  /// the *tail* (where the crash message lives).
+  std::size_t maxCapturedBytes = 64 * 1024;
+  SubprocessLimits limits;
+  /// Called with the child's pid right after a successful fork (heartbeat
+  /// surfaces show it). Runs on the calling thread.
+  std::function<void(int pid)> onSpawn;
+};
+
+struct ExitStatus {
+  ExitReason reason = ExitReason::kSpawnFailed;
+  int exitCode = -1;     // WEXITSTATUS when the child exited
+  int termSignal = 0;    // WTERMSIG when the child died by signal
+  bool coreDumped = false;
+
+  bool clean() const { return reason == ExitReason::kCleanExit; }
+  /// Human one-liner: "exit 3", "signal 11 (Segmentation fault)",
+  /// "timed out (SIGKILL escalation)", "spawn failed".
+  std::string describe() const;
+};
+
+struct SubprocessResult {
+  ExitStatus status;
+  std::string stdoutTail;  // newest maxCapturedBytes of stdout
+  std::string stderrTail;  // newest maxCapturedBytes of stderr
+  std::uint64_t stdoutBytes = 0;  // total bytes the child produced
+  std::uint64_t stderrBytes = 0;
+  std::uint64_t wallMs = 0;
+  std::uint64_t maxRssBytes = 0;  // child's ru_maxrss via wait4
+  std::string spawnError;         // errno text when reason == kSpawnFailed
+};
+
+/// Runs one child to completion (or to its deadline). Blocking; safe to
+/// call concurrently from pool workers. The child is placed in its own
+/// process group so deadline escalation also reaps grandchildren.
+SubprocessResult runSubprocess(const SubprocessOptions& opt);
+
+/// Bounded-attempt retry with exponential backoff and deterministic
+/// seed-derived jitter: rerunning a campaign with the same seed reproduces
+/// the same delays, so flaky-shard timing is replayable.
+struct RetryPolicy {
+  int maxAttempts = 3;             // total attempts, including the first
+  std::uint64_t baseDelayMs = 500;  // delay before the first retry
+  std::uint64_t maxDelayMs = 8000;  // exponential growth ceiling
+  std::uint64_t seed = 0;           // jitter determinism
+};
+
+/// Delay before `attempt` (1-based; attempt 1 is the initial try and waits
+/// 0 ms). Exponential in the retry index, capped at maxDelayMs, then
+/// jittered into [d/2, d) by an Rng keyed on (seed, taskKey, attempt).
+std::uint64_t retryDelayMs(const RetryPolicy& p, std::uint64_t taskKey,
+                           int attempt);
+
+struct SupervisedTask {
+  std::string name;       // for logs/telemetry only
+  std::uint64_t key = 0;  // jitter key (campaign uses the fuzz param)
+  /// Builds the attempt's subprocess options (1-based attempt number, so
+  /// retries can tag their spec with the attempt).
+  std::function<SubprocessOptions(int attempt)> makeOptions;
+};
+
+struct TaskOutcome {
+  bool succeeded = false;
+  int attempts = 0;        // attempts actually made
+  SubprocessResult last;   // result of the final attempt
+};
+
+/// Runs every task to success or retry exhaustion on up to `workers`
+/// threads. Hooks fire on the worker thread running the task; they must be
+/// thread-safe. Results are indexed by task, so callers merge in task
+/// order regardless of completion interleaving.
+class Supervisor {
+ public:
+  Supervisor(unsigned workers, RetryPolicy policy)
+      : workers_(workers), policy_(policy) {}
+
+  /// Success predicate for an attempt; default: a clean exit. Callers that
+  /// need the child's payload (e.g. a parseable result line) tighten this.
+  std::function<bool(std::size_t task, const SubprocessResult&)> isSuccess;
+  std::function<void(std::size_t task, int attempt)> onAttemptStart;
+  /// willRetry tells the hook whether another attempt follows (triage
+  /// bundles are written per failed attempt either way).
+  std::function<void(std::size_t task, int attempt, const SubprocessResult&,
+                     bool willRetry)>
+      onAttemptDone;
+  /// Backoff sleep, overridable so tests run without wall-clock waits.
+  std::function<void(std::uint64_t ms)> sleepMs;
+
+  std::vector<TaskOutcome> run(const std::vector<SupervisedTask>& tasks);
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  unsigned workers_;
+  RetryPolicy policy_;
+};
+
+}  // namespace dvmc

@@ -1,0 +1,186 @@
+#include "obs/journal.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/version.hpp"
+
+namespace dvmc::obs {
+
+namespace {
+
+std::uint64_t nowUnixMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool validateMeta(const Json& meta, std::string* err) {
+  const Json* schema = meta.find("schema");
+  if (schema == nullptr || schema->asString() != kJournalSchemaName) {
+    if (err != nullptr) *err = "not a dvmc-journal file";
+    return false;
+  }
+  const Json* version = meta.find("version");
+  if (version == nullptr ||
+      version->asUint() > static_cast<std::uint64_t>(kJournalSchemaVersion)) {
+    if (err != nullptr) {
+      *err = "journal version is newer than this build understands";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<JournalContents> readJournal(const std::string& path,
+                                           std::string* err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  JournalContents out;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::string perr;
+    std::optional<Json> parsed = Json::parse(line, &perr);
+    if (!parsed) {
+      if (lineNo == 1) {
+        if (err != nullptr) *err = path + ":1: " + perr;
+        return std::nullopt;
+      }
+      // A torn final line is the one legal corruption (the writer died
+      // mid-append, before its fsync); drop it and keep every complete
+      // record. A torn line anywhere else would have been followed by a
+      // successful fsynced append, which cannot happen.
+      break;
+    }
+    if (lineNo == 1) {
+      if (!validateMeta(*parsed, err)) return std::nullopt;
+      out.meta = std::move(*parsed);
+      continue;
+    }
+    out.records.push_back(std::move(*parsed));
+  }
+  if (lineNo == 0) {
+    if (err != nullptr) *err = "'" + path + "' is empty";
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool JournalWriter::open(const std::string& path, const Json& meta,
+                         const std::vector<std::string>& mustMatch,
+                         std::string* err) {
+  close();
+
+  // Existing non-empty file: validate before appending to it. A torn
+  // final line (the previous writer died mid-append) is trimmed first —
+  // appending after it would weld the fragment onto the next record, and
+  // readJournal would then drop everything from the fragment on.
+  bool fresh = true;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe && probe.peek() != std::ifstream::traits_type::eof()) {
+      std::ostringstream ss;
+      ss << probe.rdbuf();
+      const std::string contents = ss.str();
+      const std::size_t lastNl = contents.rfind('\n');
+      std::error_code ec;
+      if (lastNl == std::string::npos) {
+        // Only a torn meta line: nothing durable was ever written.
+        std::filesystem::resize_file(path, 0, ec);
+      } else if (lastNl + 1 != contents.size()) {
+        std::filesystem::resize_file(path, lastNl + 1, ec);
+        if (ec) {
+          if (err != nullptr) {
+            *err = "cannot trim torn record in '" + path + "'";
+          }
+          return false;
+        }
+      }
+      fresh = lastNl == std::string::npos;
+    }
+    if (!fresh) {
+      std::optional<JournalContents> existing = readJournal(path, err);
+      if (!existing) return false;
+      for (const std::string& key : mustMatch) {
+        const Json* have = existing->meta.find(key);
+        const Json* want = meta.find(key);
+        const std::string haveText = have != nullptr ? have->dump() : "null";
+        const std::string wantText = want != nullptr ? want->dump() : "null";
+        if (haveText != wantText) {
+          if (err != nullptr) {
+            *err = "journal '" + path + "' was written by a different " +
+                   "campaign: " + key + " is " + haveText + ", expected " +
+                   wantText;
+          }
+          return false;
+        }
+      }
+      appended_ = existing->records.size();
+    }
+  }
+
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for append";
+    return false;
+  }
+  path_ = path;
+  if (fresh) {
+    Json envelope = Json::object();
+    envelope.set("schema", Json::str(kJournalSchemaName));
+    envelope.set("version", Json::num(std::uint64_t{kJournalSchemaVersion}));
+    envelope.set("generator", Json::str(versionString()));
+    envelope.set("startedUnixMs", Json::num(nowUnixMs()));
+    if (meta.isObject()) {
+      for (const auto& [key, value] : meta.members()) {
+        envelope.set(key, value);
+      }
+    }
+    const std::string line = envelope.dump();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    fsync(fileno(file_));
+  }
+  return true;
+}
+
+bool JournalWriter::append(const Json& record) {
+  if (file_ == nullptr) return false;
+  const std::string line = record.dump();
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  std::fputc('\n', file_);
+  if (std::fflush(file_) != 0) return false;
+  // The durability contract: the record is on disk before append returns,
+  // so a SIGKILL between configs never loses a completed one.
+  fsync(fileno(file_));
+  ++appended_;
+  return true;
+}
+
+void JournalWriter::close() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    fsync(fileno(file_));
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+}  // namespace dvmc::obs

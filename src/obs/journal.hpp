@@ -1,0 +1,79 @@
+// Append-only, crash-surviving JSONL journals (observability subsystem).
+//
+// A journal is the durability backbone of a resumable campaign: one meta
+// line stamping the schema and the run's identity, then one fsynced JSON
+// record per completed unit of work. Because every append is flushed AND
+// fsynced before the writer moves on, a SIGKILLed (or power-cut) campaign
+// keeps every record it ever reported complete — `--resume <journal>`
+// replays them instead of re-running the work, and the merged summary is
+// bit-identical to an uninterrupted run (docs/robustness.md).
+//
+// The container is generic; dvmc_campaign layers its per-config verdict
+// records ("dvmc-journal", version 1) on top, and dvmc_inspect summarizes
+// any journal by its meta line.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace dvmc::obs {
+
+inline constexpr int kJournalSchemaVersion = 1;
+inline constexpr const char* kJournalSchemaName = "dvmc-journal";
+
+/// Everything a journal file held when it was read: the meta envelope and
+/// the record lines, in append order.
+struct JournalContents {
+  Json meta;                 // first line, schema-stamped
+  std::vector<Json> records; // one per subsequent line
+};
+
+/// Parses a journal file. A truncated final line (the writer died mid
+/// append; fsync ordering makes this the only possible corruption) is
+/// dropped silently — every complete record is kept. Returns nullopt and
+/// fills `err` on open failure, a malformed meta line, or a schema/version
+/// mismatch.
+std::optional<JournalContents> readJournal(const std::string& path,
+                                           std::string* err);
+
+/// Append-side handle. open() either creates the file (writing the meta
+/// envelope as line one) or appends to an existing journal after
+/// validating that its meta line carries the same schema and a compatible
+/// version. append() writes one record line, flushes, and fsyncs before
+/// returning — the record is on disk or append() did not return.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// `meta` is wrapped in {"schema","version","generator",...} plus the
+  /// caller's identity fields. On an existing non-empty file the meta line
+  /// is validated (schema/version) and the caller's fields are compared by
+  /// `mustMatch` keys: a mismatch is an error (resuming someone else's
+  /// campaign would silently corrupt the merge).
+  bool open(const std::string& path, const Json& meta,
+            const std::vector<std::string>& mustMatch, std::string* err);
+
+  /// One fsynced record line. Returns false on I/O failure.
+  bool append(const Json& record);
+
+  bool isOpen() const { return file_ != nullptr; }
+  std::uint64_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t appended_ = 0;
+};
+
+}  // namespace dvmc::obs

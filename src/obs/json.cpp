@@ -202,7 +202,9 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 96;
+  // Deep enough for any artifact this repo emits, small enough that a
+  // hostile or corrupt document cannot overflow the parser's recursion.
+  static constexpr int kMaxDepth = 256;
 
   bool fail(const char* what) {
     if (error_.empty()) error_ = what;
@@ -232,7 +234,7 @@ class Parser {
   }
 
   bool parseValue(Json* out, int depth) {
-    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (depth >= kMaxDepth) return fail("nesting too deep");
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{': return parseObject(out, depth);

@@ -24,6 +24,7 @@ constexpr std::size_t kRingCapacity = 1024;
 struct LoggerState {
   std::atomic<LogLevel> level{LogLevel::kInfo};
   std::atomic<std::uint64_t> recorded{0};
+  std::atomic<int> jsonlFd{-1};  // crash handler's async-signal-safe view
   mutable std::mutex mu;
   std::deque<LogRecord> ring;  // newest at the back
   std::FILE* jsonl = nullptr;
@@ -94,9 +95,11 @@ bool Logger::openJsonl(const std::string& path) {
   s.jsonl = std::fopen(path.c_str(), "w");
   if (s.jsonl == nullptr) {
     std::fprintf(stderr, "obs: cannot open log file %s\n", path.c_str());
+    s.jsonlFd.store(-1, std::memory_order_release);
     return false;
   }
   s.jsonlPath = path;
+  s.jsonlFd.store(fileno(s.jsonl), std::memory_order_release);
   // Meta line: consumers (dvmc_inspect) identify a JSONL log stream by
   // this first-line schema stamp.
   Json meta = Json::object();
@@ -114,11 +117,16 @@ bool Logger::openJsonl(const std::string& path) {
 void Logger::closeJsonl() {
   LoggerState& s = state();
   std::lock_guard<std::mutex> lock(s.mu);
+  s.jsonlFd.store(-1, std::memory_order_release);
   if (s.jsonl != nullptr) {
     std::fclose(s.jsonl);
     s.jsonl = nullptr;
   }
   s.jsonlPath.clear();
+}
+
+int Logger::jsonlFdForCrash() const {
+  return state().jsonlFd.load(std::memory_order_acquire);
 }
 
 bool Logger::jsonlArmed() const {

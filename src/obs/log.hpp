@@ -70,6 +70,12 @@ class Logger {
   void log(LogLevel l, const char* component, std::string message,
            Json fields = Json());
 
+  /// The JSONL sink's file descriptor, or -1 when disarmed. Lock-free
+  /// (one atomic load) so the fatal-signal crash handler can append a
+  /// final record with raw write(2); every normal record is per-line
+  /// flushed, so the stream stays parseable after a crash.
+  int jsonlFdForCrash() const;
+
   /// Newest-last copies of the retained ring (capped at `max`).
   std::vector<LogRecord> recent(std::size_t max = 64) const;
   std::uint64_t recorded() const;

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common/version.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/log.hpp"
 #include "obs/run_report.hpp"
 
@@ -157,6 +158,10 @@ StatusWriter* activeStatusWriter() {
   std::lock_guard<std::mutex> lock(h.mu);
   if (!h.writer) {
     h.writer = std::make_unique<StatusWriter>(options().statusFile);
+    // Arm the fatal-signal path: if this process dies of SIGSEGV/SIGABRT/
+    // SIGBUS the crash handler finalizes this snapshot as state "crashed"
+    // instead of leaving a stale "running" file behind.
+    setCrashStatusPath(h.writer->path().c_str());
   }
   return h.writer.get();
 }
@@ -165,6 +170,7 @@ void resetStatusWriterForTests() {
   StatusHolder& h = statusHolder();
   std::lock_guard<std::mutex> lock(h.mu);
   h.writer.reset();
+  setCrashStatusPath(nullptr);
 }
 
 }  // namespace dvmc::obs

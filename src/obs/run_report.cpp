@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/version.hpp"
+#include "obs/crash_handler.hpp"
 #include "obs/log.hpp"
 #include "obs/resource.hpp"
 #include "obs/spans.hpp"
@@ -58,6 +59,11 @@ std::string validateWritablePath(const std::string& path) {
 }
 
 void addObsFlags(CliParser& cli) {
+  // Every binary on the shared flag surface gets crash-surviving
+  // artifacts: the handler chains to the previous disposition, so it is
+  // invisible unless --log-json / --status-file are armed and the process
+  // takes a fatal signal.
+  installCrashHandler();
   ObsOptions& opts = options();
   cli.path("--trace", &opts.traceFile, "FILE",
            "record a Chrome trace_event JSON event trace of the run");

@@ -298,6 +298,28 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_NE(err.find("offset"), std::string::npos);
 }
 
+TEST(Json, ParserEnforcesNestingDepthLimit) {
+  // 256 levels parse; one more is a clean error (with the byte offset of
+  // the offending bracket), not a parser-stack overflow.
+  const std::string ok(256, '[');
+  const std::string okClose(256, ']');
+  EXPECT_TRUE(Json::parse(ok + okClose).has_value());
+
+  std::string err;
+  const std::string deep(257, '[');
+  const std::string deepClose(257, ']');
+  EXPECT_FALSE(Json::parse(deep + deepClose, &err).has_value());
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos);
+  EXPECT_NE(err.find("offset"), std::string::npos);
+
+  // Same ceiling through object nesting, and a hostile unterminated ramp
+  // (the original overflow shape) also fails cleanly.
+  std::string objDeep;
+  for (int i = 0; i < 300; ++i) objDeep += "{\"k\":";
+  EXPECT_FALSE(Json::parse(objDeep, &err).has_value());
+  EXPECT_FALSE(Json::parse(std::string(100000, '['), &err).has_value());
+}
+
 TEST(Json, SafeAccessorsNeverAbort) {
   const Json j = Json::object();
   EXPECT_EQ(j.find("missing"), nullptr);

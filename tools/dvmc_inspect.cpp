@@ -16,10 +16,11 @@
 //                                           snapshot until the run ends
 //
 // File types are auto-detected from the content ("schema" field for
-// reports/forensics/status, "traceEvents" for traces, a dvmc-log meta
-// first line for JSONL logs, "path count" lines for collapsed stacks).
-// Exit codes: 0 on success, 1 on a parse/schema error, 2 on a usage
-// error.
+// reports/forensics/status, "traceEvents" for traces, a dvmc-log or
+// dvmc-journal meta first line for JSONL streams, "path count" lines for
+// collapsed stacks). Exit codes: 0 on success, 1 on a parse/schema error
+// or a failed/crashed run, 2 on a usage error, 3 when watch --stale-after
+// declares the producer dead.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +35,7 @@
 #include "common/cli.hpp"
 #include "common/types.hpp"
 #include "obs/forensics.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/resource.hpp"
@@ -45,7 +47,7 @@ using dvmc::Json;
 namespace {
 
 enum class ArtifactKind { kReport, kForensics, kTrace, kStatus, kLog,
-                          kProfile };
+                          kJournal, kProfile };
 
 struct Artifact {
   std::string path;
@@ -65,7 +67,9 @@ int usage() {
       "  timeline --addr=A FILE...    events touching block A (hex ok)\n"
       "  series --metric=M FILE...    sampled values of telemetry column M\n"
       "  watch FILE                   tail a live status snapshot "
-      "(--once: render and exit)\n");
+      "(--once: render and exit;\n"
+      "                               --stale-after=SEC: declare the "
+      "producer dead, exit 3)\n");
   return 2;
 }
 
@@ -157,6 +161,25 @@ bool load(const std::string& path, Artifact* out) {
       }
     }
   }
+  // Campaign journals are JSONL too; readJournal validates the meta line
+  // and tolerates a torn final record (the writer died mid-append).
+  if (firstLine.find("\"dvmc-journal\"") != std::string::npos) {
+    std::string jerr;
+    std::optional<dvmc::obs::JournalContents> jc =
+        dvmc::obs::readJournal(path, &jerr);
+    if (!jc) {
+      std::fprintf(stderr, "dvmc_inspect: %s: %s\n", path.c_str(),
+                   jerr.c_str());
+      return false;
+    }
+    Json records = Json::array();
+    for (Json& rec : jc->records) records.push(std::move(rec));
+    out->kind = ArtifactKind::kJournal;
+    out->root = Json::object()
+                    .set("meta", std::move(jc->meta))
+                    .set("records", std::move(records));
+    return true;
+  }
 
   std::string err;
   std::optional<Json> parsed = Json::parse(text, &err);
@@ -226,6 +249,7 @@ const char* kindName(ArtifactKind k) {
     case ArtifactKind::kTrace: return "event trace";
     case ArtifactKind::kStatus: return "status snapshot";
     case ArtifactKind::kLog: return "log stream";
+    case ArtifactKind::kJournal: return "campaign journal";
     case ArtifactKind::kProfile: return "collapsed-stack profile";
   }
   return "?";
@@ -388,6 +412,32 @@ void summarizeLog(const Artifact& a) {
   }
 }
 
+void summarizeJournal(const Artifact& a) {
+  const Json* records = arrField(a.root, "records");
+  const std::size_t n = records ? records->size() : 0;
+  const Json* meta = objField(a.root, "meta");
+  std::size_t escapes = 0, falsePositives = 0, retried = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Json& rec = records->at(i);
+    if (const Json* c = objField(rec, "clean");
+        c != nullptr && c->find("falsePositive") != nullptr &&
+        c->find("falsePositive")->asBool()) {
+      ++falsePositives;
+    }
+    if (const Json* f = objField(rec, "faulted");
+        f != nullptr && f->find("escape") != nullptr &&
+        f->find("escape")->asBool()) {
+      ++escapes;
+    }
+    if (uintField(rec, "attempts") > 1) ++retried;
+  }
+  std::printf("%s: campaign journal, %zu completed config%s (%s)\n",
+              a.path.c_str(), n, n == 1 ? "" : "s",
+              meta != nullptr ? strField(*meta, "generator").c_str() : "?");
+  std::printf("  escapes=%zu false-positives=%zu retried=%zu\n", escapes,
+              falsePositives, retried);
+}
+
 void summarizeProfile(const Artifact& a) {
   std::istringstream in(a.text);
   std::string line;
@@ -419,17 +469,32 @@ void summarizeProfile(const Artifact& a) {
 // --- watch -----------------------------------------------------------------
 
 /// Tails a --status-file snapshot: re-reads it every 500 ms, prints a
-/// digest line whenever updatedUnixMs advances, and exits 0 once the
-/// state leaves "running". With `once`, renders the current snapshot and
-/// exits immediately (schema errors are exit 1, like every other load).
-int watchStatus(const std::string& path, bool once) {
+/// digest line whenever updatedUnixMs advances, and exits once the state
+/// leaves "running" (0 for done, 1 for failed/crashed). With `once`,
+/// renders the current snapshot and exits immediately (schema errors are
+/// exit 1, like every other load). With staleAfterSec > 0, a snapshot
+/// whose heartbeat stops advancing for that long — or a file that never
+/// appears — means the producer died without finalizing: report it and
+/// exit 3.
+int watchStatus(const std::string& path, bool once,
+                std::uint64_t staleAfterSec) {
+  const auto nowUnixMs = [] {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  };
   std::uint64_t lastUpdated = 0;
+  // Wall clock of the last observed heartbeat advance (or watch start):
+  // judged against the snapshot's own updatedUnixMs would trip on clock
+  // skew between producer and watcher hosts sharing the file.
+  std::uint64_t lastProgressMs = nowUnixMs();
   bool sawFile = false;
   for (;;) {
-    Artifact a;
     {
       std::ifstream probe(path);
       if (probe) {
+        Artifact a;
         if (!load(path, &a)) return 1;
         if (a.kind != ArtifactKind::kStatus) {
           std::fprintf(stderr,
@@ -442,19 +507,31 @@ int watchStatus(const std::string& path, bool once) {
         const std::uint64_t updated = uintField(a.root, "updatedUnixMs");
         if (updated != lastUpdated) {
           lastUpdated = updated;
+          lastProgressMs = nowUnixMs();
           printStatusLine(a.root);
           std::fflush(stdout);
         }
         const std::string state = strField(a.root, "state");
         if (once || (state != "running" && state != "?")) {
-          return state == "failed" ? 1 : 0;
+          return (state == "failed" || state == "crashed") ? 1 : 0;
         }
       } else if (once) {
         std::fprintf(stderr, "dvmc_inspect: cannot open %s\n", path.c_str());
         return 1;
       } else if (!sawFile) {
-        // The producer may not have written its first snapshot yet.
+        // The producer may not have written its first snapshot yet; the
+        // stale timer below bounds how long that grace lasts.
       }
+    }
+    if (staleAfterSec > 0 &&
+        nowUnixMs() - lastProgressMs > staleAfterSec * 1000) {
+      std::fprintf(stderr,
+                   "dvmc_inspect: %s: producer appears dead — %s for more "
+                   "than %llu s (--stale-after)\n",
+                   path.c_str(),
+                   sawFile ? "no heartbeat advance" : "no snapshot appeared",
+                   static_cast<unsigned long long>(staleAfterSec));
+      return 3;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
   }
@@ -696,12 +773,16 @@ int main(int argc, char** argv) {
       "FILE...");
   std::string addrText, metric;
   bool once = false;
+  std::uint64_t staleAfterSec = 30;
   cli.option("--addr", &addrText, "A",
              "block address for the timeline command (hex ok)");
   cli.option("--metric", &metric, "NAME",
              "telemetry column for the series command");
   cli.flag("--once", &once,
            "watch: render the current status snapshot and exit");
+  cli.option("--stale-after", &staleAfterSec, "SEC",
+             "watch: exit 3 when the heartbeat stops advancing for SEC "
+             "seconds (default 30, 0 = wait forever)");
   argc = cli.parse(argc, argv);
   const bool haveAddr = !addrText.empty();
   const bool haveMetric = !metric.empty();
@@ -737,7 +818,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "dvmc_inspect: watch takes exactly one FILE\n");
       return usage();
     }
-    return watchStatus(args[0], once);
+    return watchStatus(args[0], once, staleAfterSec);
   } else if (cmd != "summary" && cmd != "detections") {
     std::fprintf(stderr, "dvmc_inspect: unknown command '%s'\n", cmd.c_str());
     return usage();
@@ -757,6 +838,7 @@ int main(int argc, char** argv) {
         case ArtifactKind::kTrace: summarizeTrace(a); break;
         case ArtifactKind::kStatus: summarizeStatus(a); break;
         case ArtifactKind::kLog: summarizeLog(a); break;
+        case ArtifactKind::kJournal: summarizeJournal(a); break;
         case ArtifactKind::kProfile: summarizeProfile(a); break;
       }
     } else if (cmd == "detections") {
@@ -767,6 +849,7 @@ int main(int argc, char** argv) {
         case ArtifactKind::kTrace: r = detectionsTrace(a); break;
         case ArtifactKind::kStatus:
         case ArtifactKind::kLog:
+        case ArtifactKind::kJournal:
         case ArtifactKind::kProfile:
           std::fprintf(stderr,
                        "dvmc_inspect: %s: detections needs a report, "
